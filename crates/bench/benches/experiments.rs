@@ -1,0 +1,111 @@
+//! Criterion benches for the paper's experiments (E1–E11): each bench
+//! measures the cost of regenerating one table or figure from the calibrated
+//! dataset, plus the cost of the ingestion and classification pipeline that
+//! feeds them.
+
+use bft_sim::{ReplicaSet, SimulationConfig, Simulator};
+use classify::Classifier;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::CalibratedGenerator;
+use nvd_model::OsDistribution;
+use osdiv_core::{
+    ClassDistribution, KWayAnalysis, PairwiseAnalysis, ReleaseAnalysis, ReplicaSelection,
+    ServerProfile, SplitMatrix, StudyDataset, TemporalAnalysis, ValidityDistribution,
+};
+
+fn calibrated_study() -> StudyDataset {
+    let dataset = CalibratedGenerator::new(2011).generate();
+    StudyDataset::from_entries(dataset.entries())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = CalibratedGenerator::new(2011).generate();
+    c.bench_function("pipeline/generate_calibrated_dataset", |b| {
+        b.iter(|| CalibratedGenerator::new(2011).generate())
+    });
+    c.bench_function("pipeline/ingest_into_store", |b| {
+        b.iter(|| StudyDataset::from_entries(dataset.entries()))
+    });
+    c.bench_function("pipeline/classify_all_summaries", |b| {
+        let classifier = Classifier::with_default_rules();
+        b.iter(|| {
+            dataset
+                .entries()
+                .iter()
+                .map(|entry| classifier.classify_summary(entry.summary()))
+                .count()
+        })
+    });
+    c.bench_function("pipeline/feed_write_and_parse", |b| {
+        let entries: Vec<_> = dataset.entries().to_vec();
+        b.iter(|| {
+            let xml = nvd_feed::FeedWriter::new().write_to_string(&entries).unwrap();
+            nvd_feed::FeedReader::new().read_from_str(&xml).unwrap().len()
+        })
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let study = calibrated_study();
+    c.bench_function("table1/validity_distribution", |b| {
+        b.iter(|| ValidityDistribution::compute(&study))
+    });
+    c.bench_function("table2/class_distribution", |b| {
+        b.iter(|| ClassDistribution::compute(&study))
+    });
+    c.bench_function("table3_table4/pairwise_analysis", |b| {
+        b.iter(|| PairwiseAnalysis::compute(&study))
+    });
+    c.bench_function("table5/history_observed_split", |b| {
+        b.iter(|| SplitMatrix::compute(&study))
+    });
+    c.bench_function("table6/release_analysis", |b| {
+        b.iter(|| ReleaseAnalysis::compute(&study))
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let study = calibrated_study();
+    c.bench_function("figure2/temporal_analysis", |b| {
+        b.iter(|| TemporalAnalysis::compute(&study))
+    });
+    c.bench_function("figure3/replica_selection", |b| {
+        let selection = ReplicaSelection::new(&study);
+        b.iter(|| selection.figure3())
+    });
+    c.bench_function("figure3/best_four_os_groups", |b| {
+        let selection = ReplicaSelection::new(&study);
+        b.iter(|| selection.best_groups(4, 3))
+    });
+    c.bench_function("section4b/kway_analysis", |b| {
+        b.iter(|| KWayAnalysis::compute(&study, ServerProfile::FatServer, 9))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let study = calibrated_study();
+    let simulator = Simulator::new(
+        &study,
+        SimulationConfig::default().with_trials(100).with_threads(4),
+    );
+    let homogeneous = ReplicaSet::homogeneous(OsDistribution::Debian, 4);
+    let diverse = ReplicaSet::new(vec![
+        OsDistribution::Windows2003,
+        OsDistribution::Solaris,
+        OsDistribution::Debian,
+        OsDistribution::OpenBsd,
+    ]);
+    c.bench_function("survival/homogeneous_debian_x4", |b| {
+        b.iter(|| simulator.run(&homogeneous))
+    });
+    c.bench_function("survival/diverse_set1", |b| {
+        b.iter(|| simulator.run(&diverse))
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline, bench_tables, bench_figures, bench_simulation
+);
+criterion_main!(experiments);

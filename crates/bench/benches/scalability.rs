@@ -1,0 +1,56 @@
+//! Scalability benches: how the analysis cost grows with the dataset size
+//! and with the intra-family reuse probability, using the parametric
+//! generator (an ablation over the design choices documented in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{ParametricConfig, ParametricGenerator};
+use osdiv_core::{KWayAnalysis, PairwiseAnalysis, ServerProfile, StudyDataset};
+
+fn bench_dataset_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/pairwise_vs_dataset_size");
+    for size in [500usize, 2_000, 8_000] {
+        let dataset = ParametricGenerator::new(ParametricConfig::with_count(size)).generate();
+        let study = StudyDataset::from_entries(dataset.entries());
+        group.bench_with_input(BenchmarkId::from_parameter(size), &study, |b, study| {
+            b.iter(|| PairwiseAnalysis::compute(study))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reuse_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/kway_vs_family_reuse");
+    for reuse in [0.05f64, 0.25, 0.60] {
+        let config = ParametricConfig {
+            vulnerability_count: 2_000,
+            family_reuse_probability: reuse,
+            ..ParametricConfig::default()
+        };
+        let dataset = ParametricGenerator::new(config).generate();
+        let study = StudyDataset::from_entries(dataset.entries());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("reuse={reuse}")),
+            &study,
+            |b, study| b.iter(|| KWayAnalysis::compute(study, ServerProfile::FatServer, 6)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ingestion_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/ingest_vs_dataset_size");
+    for size in [1_000usize, 4_000, 16_000] {
+        let dataset = ParametricGenerator::new(ParametricConfig::with_count(size)).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &dataset, |b, dataset| {
+            b.iter(|| StudyDataset::from_entries(dataset.entries()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = scalability;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dataset_size_sweep, bench_reuse_sweep, bench_ingestion_sweep
+);
+criterion_main!(scalability);

@@ -1,0 +1,16 @@
+//! Experiment E3: regenerates Figure 2 (temporal distribution of
+//! vulnerability publications per OS family) as CSV series.
+
+use nvd_model::OsFamily;
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, TemporalAnalysis};
+
+fn main() {
+    let study = calibrated_study();
+    let temporal = TemporalAnalysis::compute(&study);
+    for family in OsFamily::ALL {
+        print_header(&format!("Figure 2: {family} family (vulnerabilities per year)"));
+        print!("{}", report::figure2(&temporal, family).to_csv());
+        println!();
+    }
+}

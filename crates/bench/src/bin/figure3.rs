@@ -1,0 +1,17 @@
+//! Experiment E8: regenerates Figure 3 (replica configurations selected from
+//! the history period, validated on the observed period).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, ReplicaSelection};
+
+fn main() {
+    let study = calibrated_study();
+    let selection = ReplicaSelection::new(&study);
+    print_header("Figure 3: replica configurations (history vs observed common vulnerabilities)");
+    print!("{}", report::figure3(&selection.figure3()).render());
+    println!();
+    print_header("Best four-OS groups ranked from history data");
+    for (group, score) in selection.best_groups(4, 5) {
+        println!("{group}  history score = {score}");
+    }
+}

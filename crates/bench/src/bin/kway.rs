@@ -1,0 +1,14 @@
+//! Experiment E6: k-OS combination analysis (Section IV-B).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, KWayAnalysis, ServerProfile};
+
+fn main() {
+    let study = calibrated_study();
+    for profile in [ServerProfile::FatServer, ServerProfile::IsolatedThinServer] {
+        let analysis = KWayAnalysis::compute(&study, profile, 9);
+        print_header(&format!("k-OS combinations ({profile})"));
+        print!("{}", report::kway_table(&analysis).render());
+        println!();
+    }
+}

@@ -1,0 +1,10 @@
+//! Prints the full multi-section report (every table and figure) in one go.
+//! Used to populate EXPERIMENTS.md.
+
+use osdiv_bench::harness::calibrated_study;
+use osdiv_core::report;
+
+fn main() {
+    let study = calibrated_study();
+    print!("{}", report::full_report(&study));
+}

@@ -1,0 +1,11 @@
+//! Experiment E11: the Section IV-E summary findings.
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, PairwiseAnalysis};
+
+fn main() {
+    let study = calibrated_study();
+    let analysis = PairwiseAnalysis::compute(&study);
+    print_header("Section IV-E: summary of the findings");
+    print!("{}", report::summary_table(&study, &analysis).render());
+}

@@ -1,0 +1,12 @@
+//! Experiment E1: regenerates Table I (distribution of OS vulnerabilities in
+//! the NVD by validity flag).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, ValidityDistribution};
+
+fn main() {
+    let study = calibrated_study();
+    let distribution = ValidityDistribution::compute(&study);
+    print_header("Table I: distribution of OS vulnerabilities in NVD");
+    print!("{}", report::table1(&distribution).render());
+}

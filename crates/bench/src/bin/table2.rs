@@ -1,0 +1,12 @@
+//! Experiment E2: regenerates Table II (vulnerabilities per OS component
+//! class).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, ClassDistribution};
+
+fn main() {
+    let study = calibrated_study();
+    let distribution = ClassDistribution::compute(&study);
+    print_header("Table II: vulnerabilities per OS component class");
+    print!("{}", report::table2(&distribution).render());
+}

@@ -1,0 +1,12 @@
+//! Experiment E4: regenerates Table III (common vulnerabilities for every OS
+//! pair under the Fat Server / Thin Server / Isolated Thin Server filters).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, PairwiseAnalysis};
+
+fn main() {
+    let study = calibrated_study();
+    let analysis = PairwiseAnalysis::compute(&study);
+    print_header("Table III: pairwise common vulnerabilities (1994 - Sept. 2010)");
+    print!("{}", report::table3(&analysis).render());
+}

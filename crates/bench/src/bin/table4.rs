@@ -1,0 +1,12 @@
+//! Experiment E5: regenerates Table IV (common vulnerabilities on Isolated
+//! Thin Servers broken down by OS part).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, PairwiseAnalysis};
+
+fn main() {
+    let study = calibrated_study();
+    let analysis = PairwiseAnalysis::compute(&study);
+    print_header("Table IV: common vulnerabilities on Isolated Thin Servers");
+    print!("{}", report::table4(&analysis).render());
+}

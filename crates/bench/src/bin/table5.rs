@@ -1,0 +1,12 @@
+//! Experiment E7: regenerates Table V (history vs observed period common
+//! vulnerabilities for Isolated Thin Servers).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, SplitMatrix};
+
+fn main() {
+    let study = calibrated_study();
+    let matrix = SplitMatrix::compute(&study);
+    print_header("Table V: history (above diagonal) vs observed (below) common vulnerabilities");
+    print!("{}", report::table5(&matrix).render());
+}

@@ -1,0 +1,17 @@
+//! Experiment E9: regenerates Table VI (common vulnerabilities between OS
+//! releases of Debian and RedHat).
+
+use osdiv_bench::harness::{calibrated_study, print_header};
+use osdiv_core::{report, ReleaseAnalysis};
+
+fn main() {
+    let study = calibrated_study();
+    let analysis = ReleaseAnalysis::compute(&study);
+    print_header("Table VI: common vulnerabilities between OS releases");
+    print!("{}", report::table6(&analysis).render());
+    println!(
+        "{} of {} release pairs share no vulnerability at all",
+        analysis.disjoint_pairs(),
+        analysis.rows().len()
+    );
+}

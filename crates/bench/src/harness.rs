@@ -1,0 +1,39 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+
+use datagen::CalibratedGenerator;
+use osdiv_core::StudyDataset;
+
+/// The seed used by every experiment binary so their outputs are mutually
+/// consistent (and consistent with EXPERIMENTS.md).
+pub const EXPERIMENT_SEED: u64 = 2011;
+
+/// Builds the calibrated study dataset used by every experiment.
+pub fn calibrated_study() -> StudyDataset {
+    let dataset = CalibratedGenerator::new(EXPERIMENT_SEED).generate();
+    StudyDataset::from_entries(dataset.entries())
+}
+
+/// Prints a section header in the style used by all experiment binaries.
+pub fn print_header(title: &str) {
+    let width = title.len().max(8);
+    println!("{}", "=".repeat(width));
+    println!("{title}");
+    println!("{}", "=".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_header_does_not_panic() {
+        print_header("Table I");
+    }
+
+    #[test]
+    fn calibrated_study_has_the_expected_scale() {
+        let study = calibrated_study();
+        assert!(study.valid_count() > 1500);
+        assert!(study.store().vulnerability_count() > study.valid_count());
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment and benchmark harness for the OS-diversity reproduction.
+//!
+//! This crate hosts:
+//!
+//! * binary targets (`src/bin/*`) that regenerate every table and figure of
+//!   the paper from the calibrated synthetic dataset and print them in the
+//!   paper's layout;
+//! * Criterion benches (`benches/*`) that measure the cost of the full
+//!   analysis pipeline and of each individual experiment.
+//!
+//! The library portion only re-exports small helpers shared by the binaries
+//! and benches.
+
+pub mod harness;

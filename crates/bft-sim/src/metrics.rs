@@ -1,0 +1,163 @@
+//! Survival statistics aggregated over Monte-Carlo trials.
+
+use crate::quorum::ReplicaSet;
+
+/// The outcome of simulating one replica configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalReport {
+    label: String,
+    replica_count: usize,
+    faults_tolerated: usize,
+    trials: usize,
+    failures: usize,
+    time_to_failure_days: Vec<f64>,
+    mean_peak_compromised: f64,
+}
+
+impl SurvivalReport {
+    /// Assembles a report from raw trial outcomes.
+    ///
+    /// `time_to_failure_days` holds one entry per failed trial (days from
+    /// the start of the simulated period to the first moment more than `f`
+    /// replicas were compromised simultaneously).
+    pub fn new(
+        replica_set: &ReplicaSet,
+        faults_tolerated: usize,
+        trials: usize,
+        time_to_failure_days: Vec<f64>,
+        mean_peak_compromised: f64,
+    ) -> Self {
+        SurvivalReport {
+            label: replica_set.label(),
+            replica_count: replica_set.len(),
+            faults_tolerated,
+            trials,
+            failures: time_to_failure_days.len(),
+            time_to_failure_days,
+            mean_peak_compromised,
+        }
+    }
+
+    /// Human-readable label of the configuration.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of replicas in the configuration.
+    pub fn replica_count(&self) -> usize {
+        self.replica_count
+    }
+
+    /// Number of simultaneously compromised replicas the system tolerates.
+    pub fn faults_tolerated(&self) -> usize {
+        self.faults_tolerated
+    }
+
+    /// Number of Monte-Carlo trials run.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Number of trials in which the system was compromised.
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// Fraction of trials in which the system was compromised.
+    pub fn failure_probability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean time to failure in days over the failed trials (`None` if the
+    /// system never failed).
+    pub fn mean_time_to_failure_days(&self) -> Option<f64> {
+        if self.time_to_failure_days.is_empty() {
+            None
+        } else {
+            Some(
+                self.time_to_failure_days.iter().sum::<f64>()
+                    / self.time_to_failure_days.len() as f64,
+            )
+        }
+    }
+
+    /// Mean (over trials) of the peak number of simultaneously compromised
+    /// replicas.
+    pub fn mean_peak_compromised(&self) -> f64 {
+        self.mean_peak_compromised
+    }
+}
+
+/// One row of a configuration-comparison table (used by the `survival`
+/// experiment binary and bench).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Configuration label.
+    pub label: String,
+    /// Probability that the system is compromised during the period.
+    pub failure_probability: f64,
+    /// Mean time to failure in days (None if it never failed).
+    pub mean_time_to_failure_days: Option<f64>,
+    /// Mean peak number of simultaneously compromised replicas.
+    pub mean_peak_compromised: f64,
+}
+
+impl From<&SurvivalReport> for ComparisonRow {
+    fn from(report: &SurvivalReport) -> Self {
+        ComparisonRow {
+            label: report.label().to_string(),
+            failure_probability: report.failure_probability(),
+            mean_time_to_failure_days: report.mean_time_to_failure_days(),
+            mean_peak_compromised: report.mean_peak_compromised(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::OsDistribution;
+
+    fn sample_set() -> ReplicaSet {
+        ReplicaSet::homogeneous(OsDistribution::Debian, 4)
+    }
+
+    #[test]
+    fn probabilities_and_means_are_computed_from_trials() {
+        let report = SurvivalReport::new(&sample_set(), 1, 10, vec![10.0, 20.0, 30.0], 2.5);
+        assert_eq!(report.failures(), 3);
+        assert_eq!(report.trials(), 10);
+        assert!((report.failure_probability() - 0.3).abs() < 1e-12);
+        assert_eq!(report.mean_time_to_failure_days(), Some(20.0));
+        assert_eq!(report.mean_peak_compromised(), 2.5);
+        assert_eq!(report.replica_count(), 4);
+        assert_eq!(report.faults_tolerated(), 1);
+        assert_eq!(report.label(), "Debian x4");
+    }
+
+    #[test]
+    fn surviving_configuration_has_no_mttf() {
+        let report = SurvivalReport::new(&sample_set(), 1, 5, vec![], 0.4);
+        assert_eq!(report.failure_probability(), 0.0);
+        assert_eq!(report.mean_time_to_failure_days(), None);
+    }
+
+    #[test]
+    fn zero_trials_do_not_divide_by_zero() {
+        let report = SurvivalReport::new(&sample_set(), 1, 0, vec![], 0.0);
+        assert_eq!(report.failure_probability(), 0.0);
+    }
+
+    #[test]
+    fn comparison_row_copies_the_statistics() {
+        let report = SurvivalReport::new(&sample_set(), 1, 4, vec![5.0], 1.0);
+        let row = ComparisonRow::from(&report);
+        assert_eq!(row.label, "Debian x4");
+        assert!((row.failure_probability - 0.25).abs() < 1e-12);
+        assert_eq!(row.mean_time_to_failure_days, Some(5.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Evaluation metrics for the classifier.
+//!
+//! The synthetic dataset carries ground-truth classes (it generates each
+//! description *from* its class), which makes it possible to quantify how
+//! well the rule engine reproduces the intended classification — something
+//! the paper's manual process could not report.
+
+use std::fmt;
+
+use nvd_model::OsPart;
+
+/// A 4×4 confusion matrix over the OS-part classes.
+///
+/// Rows are the true class, columns the predicted class, both in
+/// [`OsPart::ALL`] order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: [[u64; 4]; 4],
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    fn index(part: OsPart) -> usize {
+        OsPart::ALL
+            .iter()
+            .position(|p| *p == part)
+            .expect("OsPart::ALL contains every class")
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: OsPart, predicted: OsPart) {
+        self.counts[Self::index(truth)][Self::index(predicted)] += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Number of observations where the prediction matched the truth.
+    pub fn correct(&self) -> u64 {
+        (0..4).map(|i| self.counts[i][i]).sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; zero when no observations were recorded.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / total as f64
+        }
+    }
+
+    /// The count of observations with the given true and predicted classes.
+    pub fn count(&self, truth: OsPart, predicted: OsPart) -> u64 {
+        self.counts[Self::index(truth)][Self::index(predicted)]
+    }
+
+    /// Precision of a class: of everything predicted as `part`, the fraction
+    /// that truly is `part`. Returns `None` when the class was never
+    /// predicted.
+    pub fn precision(&self, part: OsPart) -> Option<f64> {
+        let col = Self::index(part);
+        let predicted: u64 = (0..4).map(|row| self.counts[row][col]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.counts[col][col] as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of a class: of everything truly `part`, the fraction predicted
+    /// as `part`. Returns `None` when the class never occurred.
+    pub fn recall(&self, part: OsPart) -> Option<f64> {
+        let row = Self::index(part);
+        let actual: u64 = self.counts[row].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.counts[row][row] as f64 / actual as f64)
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>12} | predicted", "")?;
+        write!(f, "{:>12} |", "true")?;
+        for part in OsPart::ALL {
+            write!(f, " {:>10}", part.label())?;
+        }
+        writeln!(f)?;
+        for (row, truth) in OsPart::ALL.iter().enumerate() {
+            write!(f, "{:>12} |", truth.label())?;
+            for col in 0..4 {
+                write!(f, " {:>10}", self.counts[row][col])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full evaluation report: the confusion matrix plus derived statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    /// The underlying confusion matrix.
+    pub matrix: ConfusionMatrix,
+}
+
+impl ClassificationReport {
+    /// Builds a report from `(truth, predicted)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (OsPart, OsPart)>,
+    {
+        let mut matrix = ConfusionMatrix::new();
+        for (truth, predicted) in pairs {
+            matrix.record(truth, predicted);
+        }
+        ClassificationReport { matrix }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.matrix.accuracy()
+    }
+
+    /// Macro-averaged F1 score over the classes that occur at least once.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut classes = 0u32;
+        for part in OsPart::ALL {
+            let (Some(p), Some(r)) = (self.matrix.precision(part), self.matrix.recall(part))
+            else {
+                continue;
+            };
+            classes += 1;
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        if classes == 0 {
+            0.0
+        } else {
+            sum / f64::from(classes)
+        }
+    }
+}
+
+impl fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.matrix)?;
+        writeln!(
+            f,
+            "accuracy = {:.3}, macro-F1 = {:.3}, n = {}",
+            self.accuracy(),
+            self.macro_f1(),
+            self.matrix.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_accuracy_one() {
+        let report = ClassificationReport::from_pairs(
+            OsPart::ALL.into_iter().map(|p| (p, p)).collect::<Vec<_>>(),
+        );
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.macro_f1(), 1.0);
+        assert_eq!(report.matrix.correct(), 4);
+    }
+
+    #[test]
+    fn empty_matrix_is_well_behaved() {
+        let matrix = ConfusionMatrix::new();
+        assert_eq!(matrix.total(), 0);
+        assert_eq!(matrix.accuracy(), 0.0);
+        assert_eq!(matrix.precision(OsPart::Kernel), None);
+        assert_eq!(matrix.recall(OsPart::Driver), None);
+    }
+
+    #[test]
+    fn precision_and_recall_match_hand_computation() {
+        // 3 kernel entries: 2 predicted kernel, 1 predicted application.
+        // 1 application entry: predicted kernel.
+        let report = ClassificationReport::from_pairs([
+            (OsPart::Kernel, OsPart::Kernel),
+            (OsPart::Kernel, OsPart::Kernel),
+            (OsPart::Kernel, OsPart::Application),
+            (OsPart::Application, OsPart::Kernel),
+        ]);
+        let m = &report.matrix;
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(OsPart::Kernel, OsPart::Kernel), 2);
+        assert_eq!(m.count(OsPart::Kernel, OsPart::Application), 1);
+        // Kernel precision: 2 correct of 3 predicted kernel.
+        assert!((m.precision(OsPart::Kernel).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Kernel recall: 2 of 3 true kernel.
+        assert!((m.recall(OsPart::Kernel).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Application recall: 0 of 1.
+        assert_eq!(m.recall(OsPart::Application), Some(0.0));
+        assert!((report.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_all_classes() {
+        let mut matrix = ConfusionMatrix::new();
+        matrix.record(OsPart::Driver, OsPart::Driver);
+        let text = format!("{matrix}");
+        for part in OsPart::ALL {
+            assert!(text.contains(part.label()));
+        }
+        let report = ClassificationReport { matrix };
+        assert!(format!("{report}").contains("accuracy"));
+    }
+}

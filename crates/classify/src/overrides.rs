@@ -1,0 +1,144 @@
+//! Per-CVE manual overrides.
+//!
+//! The paper's classification was done entirely by hand; a rule engine will
+//! always have residual errors on unusual descriptions. The override table
+//! reproduces the "human in the loop": specific CVE identifiers can be pinned
+//! to a class, and the classifier consults the table before the rules.
+
+use std::collections::HashMap;
+
+use nvd_model::{CveId, OsPart};
+
+/// A table of per-CVE classification overrides.
+///
+/// # Example
+///
+/// ```
+/// use classify::OverrideTable;
+/// use nvd_model::{CveId, OsPart};
+///
+/// let mut table = OverrideTable::new();
+/// table.set(CveId::new(2008, 4609), OsPart::Kernel);
+/// assert_eq!(table.lookup(CveId::new(2008, 4609)), Some(OsPart::Kernel));
+/// assert_eq!(table.lookup(CveId::new(2008, 1447)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OverrideTable {
+    entries: HashMap<CveId, OsPart>,
+}
+
+impl OverrideTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        OverrideTable {
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Creates a table pre-loaded with the well-known multi-OS
+    /// vulnerabilities named in the paper (Section IV-B): the DNS cache
+    /// poisoning of CVE-2008-1447 and the DHCP flaw of CVE-2007-5365 live in
+    /// system software (both are implemented by system daemons), while the
+    /// TCP denial of service of CVE-2008-4609 is a kernel (protocol stack)
+    /// problem.
+    pub fn paper_defaults() -> Self {
+        let mut table = OverrideTable::new();
+        table.set(CveId::new(2008, 1447), OsPart::SystemSoftware);
+        table.set(CveId::new(2007, 5365), OsPart::SystemSoftware);
+        table.set(CveId::new(2008, 4609), OsPart::Kernel);
+        table
+    }
+
+    /// Pins a CVE to a class, returning the previous value if any.
+    pub fn set(&mut self, id: CveId, part: OsPart) -> Option<OsPart> {
+        self.entries.insert(id, part)
+    }
+
+    /// Removes an override, returning the removed class if any.
+    pub fn remove(&mut self, id: CveId) -> Option<OsPart> {
+        self.entries.remove(&id)
+    }
+
+    /// Looks an override up.
+    pub fn lookup(&self, id: CveId) -> Option<OsPart> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Number of overrides.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(cve, part)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (CveId, OsPart)> + '_ {
+        self.entries.iter().map(|(id, part)| (*id, *part))
+    }
+}
+
+impl FromIterator<(CveId, OsPart)> for OverrideTable {
+    fn from_iter<T: IntoIterator<Item = (CveId, OsPart)>>(iter: T) -> Self {
+        let mut table = OverrideTable::new();
+        for (id, part) in iter {
+            table.set(id, part);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lookup_remove() {
+        let mut table = OverrideTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.set(CveId::new(2005, 1), OsPart::Driver), None);
+        assert_eq!(
+            table.set(CveId::new(2005, 1), OsPart::Kernel),
+            Some(OsPart::Driver)
+        );
+        assert_eq!(table.lookup(CveId::new(2005, 1)), Some(OsPart::Kernel));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.remove(CveId::new(2005, 1)), Some(OsPart::Kernel));
+        assert_eq!(table.remove(CveId::new(2005, 1)), None);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn paper_defaults_contains_the_named_cves() {
+        let table = OverrideTable::paper_defaults();
+        assert_eq!(table.len(), 3);
+        assert_eq!(
+            table.lookup(CveId::new(2008, 4609)),
+            Some(OsPart::Kernel)
+        );
+        assert_eq!(
+            table.lookup(CveId::new(2008, 1447)),
+            Some(OsPart::SystemSoftware)
+        );
+        assert_eq!(
+            table.lookup(CveId::new(2007, 5365)),
+            Some(OsPart::SystemSoftware)
+        );
+    }
+
+    #[test]
+    fn from_iterator_and_iter_roundtrip() {
+        let table: OverrideTable = [
+            (CveId::new(2001, 1), OsPart::Application),
+            (CveId::new(2001, 2), OsPart::Driver),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(table.len(), 2);
+        let mut collected: Vec<_> = table.iter().collect();
+        collected.sort_by_key(|(id, _)| *id);
+        assert_eq!(collected[0], (CveId::new(2001, 1), OsPart::Application));
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-OS distributions: validity (Table I) and component classes (Table II).
+
+use nvd_model::{OsDistribution, OsPart, Validity};
+
+use crate::dataset::StudyDataset;
+
+/// The Table I reproduction: per-OS counts by validity flag, plus the
+/// distinct counts across OSes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityDistribution {
+    per_os: Vec<(OsDistribution, [usize; 4])>,
+    distinct: [usize; 4],
+}
+
+impl ValidityDistribution {
+    /// Computes the distribution from a dataset.
+    pub fn compute(study: &StudyDataset) -> Self {
+        let index_of = |validity: Validity| {
+            Validity::ALL
+                .iter()
+                .position(|v| *v == validity)
+                .expect("Validity::ALL is exhaustive")
+        };
+        let mut per_os = Vec::with_capacity(OsDistribution::COUNT);
+        for os in OsDistribution::ALL {
+            let mut counts = [0usize; 4];
+            for row in study.store().vulnerabilities_for_os(os) {
+                counts[index_of(row.validity)] += 1;
+            }
+            per_os.push((os, counts));
+        }
+        let mut distinct = [0usize; 4];
+        for row in study.store().rows() {
+            distinct[index_of(row.validity)] += 1;
+        }
+        ValidityDistribution { per_os, distinct }
+    }
+
+    /// The per-OS counts in Table I column order
+    /// (`[valid, unknown, unspecified, disputed]`).
+    pub fn per_os(&self) -> &[(OsDistribution, [usize; 4])] {
+        &self.per_os
+    }
+
+    /// The counts for one OS.
+    pub fn for_os(&self, os: OsDistribution) -> [usize; 4] {
+        self.per_os
+            .iter()
+            .find(|(o, _)| *o == os)
+            .map(|(_, counts)| *counts)
+            .unwrap_or([0; 4])
+    }
+
+    /// Distinct counts across OSes (last row of Table I).
+    pub fn distinct(&self) -> [usize; 4] {
+        self.distinct
+    }
+
+    /// Number of distinct valid vulnerabilities.
+    pub fn distinct_valid(&self) -> usize {
+        self.distinct[0]
+    }
+}
+
+/// The Table II reproduction: per-OS counts by component class, plus the
+/// percentage of each class over the whole data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDistribution {
+    per_os: Vec<(OsDistribution, [usize; 4])>,
+    class_totals: [usize; 4],
+    distinct_total: usize,
+}
+
+impl ClassDistribution {
+    /// Computes the distribution from a dataset. Only valid vulnerabilities
+    /// are counted; unclassified rows are ignored (the paper classified
+    /// every valid entry, so run the classifier first for full coverage).
+    pub fn compute(study: &StudyDataset) -> Self {
+        let index_of = |part: OsPart| {
+            OsPart::ALL
+                .iter()
+                .position(|p| *p == part)
+                .expect("OsPart::ALL is exhaustive")
+        };
+        let mut per_os = Vec::with_capacity(OsDistribution::COUNT);
+        for os in OsDistribution::ALL {
+            let mut counts = [0usize; 4];
+            for row in study.store().vulnerabilities_for_os(os) {
+                if !row.is_valid() {
+                    continue;
+                }
+                if let Some(part) = row.part {
+                    counts[index_of(part)] += 1;
+                }
+            }
+            per_os.push((os, counts));
+        }
+        let mut class_totals = [0usize; 4];
+        let mut distinct_total = 0usize;
+        for row in study.store().valid_rows() {
+            if let Some(part) = row.part {
+                class_totals[index_of(part)] += 1;
+                distinct_total += 1;
+            }
+        }
+        ClassDistribution {
+            per_os,
+            class_totals,
+            distinct_total,
+        }
+    }
+
+    /// The per-OS counts in Table II column order
+    /// (`[driver, kernel, system software, application]`).
+    pub fn per_os(&self) -> &[(OsDistribution, [usize; 4])] {
+        &self.per_os
+    }
+
+    /// The counts for one OS.
+    pub fn for_os(&self, os: OsDistribution) -> [usize; 4] {
+        self.per_os
+            .iter()
+            .find(|(o, _)| *o == os)
+            .map(|(_, counts)| *counts)
+            .unwrap_or([0; 4])
+    }
+
+    /// The per-OS total (must equal the OS's valid count when every row is
+    /// classified).
+    pub fn total_for_os(&self, os: OsDistribution) -> usize {
+        self.for_os(os).iter().sum()
+    }
+
+    /// The percentage of each class over the distinct classified
+    /// vulnerabilities (last row of Table II).
+    pub fn class_percentages(&self) -> [f64; 4] {
+        let mut percentages = [0.0; 4];
+        if self.distinct_total == 0 {
+            return percentages;
+        }
+        for (i, count) in self.class_totals.iter().enumerate() {
+            percentages[i] = *count as f64 * 100.0 / self.distinct_total as f64;
+        }
+        percentages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::calibration::{table1_row, table2_row};
+    use datagen::CalibratedGenerator;
+
+    fn calibrated_study() -> StudyDataset {
+        let dataset = CalibratedGenerator::new(5).generate();
+        StudyDataset::from_entries(dataset.entries())
+    }
+
+    #[test]
+    fn validity_distribution_matches_table1() {
+        let study = calibrated_study();
+        let table1 = ValidityDistribution::compute(&study);
+        for os in OsDistribution::ALL {
+            let expected = table1_row(os);
+            let [valid, unknown, unspecified, disputed] = table1.for_os(os);
+            assert_eq!(valid as u32, expected.valid, "{os} valid");
+            assert_eq!(unknown as u32, expected.unknown, "{os} unknown");
+            assert_eq!(unspecified as u32, expected.unspecified, "{os} unspecified");
+            assert_eq!(disputed as u32, expected.disputed, "{os} disputed");
+        }
+        // The distinct valid count is close to the paper's 1887 (the exact
+        // multi-OS merge structure is unpublished, see EXPERIMENTS.md).
+        let distinct = table1.distinct_valid() as i64;
+        assert!((distinct - 1887).abs() < 300, "distinct valid = {distinct}");
+    }
+
+    #[test]
+    fn class_distribution_is_close_to_table2() {
+        let study = calibrated_study();
+        let table2 = ClassDistribution::compute(&study);
+        for os in OsDistribution::ALL {
+            let expected = table2_row(os);
+            let counts = table2.for_os(os);
+            for (i, part) in OsPart::ALL.iter().enumerate() {
+                let want = i64::from(expected.count(*part));
+                let got = counts[i] as i64;
+                let slack = 6 + want * 20 / 100;
+                assert!(
+                    (got - want).abs() <= slack,
+                    "{os} {part}: got {got}, paper {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_percentages_follow_the_paper_shape() {
+        let study = calibrated_study();
+        let table2 = ClassDistribution::compute(&study);
+        let [driver, kernel, syssoft, app] = table2.class_percentages();
+        // Paper: 1.4% / 35.5% / 23.2% / 39.9%.
+        assert!(driver < 5.0, "driver share {driver:.1}%");
+        assert!((25.0..=50.0).contains(&kernel), "kernel share {kernel:.1}%");
+        assert!((15.0..=35.0).contains(&syssoft), "system software share {syssoft:.1}%");
+        assert!((30.0..=50.0).contains(&app), "application share {app:.1}%");
+        let total: f64 = table2.class_percentages().iter().sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_os_class_totals_equal_valid_counts_when_fully_classified() {
+        let study = calibrated_study();
+        let table1 = ValidityDistribution::compute(&study);
+        let table2 = ClassDistribution::compute(&study);
+        for os in OsDistribution::ALL {
+            assert_eq!(table2.total_for_os(os), table1.for_os(os)[0], "{os}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zero() {
+        let study = StudyDataset::new();
+        let table1 = ValidityDistribution::compute(&study);
+        assert_eq!(table1.distinct(), [0; 4]);
+        let table2 = ClassDistribution::compute(&study);
+        assert_eq!(table2.class_percentages(), [0.0; 4]);
+        assert_eq!(table2.for_os(OsDistribution::Debian), [0; 4]);
+    }
+}

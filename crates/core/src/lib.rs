@@ -1,0 +1,64 @@
+//! OS-diversity analysis for intrusion tolerance — the core library of the
+//! reproduction of Garcia et al., *"OS diversity for intrusion tolerance:
+//! Myth or reality?"* (DSN 2011).
+//!
+//! The crate answers the paper's central question — *what are the gains of
+//! applying OS diversity in a replicated intrusion-tolerant system?* — from
+//! a vulnerability dataset:
+//!
+//! * [`StudyDataset`] wraps the relational store and exposes the filtered
+//!   views the paper uses (Fat Server, Thin Server, Isolated Thin Server);
+//! * [`pairwise`] computes the common-vulnerability counts for every OS pair
+//!   (Table III), their per-class breakdown (Table IV) and the summary
+//!   statistics of Section IV-E (average reduction, pairs with at most one
+//!   common vulnerability);
+//! * [`classes`] reproduces the validity distribution (Table I) and the
+//!   per-class distribution (Table II);
+//! * [`temporal`] produces the per-family, per-year series of Figure 2;
+//! * [`kway`] counts vulnerabilities shared by k or more OSes and finds the
+//!   best/worst groups of a given size (Section IV-B);
+//! * [`split`] computes the history/observed matrix of Table V;
+//! * [`selection`] selects replica groups from history data and validates
+//!   them on observed data (Section IV-C, Figure 3);
+//! * [`releases`] analyses diversity across OS releases (Table VI);
+//! * [`report`] renders every analysis as aligned text tables / CSV series.
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::CalibratedGenerator;
+//! use nvd_model::{OsDistribution, OsSet};
+//! use osdiv_core::{ServerProfile, StudyDataset};
+//!
+//! let dataset = CalibratedGenerator::new(1).generate();
+//! let study = StudyDataset::from_entries(dataset.entries());
+//!
+//! let pair = OsSet::pair(OsDistribution::Debian, OsDistribution::RedHat);
+//! let fat = study.count_common(pair, ServerProfile::FatServer);
+//! let isolated = study.count_common(pair, ServerProfile::IsolatedThinServer);
+//! assert!(isolated < fat, "filtering must reduce common vulnerabilities");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod dataset;
+pub mod kway;
+pub mod pairwise;
+pub mod releases;
+pub mod report;
+pub mod selection;
+pub mod split;
+pub mod temporal;
+
+pub use classes::{ClassDistribution, ValidityDistribution};
+pub use dataset::{Period, ServerProfile, StudyDataset};
+pub use kway::{KWayAnalysis, KWayRow};
+pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseSummary, PartBreakdownRow};
+pub use releases::{ReleaseAnalysis, ReleasePairRow};
+pub use selection::{
+    figure3_configurations, ConfigurationOutcome, ReplicaSelection, SelectionCriterion,
+};
+pub use split::SplitMatrix;
+pub use temporal::TemporalAnalysis;

@@ -1,0 +1,219 @@
+//! Temporal distribution of vulnerability publications (Figure 2).
+
+use nvd_model::{OsDistribution, OsFamily};
+use tabular::{Series, SeriesSet, YearHistogram};
+
+use crate::dataset::StudyDataset;
+
+/// The Figure 2 reproduction: per-OS, per-year publication counts, grouped
+/// by OS family.
+#[derive(Debug, Clone)]
+pub struct TemporalAnalysis {
+    first_year: u16,
+    last_year: u16,
+    histograms: Vec<(OsDistribution, YearHistogram)>,
+}
+
+impl TemporalAnalysis {
+    /// Computes the per-year histograms over the study period (1993–2010,
+    /// matching the x axis of Figure 2).
+    pub fn compute(study: &StudyDataset) -> Self {
+        Self::compute_over(study, 1993, 2010)
+    }
+
+    /// Computes the per-year histograms over a custom year range.
+    pub fn compute_over(study: &StudyDataset, first_year: u16, last_year: u16) -> Self {
+        let mut histograms = Vec::with_capacity(OsDistribution::COUNT);
+        for os in OsDistribution::ALL {
+            let mut histogram = YearHistogram::new(first_year, last_year);
+            for row in study.store().vulnerabilities_for_os(os) {
+                if row.is_valid() {
+                    histogram.add(row.year());
+                }
+            }
+            histograms.push((os, histogram));
+        }
+        TemporalAnalysis {
+            first_year,
+            last_year,
+            histograms,
+        }
+    }
+
+    /// The first year of the analysis range.
+    pub fn first_year(&self) -> u16 {
+        self.first_year
+    }
+
+    /// The last year of the analysis range.
+    pub fn last_year(&self) -> u16 {
+        self.last_year
+    }
+
+    /// The histogram of one OS.
+    pub fn histogram(&self, os: OsDistribution) -> &YearHistogram {
+        &self
+            .histograms
+            .iter()
+            .find(|(o, _)| *o == os)
+            .expect("histograms cover every distribution")
+            .1
+    }
+
+    /// The number of vulnerabilities published for `os` in `year`.
+    pub fn count(&self, os: OsDistribution, year: u16) -> u64 {
+        self.histogram(os).count(year)
+    }
+
+    /// The year in which `os` had the most publications.
+    pub fn peak_year(&self, os: OsDistribution) -> u16 {
+        self.histogram(os).peak_year()
+    }
+
+    /// One sub-plot of Figure 2: the per-year series of every OS of a
+    /// family.
+    pub fn family_series(&self, family: OsFamily) -> SeriesSet {
+        let mut set = SeriesSet::new(format!("{family} family"));
+        for os in family.members() {
+            let mut series = Series::new(os.short_name());
+            for (year, count) in self.histogram(*os).iter() {
+                series.push(i64::from(year), count as f64);
+            }
+            set.push(series);
+        }
+        set
+    }
+
+    /// The Pearson correlation between the per-year series of two OSes —
+    /// used to verify the paper's observation that the members of the
+    /// Windows and Linux families have strongly correlated peaks and
+    /// valleys. Returns `None` when either series is constant.
+    pub fn correlation(&self, a: OsDistribution, b: OsDistribution) -> Option<f64> {
+        let xs: Vec<f64> = self.histogram(a).iter().map(|(_, c)| c as f64).collect();
+        let ys: Vec<f64> = self.histogram(b).iter().map(|(_, c)| c as f64).collect();
+        pearson(&xs, &ys)
+    }
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x: f64 = xs.iter().sum::<f64>() / n;
+    let mean_y: f64 = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x * var_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::CalibratedGenerator;
+
+    fn calibrated_study() -> StudyDataset {
+        let dataset = CalibratedGenerator::new(6).generate();
+        StudyDataset::from_entries(dataset.entries())
+    }
+
+    #[test]
+    fn per_os_totals_match_the_valid_counts() {
+        let study = calibrated_study();
+        let temporal = TemporalAnalysis::compute(&study);
+        for os in OsDistribution::ALL {
+            let total: u64 = temporal.histogram(os).total();
+            let expected = study
+                .store()
+                .vulnerabilities_for_os(os)
+                .iter()
+                .filter(|r| r.is_valid())
+                .count() as u64;
+            assert_eq!(total, expected, "{os}");
+        }
+    }
+
+    #[test]
+    fn recent_oses_have_no_early_vulnerabilities() {
+        let study = calibrated_study();
+        let temporal = TemporalAnalysis::compute(&study);
+        // Windows 2008 and OpenSolaris were released in 2008; the generator
+        // assigns them no vulnerabilities before their first release.
+        for year in 1993..2007 {
+            assert_eq!(temporal.count(OsDistribution::Windows2008, year), 0, "{year}");
+            assert_eq!(temporal.count(OsDistribution::OpenSolaris, year), 0, "{year}");
+        }
+        assert!(temporal.peak_year(OsDistribution::Windows2008) >= 2008);
+    }
+
+    #[test]
+    fn family_series_contains_one_series_per_member() {
+        let study = calibrated_study();
+        let temporal = TemporalAnalysis::compute(&study);
+        for family in OsFamily::ALL {
+            let set = temporal.family_series(family);
+            assert_eq!(set.series().len(), family.members().len());
+            let csv = set.to_csv();
+            assert!(csv.lines().count() > 10, "family {family} CSV too short");
+        }
+    }
+
+    #[test]
+    fn windows_family_peaks_are_correlated() {
+        let study = calibrated_study();
+        let temporal = TemporalAnalysis::compute(&study);
+        let corr = temporal
+            .correlation(OsDistribution::Windows2000, OsDistribution::Windows2003)
+            .unwrap();
+        assert!(corr > 0.3, "Windows 2000/2003 correlation {corr:.2}");
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded() {
+        let study = calibrated_study();
+        let temporal = TemporalAnalysis::compute(&study);
+        for a in OsDistribution::ALL {
+            for b in OsDistribution::ALL {
+                if let Some(corr) = temporal.correlation(a, b) {
+                    assert!((-1.0..=1.0 + 1e-9).contains(&corr));
+                    let reverse = temporal.correlation(b, a).unwrap();
+                    assert!((corr - reverse).abs() < 1e-9);
+                }
+            }
+        }
+        let self_corr = temporal
+            .correlation(OsDistribution::FreeBsd, OsDistribution::FreeBsd)
+            .unwrap();
+        assert!((self_corr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        let perfect = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        assert!((perfect - 1.0).abs() < 1e-12);
+        let inverse = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((inverse + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_histograms_are_zero() {
+        let study = StudyDataset::new();
+        let temporal = TemporalAnalysis::compute(&study);
+        assert_eq!(temporal.histogram(OsDistribution::Debian).total(), 0);
+        assert_eq!(temporal.first_year(), 1993);
+        assert_eq!(temporal.last_year(), 2010);
+    }
+}

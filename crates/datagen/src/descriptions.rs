@@ -1,0 +1,229 @@
+//! Synthetic NVD-style summaries.
+//!
+//! Each summary is generated *from* the vulnerability's ground-truth class
+//! using wording typical of real NVD entries for that class, so that the
+//! `classify` crate can be evaluated round-trip (generate → strip class →
+//! re-classify → compare).
+
+use nvd_model::{AccessVector, OsPart, OsSet};
+use rand::Rng;
+
+/// Flaw kinds that prefix most NVD summaries.
+const FLAWS: &[&str] = &[
+    "Buffer overflow",
+    "Heap-based buffer overflow",
+    "Stack-based buffer overflow",
+    "Integer overflow",
+    "Format string vulnerability",
+    "Race condition",
+    "Off-by-one error",
+    "NULL pointer dereference",
+    "Use-after-free",
+    "Improper input validation",
+];
+
+/// Per-class components the flaw is located in, written so they match the
+/// classification rules derived from Section III-B of the paper.
+fn components(part: OsPart) -> &'static [&'static str] {
+    match part {
+        OsPart::Driver => &[
+            "the wireless network card driver",
+            "the video card driver",
+            "the audio card driver",
+            "the web cam driver",
+            "the Universal Plug and Play device driver",
+            "the wired network card driver firmware",
+        ],
+        OsPart::Kernel => &[
+            "the kernel TCP/IP stack",
+            "the kernel memory management subsystem",
+            "the file system implementation in the kernel",
+            "the process management code of the kernel",
+            "the system call interface of the kernel",
+            "the kernel packet scheduler",
+            "the signal handler in the kernel core libraries",
+        ],
+        OsPart::SystemSoftware => &[
+            "the login daemon",
+            "the default shell",
+            "the cron daemon",
+            "the syslog daemon",
+            "the OpenSSH sshd daemon",
+            "the DHCP client daemon",
+            "the DNS resolver daemon",
+            "the RPC service portmapper",
+            "the PAM authentication module",
+        ],
+        OsPart::Application => &[
+            "the bundled database server",
+            "the default web browser",
+            "the bundled media player",
+            "the mail client shipped with the distribution",
+            "the FTP client",
+            "the Kerberos administration utility",
+            "the Java runtime virtual machine",
+            "the bundled text editor",
+            "the LDAP directory client",
+        ],
+    }
+}
+
+/// Consequences, split by whether the vulnerability is remotely exploitable
+/// (so the generated CVSS access vector and the text agree).
+fn consequences(remote: bool) -> &'static [&'static str] {
+    if remote {
+        &[
+            "allows remote attackers to execute arbitrary code via a crafted packet",
+            "allows remote attackers to cause a denial of service via a malformed request",
+            "allows remote attackers to obtain sensitive information via a crafted message",
+            "allows remote attackers to bypass authentication via a crafted handshake",
+        ]
+    } else {
+        &[
+            "allows local users to gain privileges via a crafted argument",
+            "allows local users to cause a denial of service via a malformed ioctl request",
+            "allows local users to overwrite arbitrary files via a symlink attack",
+            "allows local users to read kernel memory via a crafted system call",
+        ]
+    }
+}
+
+/// Generates a summary for a vulnerability of the given class and access
+/// vector affecting the given OS set.
+pub fn generate_summary<R: Rng>(
+    rng: &mut R,
+    part: OsPart,
+    access: AccessVector,
+    oses: OsSet,
+) -> String {
+    let flaw = FLAWS[rng.gen_range(0..FLAWS.len())];
+    let component = {
+        let options = components(part);
+        options[rng.gen_range(0..options.len())]
+    };
+    let consequence = {
+        let options = consequences(access.is_remote());
+        options[rng.gen_range(0..options.len())]
+    };
+    let os_names: Vec<&str> = oses.iter().map(|os| os.short_name()).collect();
+    let location = match os_names.len() {
+        0 => String::from("multiple operating systems"),
+        1 => os_names[0].to_string(),
+        _ => format!(
+            "{} and {}",
+            os_names[..os_names.len() - 1].join(", "),
+            os_names[os_names.len() - 1]
+        ),
+    };
+    format!("{flaw} in {component} on {location} {consequence}.")
+}
+
+/// Generates a summary for an entry that the study would filter out
+/// (Unknown / Unspecified / Disputed), reproducing the wording NVD uses.
+pub fn generate_invalid_summary<R: Rng>(
+    rng: &mut R,
+    kind: nvd_model::Validity,
+    oses: OsSet,
+) -> String {
+    let os = oses
+        .iter()
+        .next()
+        .map(|os| os.short_name().to_string())
+        .unwrap_or_else(|| "an operating system".to_string());
+    match kind {
+        nvd_model::Validity::Unknown => format!(
+            "Unknown vulnerability in {os} with unknown impact, possibly related to a \
+             vendor patch."
+        ),
+        nvd_model::Validity::Unspecified => format!(
+            "Unspecified vulnerability in {os} allows attackers to have an unknown impact \
+             via unknown vectors."
+        ),
+        nvd_model::Validity::Disputed => {
+            let flaw = FLAWS[rng.gen_range(0..FLAWS.len())];
+            format!(
+                "** DISPUTED ** {flaw} in {os}; the vendor disputes this issue because the \
+                 affected code path is not reachable."
+            )
+        }
+        nvd_model::Validity::Valid => {
+            unreachable!("generate_invalid_summary must not be called for valid entries")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::{OsDistribution, Validity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn summaries_mention_the_affected_oses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let oses = OsSet::from_iter([OsDistribution::Debian, OsDistribution::RedHat]);
+        let summary = generate_summary(&mut rng, OsPart::Kernel, AccessVector::Network, oses);
+        assert!(summary.contains("Debian"));
+        assert!(summary.contains("RedHat"));
+        assert!(summary.ends_with('.'));
+    }
+
+    #[test]
+    fn remote_and_local_wording_matches_access_vector() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let oses = OsSet::singleton(OsDistribution::Solaris);
+        for _ in 0..20 {
+            let remote = generate_summary(&mut rng, OsPart::Kernel, AccessVector::Network, oses);
+            assert!(remote.contains("remote attackers"), "{remote}");
+            let local = generate_summary(&mut rng, OsPart::Kernel, AccessVector::Local, oses);
+            assert!(local.contains("local users"), "{local}");
+        }
+    }
+
+    #[test]
+    fn class_specific_wording_is_recognised_by_the_classifier() {
+        let classifier = classify::Classifier::with_default_rules();
+        let mut rng = StdRng::seed_from_u64(3);
+        let oses = OsSet::singleton(OsDistribution::FreeBsd);
+        let mut correct = 0;
+        let mut total = 0;
+        for part in OsPart::ALL {
+            for _ in 0..50 {
+                let summary = generate_summary(&mut rng, part, AccessVector::Network, oses);
+                total += 1;
+                if classifier.classify_summary(&summary) == part {
+                    correct += 1;
+                }
+            }
+        }
+        let accuracy = f64::from(correct) / f64::from(total);
+        assert!(
+            accuracy > 0.9,
+            "classifier only recovers {accuracy:.2} of generated classes"
+        );
+    }
+
+    #[test]
+    fn invalid_summaries_carry_the_filter_markers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let oses = OsSet::singleton(OsDistribution::Windows2000);
+        let unknown = generate_invalid_summary(&mut rng, Validity::Unknown, oses);
+        assert_eq!(Validity::from_summary(&unknown), Validity::Unknown);
+        let unspecified = generate_invalid_summary(&mut rng, Validity::Unspecified, oses);
+        assert_eq!(Validity::from_summary(&unspecified), Validity::Unspecified);
+        let disputed = generate_invalid_summary(&mut rng, Validity::Disputed, oses);
+        assert_eq!(Validity::from_summary(&disputed), Validity::Disputed);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be called for valid entries")]
+    fn invalid_summary_for_valid_kind_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        generate_invalid_summary(
+            &mut rng,
+            Validity::Valid,
+            OsSet::singleton(OsDistribution::Debian),
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! A freely parameterizable generative model.
+//!
+//! The calibrated generator reproduces the paper's numbers; the parametric
+//! generator answers a different need: scalability benchmarks (how does the
+//! analysis cost grow with the number of vulnerabilities?) and what-if
+//! studies (what would the diversity gains look like if intra-family code
+//! reuse doubled?).
+
+use nvd_model::{
+    AccessVector, CveId, OsDistribution, OsFamily, OsPart, OsSet, Validity, VulnerabilityEntry,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::Dataset;
+use crate::descriptions::generate_summary;
+use crate::temporal::{sample_date, FIRST_YEAR, LAST_YEAR};
+
+/// Configuration of the parametric generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParametricConfig {
+    /// Number of vulnerabilities to generate.
+    pub vulnerability_count: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Probability that a vulnerability affecting one OS also affects
+    /// another member of the same family (applied repeatedly, so higher
+    /// values produce larger intra-family sets).
+    pub family_reuse_probability: f64,
+    /// Probability that a vulnerability crosses family boundaries (applied
+    /// once per additional family).
+    pub cross_family_probability: f64,
+    /// Fraction of vulnerabilities in the Application class.
+    pub application_fraction: f64,
+    /// Fraction of vulnerabilities that are remotely exploitable.
+    pub remote_fraction: f64,
+    /// First publication year (inclusive).
+    pub first_year: u16,
+    /// Last publication year (inclusive).
+    pub last_year: u16,
+}
+
+impl Default for ParametricConfig {
+    fn default() -> Self {
+        ParametricConfig {
+            vulnerability_count: 2000,
+            seed: 42,
+            family_reuse_probability: 0.12,
+            cross_family_probability: 0.02,
+            application_fraction: 0.40,
+            remote_fraction: 0.55,
+            first_year: FIRST_YEAR,
+            last_year: LAST_YEAR,
+        }
+    }
+}
+
+impl ParametricConfig {
+    /// A configuration that scales the default workload to `n`
+    /// vulnerabilities (used by the scalability benches).
+    pub fn with_count(n: usize) -> Self {
+        ParametricConfig {
+            vulnerability_count: n,
+            ..ParametricConfig::default()
+        }
+    }
+}
+
+/// Generates datasets from a [`ParametricConfig`].
+#[derive(Debug, Clone)]
+pub struct ParametricGenerator {
+    config: ParametricConfig,
+}
+
+impl ParametricGenerator {
+    /// Creates a generator from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability/fraction is outside `[0, 1]` or the year
+    /// range is inverted (programming errors in bench/test code).
+    pub fn new(config: ParametricConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.family_reuse_probability));
+        assert!((0.0..=1.0).contains(&config.cross_family_probability));
+        assert!((0.0..=1.0).contains(&config.application_fraction));
+        assert!((0.0..=1.0).contains(&config.remote_fraction));
+        assert!(config.first_year <= config.last_year);
+        ParametricGenerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ParametricConfig {
+        &self.config
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut entries = Vec::with_capacity(cfg.vulnerability_count);
+        for index in 0..cfg.vulnerability_count {
+            let oses = self.sample_os_set(&mut rng);
+            let part = self.sample_part(&mut rng);
+            let access = if rng.gen_bool(cfg.remote_fraction) {
+                AccessVector::Network
+            } else {
+                AccessVector::Local
+            };
+            let year = rng.gen_range(cfg.first_year..=cfg.last_year);
+            let id = CveId::new(year, 50_000 + index as u32);
+            let entry = VulnerabilityEntry::builder(id)
+                .published(sample_date(&mut rng, year))
+                .summary(generate_summary(&mut rng, part, access, oses))
+                .part(part)
+                .validity(Validity::Valid)
+                .cvss(if access.is_remote() {
+                    nvd_model::CvssV2::typical_remote()
+                } else {
+                    nvd_model::CvssV2::typical_local()
+                })
+                .affects_set(oses)
+                .build()
+                .expect("parametric entries are always structurally valid");
+            entries.push(entry);
+        }
+        Dataset::from_entries(entries)
+    }
+
+    fn sample_os_set(&self, rng: &mut StdRng) -> OsSet {
+        let cfg = &self.config;
+        let primary = OsDistribution::ALL[rng.gen_range(0..OsDistribution::COUNT)];
+        let mut set = OsSet::singleton(primary);
+        // Intra-family reuse: repeatedly try to add family members.
+        let family_members = primary.family().members();
+        for os in family_members {
+            if *os != primary && rng.gen_bool(cfg.family_reuse_probability) {
+                set.insert(*os);
+            }
+        }
+        // Cross-family spread: at most one OS from each other family.
+        for family in OsFamily::ALL {
+            if family == primary.family() {
+                continue;
+            }
+            if rng.gen_bool(cfg.cross_family_probability) {
+                let members = family.members();
+                set.insert(members[rng.gen_range(0..members.len())]);
+            }
+        }
+        set
+    }
+
+    fn sample_part(&self, rng: &mut StdRng) -> OsPart {
+        if rng.gen_bool(self.config.application_fraction) {
+            return OsPart::Application;
+        }
+        // The paper's base-system split is roughly 1.4% drivers, 35.5%
+        // kernel, 23.2% system software (Table II); renormalized over the
+        // base system only.
+        let roll: f64 = rng.gen();
+        if roll < 0.025 {
+            OsPart::Driver
+        } else if roll < 0.62 {
+            OsPart::Kernel
+        } else {
+            OsPart::SystemSoftware
+        }
+    }
+}
+
+impl Default for ParametricGenerator {
+    fn default() -> Self {
+        ParametricGenerator::new(ParametricConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_requested_number_of_entries() {
+        let dataset = ParametricGenerator::new(ParametricConfig::with_count(500)).generate();
+        assert_eq!(dataset.len(), 500);
+        assert_eq!(dataset.valid_entries().count(), 500);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = ParametricGenerator::new(ParametricConfig::with_count(200)).generate();
+        let b = ParametricGenerator::new(ParametricConfig::with_count(200)).generate();
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.affected_os_set(), y.affected_os_set());
+        }
+    }
+
+    #[test]
+    fn zero_reuse_produces_single_os_vulnerabilities() {
+        let config = ParametricConfig {
+            vulnerability_count: 300,
+            family_reuse_probability: 0.0,
+            cross_family_probability: 0.0,
+            ..ParametricConfig::default()
+        };
+        let dataset = ParametricGenerator::new(config).generate();
+        assert!(dataset
+            .entries()
+            .iter()
+            .all(|e| e.affected_os_set().len() == 1));
+    }
+
+    #[test]
+    fn high_reuse_produces_shared_vulnerabilities() {
+        let config = ParametricConfig {
+            vulnerability_count: 300,
+            family_reuse_probability: 0.9,
+            cross_family_probability: 0.3,
+            ..ParametricConfig::default()
+        };
+        let dataset = ParametricGenerator::new(config).generate();
+        let shared = dataset
+            .entries()
+            .iter()
+            .filter(|e| e.affected_os_set().len() >= 2)
+            .count();
+        assert!(shared > 200, "only {shared} shared vulnerabilities");
+    }
+
+    #[test]
+    fn remote_fraction_is_respected_approximately() {
+        let config = ParametricConfig {
+            vulnerability_count: 1000,
+            remote_fraction: 0.8,
+            ..ParametricConfig::default()
+        };
+        let dataset = ParametricGenerator::new(config).generate();
+        let remote = dataset
+            .entries()
+            .iter()
+            .filter(|e| e.is_remotely_exploitable())
+            .count();
+        assert!((700..=900).contains(&remote), "remote count {remote}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_is_rejected() {
+        ParametricGenerator::new(ParametricConfig {
+            family_reuse_probability: 1.5,
+            ..ParametricConfig::default()
+        });
+    }
+}

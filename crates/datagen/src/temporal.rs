@@ -1,0 +1,155 @@
+//! Publication-year assignment.
+//!
+//! Years are drawn from the per-OS weights approximating Figure 2 of the
+//! paper ([`crate::calibration::figure2_year_weights`]), optionally
+//! restricted to the history (1994–2005) or observed (2006–2010) period so
+//! that the Table V split is respected.
+
+use nvd_model::{Date, OsSet};
+use rand::Rng;
+
+use crate::calibration::figure2_year_weights;
+use crate::overlap::Era;
+
+/// First year covered by the study (the 2002 feed reaches back to 1994).
+pub const FIRST_YEAR: u16 = 1994;
+/// Last year covered by the study (feeds until September 2010).
+pub const LAST_YEAR: u16 = 2010;
+/// Last year of the paper's *history* period.
+pub const HISTORY_LAST_YEAR: u16 = 2005;
+
+/// The inclusive year range allowed for an era.
+pub fn era_range(era: Era) -> (u16, u16) {
+    match era {
+        Era::History => (FIRST_YEAR, HISTORY_LAST_YEAR),
+        Era::Observed => (HISTORY_LAST_YEAR + 1, LAST_YEAR),
+        Era::Any => (FIRST_YEAR, LAST_YEAR),
+    }
+}
+
+/// Samples a publication year for a vulnerability affecting `oses`,
+/// restricted to `era`. The year weights of every affected OS are summed so
+/// shared vulnerabilities land in years where all members were receiving
+/// reports; if no weight falls inside the era window the midpoint of the
+/// window is used.
+pub fn sample_year<R: Rng>(rng: &mut R, oses: OsSet, era: Era) -> u16 {
+    let (era_lo, hi) = era_range(era);
+    // A vulnerability report cannot reasonably predate the youngest affected
+    // distribution (the paper treats such NVD entries as database
+    // artefacts), so the lower bound is clamped to the latest first-release
+    // year among the affected OSes when that still leaves a non-empty
+    // window.
+    let release_floor = oses
+        .iter()
+        .map(|os| os.first_release_year())
+        .max()
+        .unwrap_or(era_lo);
+    let lo = era_lo.max(release_floor.min(hi));
+    let mut weights: Vec<(u16, u32)> = Vec::new();
+    for year in lo..=hi {
+        let mut weight = 0u32;
+        for os in oses {
+            weight += figure2_year_weights(os)
+                .iter()
+                .find(|(y, _)| *y == year)
+                .map(|(_, w)| *w)
+                .unwrap_or(0);
+        }
+        if weight > 0 {
+            weights.push((year, weight));
+        }
+    }
+    if weights.is_empty() {
+        return lo + (hi - lo) / 2;
+    }
+
+    let total: u32 = weights.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for (year, weight) in &weights {
+        if pick < *weight {
+            return *year;
+        }
+        pick -= weight;
+    }
+    weights.last().expect("weights not empty").0
+}
+
+/// Samples a full publication date within the given year (month 1–12,
+/// day 1–28 so every month is valid).
+pub fn sample_date<R: Rng>(rng: &mut R, year: u16) -> Date {
+    let month = rng.gen_range(1..=12);
+    let day = rng.gen_range(1..=28);
+    Date::new(year, month, day).expect("day <= 28 is valid in every month")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::OsDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn era_ranges_partition_the_study_period() {
+        let (h_lo, h_hi) = era_range(Era::History);
+        let (o_lo, o_hi) = era_range(Era::Observed);
+        let (a_lo, a_hi) = era_range(Era::Any);
+        assert_eq!(h_lo, a_lo);
+        assert_eq!(o_hi, a_hi);
+        assert_eq!(h_hi + 1, o_lo);
+        assert_eq!((h_lo, o_hi), (1994, 2010));
+    }
+
+    #[test]
+    fn sampled_years_respect_the_era() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let oses = OsSet::singleton(OsDistribution::FreeBsd);
+        for _ in 0..200 {
+            let history = sample_year(&mut rng, oses, Era::History);
+            assert!((1994..=2005).contains(&history), "{history}");
+            let observed = sample_year(&mut rng, oses, Era::Observed);
+            assert!((2006..=2010).contains(&observed), "{observed}");
+        }
+    }
+
+    #[test]
+    fn recent_oses_fall_back_to_the_window_midpoint_in_history() {
+        // Windows 2008 has no weight before 2008, so a history-period draw
+        // must fall back to the midpoint of 1994–2005.
+        let mut rng = StdRng::seed_from_u64(12);
+        let oses = OsSet::singleton(OsDistribution::Windows2008);
+        let year = sample_year(&mut rng, oses, Era::History);
+        assert_eq!(year, 2005);
+    }
+
+    #[test]
+    fn shared_vulnerability_years_follow_combined_weights() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pair = OsSet::pair(OsDistribution::Windows2000, OsDistribution::Windows2003);
+        // Windows 2003 has no weight before 2003, but Windows 2000 does, so
+        // years before 2003 are possible yet the bulk must land 2003+.
+        let years: Vec<u16> = (0..500)
+            .map(|_| sample_year(&mut rng, pair, Era::Any))
+            .collect();
+        let after_2003 = years.iter().filter(|y| **y >= 2003).count();
+        assert!(after_2003 > 300, "only {after_2003} of 500 after 2003");
+    }
+
+    #[test]
+    fn sample_date_is_within_year() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            let date = sample_date(&mut rng, 2004);
+            assert_eq!(date.year(), 2004);
+            assert!((1..=12).contains(&date.month()));
+            assert!((1..=28).contains(&date.day()));
+        }
+    }
+
+    #[test]
+    fn empty_os_set_uses_midpoint() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let year = sample_year(&mut rng, OsSet::EMPTY, Era::Observed);
+        assert_eq!(year, 2008);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for feed parsing and writing.
+
+use std::fmt;
+
+use nvd_model::ModelError;
+
+/// Error produced while reading or writing NVD data feeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedError {
+    /// The XML was malformed.
+    Xml {
+        /// Byte offset in the input where the problem was detected.
+        offset: usize,
+        /// Human readable description of the problem.
+        reason: String,
+    },
+    /// The XML was well-formed but did not follow the NVD feed schema.
+    Schema {
+        /// The entry (CVE name) being parsed when the problem was found,
+        /// if known.
+        entry: Option<String>,
+        /// Human readable description of the problem.
+        reason: String,
+    },
+    /// A model-level value (CVE id, CPE, CVSS vector, date) failed to parse.
+    Model(ModelError),
+    /// An I/O error occurred while reading or writing a feed file.
+    Io(String),
+}
+
+impl FeedError {
+    /// Creates an XML-level error.
+    pub fn xml(offset: usize, reason: impl Into<String>) -> Self {
+        FeedError::Xml {
+            offset,
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates a schema-level error.
+    pub fn schema(entry: Option<&str>, reason: impl Into<String>) -> Self {
+        FeedError::Schema {
+            entry: entry.map(str::to_string),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::Xml { offset, reason } => {
+                write!(f, "malformed XML at byte {offset}: {reason}")
+            }
+            FeedError::Schema { entry, reason } => match entry {
+                Some(name) => write!(f, "invalid NVD entry {name}: {reason}"),
+                None => write!(f, "invalid NVD feed: {reason}"),
+            },
+            FeedError::Model(err) => write!(f, "invalid field value: {err}"),
+            FeedError::Io(msg) => write!(f, "feed I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeedError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FeedError {
+    fn from(err: ModelError) -> Self {
+        FeedError::Model(err)
+    }
+}
+
+impl From<std::io::Error> for FeedError {
+    fn from(err: std::io::Error) -> Self {
+        FeedError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let err = FeedError::xml(42, "unexpected end of input");
+        assert!(err.to_string().contains("42"));
+        let err = FeedError::schema(Some("CVE-2008-1447"), "missing summary");
+        assert!(err.to_string().contains("CVE-2008-1447"));
+        let err = FeedError::schema(None, "no entries");
+        assert!(err.to_string().contains("no entries"));
+    }
+
+    #[test]
+    fn model_errors_convert_and_expose_source() {
+        let model_err = ModelError::UnknownOs {
+            input: "BeOS".to_string(),
+        };
+        let err: FeedError = model_err.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<FeedError>();
+    }
+}

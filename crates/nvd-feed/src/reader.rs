@@ -1,0 +1,507 @@
+//! Reading NVD data feeds into model entries.
+//!
+//! [`FeedReader`] understands both feed layouts the study had to deal with:
+//!
+//! * **NVD 1.2** (`nvdcve-*.xml`): `<entry name="CVE-..." published="..."
+//!   CVSS_vector="(...)"> <desc><descript>...</descript></desc>
+//!   <vuln_soft><prod name="..." vendor="..."><vers num="..."/></prod>
+//!   </vuln_soft> </entry>`
+//! * **NVD 2.0** (`nvdcve-2.0-*.xml`): `<entry id="CVE-...">
+//!   <vuln:vulnerable-software-list><vuln:product>cpe:/o:...</vuln:product>
+//!   </vuln:vulnerable-software-list> <vuln:published-datetime>...
+//!   <vuln:cvss><cvss:base_metrics>... <vuln:summary>...</entry>`
+//!
+//! Entries that cannot be parsed are either skipped (lenient mode, the
+//! default — real feeds contain occasional malformed entries) or reported as
+//! errors (strict mode, used in tests and by the synthetic-feed round-trip).
+
+use std::fs;
+use std::path::Path;
+
+use nvd_model::VulnerabilityEntry;
+
+use crate::schema::{FeedMetadata, RawEntry, RawProduct};
+use crate::xml::{XmlEvent, XmlReader};
+use crate::{FeedError, NameNormalizer};
+
+/// Reads NVD XML feeds into [`VulnerabilityEntry`] values.
+///
+/// # Example
+///
+/// ```
+/// use nvd_feed::FeedReader;
+///
+/// # fn main() -> Result<(), nvd_feed::FeedError> {
+/// let xml = r#"
+/// <nvd>
+///   <entry id="CVE-2008-1447">
+///     <vuln:vulnerable-software-list>
+///       <vuln:product>cpe:/o:debian:debian_linux:4.0</vuln:product>
+///     </vuln:vulnerable-software-list>
+///     <vuln:published-datetime>2008-07-08T19:41:00.000-04:00</vuln:published-datetime>
+///     <vuln:summary>DNS cache poisoning</vuln:summary>
+///   </entry>
+/// </nvd>"#;
+/// let entries = FeedReader::new().read_from_str(xml)?;
+/// assert_eq!(entries.len(), 1);
+/// assert_eq!(entries[0].summary(), "DNS cache poisoning");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeedReader {
+    normalizer: NameNormalizer,
+    strict: bool,
+    skipped: usize,
+}
+
+impl Default for FeedReader {
+    fn default() -> Self {
+        FeedReader::new()
+    }
+}
+
+impl FeedReader {
+    /// Creates a lenient reader with the default alias normalizer.
+    pub fn new() -> Self {
+        FeedReader {
+            normalizer: NameNormalizer::default(),
+            strict: false,
+            skipped: 0,
+        }
+    }
+
+    /// Makes the reader strict: any entry that fails to parse aborts the
+    /// whole read instead of being skipped.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Replaces the name normalizer.
+    pub fn with_normalizer(mut self, normalizer: NameNormalizer) -> Self {
+        self.normalizer = normalizer;
+        self
+    }
+
+    /// Number of entries skipped by the last lenient read.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Reads a feed from a file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedError::Io`] if the file cannot be read, or any parse
+    /// error a string read would produce.
+    pub fn read_from_path(&mut self, path: impl AsRef<Path>) -> Result<Vec<VulnerabilityEntry>, FeedError> {
+        let text = fs::read_to_string(path)?;
+        self.read_from_str(&text)
+    }
+
+    /// Reads a feed from an XML string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedError::Xml`] for malformed XML; in strict mode also
+    /// [`FeedError::Schema`] / [`FeedError::Model`] for entries with invalid
+    /// fields.
+    pub fn read_from_str(&mut self, xml: &str) -> Result<Vec<VulnerabilityEntry>, FeedError> {
+        let (entries, _metadata) = self.read_with_metadata(xml)?;
+        Ok(entries)
+    }
+
+    /// Reads a feed and also returns document-level metadata.
+    pub fn read_with_metadata(
+        &mut self,
+        xml: &str,
+    ) -> Result<(Vec<VulnerabilityEntry>, FeedMetadata), FeedError> {
+        self.skipped = 0;
+        let mut reader = XmlReader::new(xml);
+        let mut metadata = FeedMetadata::default();
+        let mut entries = Vec::new();
+        while let Some(event) = reader.next_event()? {
+            match event {
+                XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                    ..
+                } => match name.as_str() {
+                    "nvd" => {
+                        for (key, value) in &attributes {
+                            match key.as_str() {
+                                "nvd_xml_version" => metadata.xml_version = Some(value.clone()),
+                                "pub_date" => metadata.published = Some(value.clone()),
+                                _ => {}
+                            }
+                        }
+                    }
+                    "entry" => {
+                        metadata.entry_count += 1;
+                        let raw = self.read_entry(&mut reader, &attributes, self_closing)?;
+                        match raw.to_entry(&self.normalizer) {
+                            Ok(entry) => entries.push(entry),
+                            Err(err) if self.strict => return Err(err),
+                            Err(_) => self.skipped += 1,
+                        }
+                    }
+                    _ => {}
+                },
+                XmlEvent::EndElement { .. } | XmlEvent::Text(_) => {}
+            }
+        }
+        Ok((entries, metadata))
+    }
+
+    /// Parses a single `<entry>` element (either layout) into a [`RawEntry`].
+    fn read_entry(
+        &self,
+        reader: &mut XmlReader<'_>,
+        attributes: &[(String, String)],
+        self_closing: bool,
+    ) -> Result<RawEntry, FeedError> {
+        let mut raw = RawEntry::default();
+        for (key, value) in attributes {
+            match key.as_str() {
+                // 2.0 layout uses id=, 1.2 layout uses name=.
+                "id" | "name" => raw.name = value.clone(),
+                "published" => raw.published = Some(value.clone()),
+                "CVSS_vector" => raw.cvss_vector = Some(value.clone()),
+                _ => {}
+            }
+        }
+        if self_closing {
+            return Ok(raw);
+        }
+        // CVSS 2.0 metrics are assembled from individual elements.
+        let mut access_vector: Option<String> = None;
+        let mut access_complexity: Option<String> = None;
+        let mut authentication: Option<String> = None;
+        let mut conf = None;
+        let mut integ = None;
+        let mut avail = None;
+        loop {
+            match reader.next_event()? {
+                Some(XmlEvent::StartElement {
+                    name, self_closing, attributes, ..
+                }) => match name.as_str() {
+                    "summary" | "descript" => {
+                        if !self_closing {
+                            let text = reader.read_element_text(&name)?;
+                            if raw.summary.is_empty() {
+                                raw.summary = text;
+                            }
+                        }
+                    }
+                    "published-datetime" => {
+                        if !self_closing {
+                            raw.published = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    "cve-id" => {
+                        if !self_closing {
+                            let text = reader.read_element_text(&name)?;
+                            if raw.name.is_empty() {
+                                raw.name = text;
+                            }
+                        }
+                    }
+                    "product" => {
+                        // 2.0 layout: <vuln:product>cpe:/o:...</vuln:product>
+                        if !self_closing {
+                            let uri = reader.read_element_text(&name)?;
+                            match RawProduct::from_cpe_uri(uri.trim()) {
+                                Ok(product) => raw.products.push(product),
+                                Err(err) if self.strict => return Err(err),
+                                Err(_) => {}
+                            }
+                        }
+                    }
+                    "prod" => {
+                        // 1.2 layout: <prod name="..." vendor="..."><vers num="..."/></prod>
+                        let mut product = RawProduct::from_vendor_product("", "");
+                        for (key, value) in &attributes {
+                            match key.as_str() {
+                                "name" => product.product = value.clone(),
+                                "vendor" => product.vendor = value.clone(),
+                                _ => {}
+                            }
+                        }
+                        if !self_closing {
+                            // Collect <vers num="..."/> children.
+                            loop {
+                                match reader.next_event()? {
+                                    Some(XmlEvent::StartElement {
+                                        name: child,
+                                        attributes: child_attrs,
+                                        self_closing: child_closed,
+                                        ..
+                                    }) => {
+                                        if child == "vers" {
+                                            if let Some((_, num)) =
+                                                child_attrs.iter().find(|(k, _)| k == "num")
+                                            {
+                                                product.versions.push(num.clone());
+                                            }
+                                            if !child_closed {
+                                                reader.skip_element("vers")?;
+                                            }
+                                        } else if !child_closed {
+                                            reader.skip_element(&child)?;
+                                        }
+                                    }
+                                    Some(XmlEvent::EndElement { name: end }) if end == "prod" => {
+                                        break
+                                    }
+                                    Some(_) => {}
+                                    None => {
+                                        return Err(FeedError::schema(
+                                            Some(&raw.name),
+                                            "unterminated <prod> element",
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        raw.products.push(product);
+                    }
+                    "access-vector" => {
+                        if !self_closing {
+                            access_vector = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    "access-complexity" => {
+                        if !self_closing {
+                            access_complexity = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    "authentication" => {
+                        if !self_closing {
+                            authentication = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    "confidentiality-impact" => {
+                        if !self_closing {
+                            conf = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    "integrity-impact" => {
+                        if !self_closing {
+                            integ = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    "availability-impact" => {
+                        if !self_closing {
+                            avail = Some(reader.read_element_text(&name)?);
+                        }
+                    }
+                    _ => {
+                        // Unknown container elements (vuln_soft,
+                        // vulnerable-software-list, cvss, base_metrics, …)
+                        // are descended into rather than skipped, so their
+                        // children are still visited.
+                    }
+                },
+                Some(XmlEvent::EndElement { name }) if name == "entry" => break,
+                Some(_) => {}
+                None => {
+                    return Err(FeedError::schema(
+                        Some(&raw.name),
+                        "unterminated <entry> element",
+                    ))
+                }
+            }
+        }
+        if raw.cvss_vector.is_none() {
+            if let (Some(av), Some(ac), Some(au), Some(c), Some(i), Some(a)) = (
+                &access_vector,
+                &access_complexity,
+                &authentication,
+                &conf,
+                &integ,
+                &avail,
+            ) {
+                raw.cvss_vector = Some(format!(
+                    "AV:{}/AC:{}/Au:{}/C:{}/I:{}/A:{}",
+                    metric_code(av),
+                    metric_code(ac),
+                    metric_code(au),
+                    metric_code(c),
+                    metric_code(i),
+                    metric_code(a)
+                ));
+            }
+        }
+        Ok(raw)
+    }
+}
+
+/// Converts a spelled-out CVSS metric value (`NETWORK`, `SINGLE_INSTANCE`,
+/// `PARTIAL`, …) to its single-letter vector code. Single letters pass
+/// through unchanged.
+fn metric_code(value: &str) -> String {
+    let upper = value.trim().to_ascii_uppercase();
+    let code = match upper.as_str() {
+        "NETWORK" => "N",
+        "ADJACENT_NETWORK" | "ADJACENT NETWORK" => "A",
+        "LOCAL" => "L",
+        "LOW" => "L",
+        "MEDIUM" => "M",
+        "HIGH" => "H",
+        "NONE" => "N",
+        "SINGLE" | "SINGLE_INSTANCE" => "S",
+        "MULTIPLE" | "MULTIPLE_INSTANCES" => "M",
+        "PARTIAL" => "P",
+        "COMPLETE" => "C",
+        other => other,
+    };
+    code.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::{AccessVector, CveId, OsDistribution};
+
+    const FEED_20: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<nvd xmlns="http://scap.nist.gov/schema/feed/vulnerability/2.0" nvd_xml_version="2.0" pub_date="2010-09-30T05:00:00">
+  <entry id="CVE-2008-1447">
+    <vuln:vulnerable-software-list>
+      <vuln:product>cpe:/o:debian:debian_linux:4.0</vuln:product>
+      <vuln:product>cpe:/o:freebsd:freebsd:6.3</vuln:product>
+      <vuln:product>cpe:/a:isc:bind:9.4</vuln:product>
+    </vuln:vulnerable-software-list>
+    <vuln:cve-id>CVE-2008-1447</vuln:cve-id>
+    <vuln:published-datetime>2008-07-08T19:41:00.000-04:00</vuln:published-datetime>
+    <vuln:cvss>
+      <cvss:base_metrics>
+        <cvss:access-vector>NETWORK</cvss:access-vector>
+        <cvss:access-complexity>MEDIUM</cvss:access-complexity>
+        <cvss:authentication>NONE</cvss:authentication>
+        <cvss:confidentiality-impact>NONE</cvss:confidentiality-impact>
+        <cvss:integrity-impact>PARTIAL</cvss:integrity-impact>
+        <cvss:availability-impact>NONE</cvss:availability-impact>
+      </cvss:base_metrics>
+    </vuln:cvss>
+    <vuln:summary>The DNS protocol implementation allows remote cache poisoning.</vuln:summary>
+  </entry>
+  <entry id="CVE-2008-4609">
+    <vuln:vulnerable-software-list>
+      <vuln:product>cpe:/o:microsoft:windows_2000</vuln:product>
+      <vuln:product>cpe:/o:microsoft:windows_2003_server</vuln:product>
+    </vuln:vulnerable-software-list>
+    <vuln:published-datetime>2008-10-20T18:00:00.000-04:00</vuln:published-datetime>
+    <vuln:summary>The TCP implementation allows a denial of service via crafted segments.</vuln:summary>
+  </entry>
+</nvd>"#;
+
+    const FEED_12: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<nvd nvd_xml_version="1.2" pub_date="2002-12-31">
+  <entry type="CVE" name="CVE-2002-0083" published="2002-03-07" CVSS_vector="(AV:N/AC:L/Au:N/C:C/I:C/A:C)">
+    <desc>
+      <descript source="cve">Off-by-one error in OpenSSH channel code allows remote attackers to execute arbitrary code.</descript>
+    </desc>
+    <vuln_soft>
+      <prod name="openbsd" vendor="openbsd">
+        <vers num="3.0"/>
+        <vers num="3.1"/>
+      </prod>
+      <prod name="freebsd" vendor="freebsd"/>
+    </vuln_soft>
+  </entry>
+</nvd>"#;
+
+    #[test]
+    fn parses_nvd_20_feed() {
+        let mut reader = FeedReader::new();
+        let (entries, metadata) = reader.read_with_metadata(FEED_20).unwrap();
+        assert_eq!(metadata.xml_version.as_deref(), Some("2.0"));
+        assert_eq!(metadata.entry_count, 2);
+        assert_eq!(entries.len(), 2);
+
+        let dns = &entries[0];
+        assert_eq!(dns.id(), CveId::new(2008, 1447));
+        assert_eq!(dns.year(), 2008);
+        assert_eq!(dns.affected_os_set().len(), 2);
+        assert!(dns.affects(OsDistribution::Debian));
+        assert!(dns.affects(OsDistribution::FreeBsd));
+        assert_eq!(dns.affected().len(), 3); // the BIND CPE is kept as a product
+        assert_eq!(dns.cvss().unwrap().access_vector(), AccessVector::Network);
+        assert!(dns.summary().contains("cache poisoning"));
+
+        let tcp = &entries[1];
+        assert_eq!(tcp.id(), CveId::new(2008, 4609));
+        assert!(tcp.cvss().is_none());
+        assert!(tcp.is_remotely_exploitable()); // defaults to remote
+    }
+
+    #[test]
+    fn parses_nvd_12_feed() {
+        let mut reader = FeedReader::new();
+        let entries = reader.read_from_str(FEED_12).unwrap();
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0];
+        assert_eq!(entry.id(), CveId::new(2002, 83));
+        assert_eq!(entry.year(), 2002);
+        assert!(entry.affects(OsDistribution::OpenBsd));
+        assert!(entry.affects(OsDistribution::FreeBsd));
+        assert!(entry.affects_release(OsDistribution::OpenBsd, "3.1"));
+        assert!(!entry.affects_release(OsDistribution::OpenBsd, "3.5"));
+        let cvss = entry.cvss().unwrap();
+        assert_eq!(cvss.base_score(), 10.0);
+        assert!(entry.summary().contains("OpenSSH"));
+    }
+
+    #[test]
+    fn lenient_reader_skips_bad_entries() {
+        let xml = r#"<nvd>
+            <entry id="NOT-A-CVE"><vuln:summary>broken</vuln:summary></entry>
+            <entry id="CVE-2005-0001"><vuln:summary>fine</vuln:summary></entry>
+        </nvd>"#;
+        let mut reader = FeedReader::new();
+        let entries = reader.read_from_str(xml).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(reader.skipped(), 1);
+    }
+
+    #[test]
+    fn strict_reader_rejects_bad_entries() {
+        let xml = r#"<nvd><entry id="NOT-A-CVE"/></nvd>"#;
+        let mut reader = FeedReader::new().strict();
+        assert!(reader.read_from_str(xml).is_err());
+    }
+
+    #[test]
+    fn malformed_xml_is_always_an_error() {
+        let mut reader = FeedReader::new();
+        assert!(reader.read_from_str("<nvd><entry id=CVE-2005-1").is_err());
+    }
+
+    #[test]
+    fn empty_feed_produces_no_entries() {
+        let mut reader = FeedReader::new();
+        let (entries, metadata) = reader.read_with_metadata("<nvd/>").unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(metadata.entry_count, 0);
+    }
+
+    #[test]
+    fn read_from_path_reports_missing_file() {
+        let mut reader = FeedReader::new();
+        let err = reader
+            .read_from_path("/nonexistent/feed.xml")
+            .unwrap_err();
+        assert!(matches!(err, FeedError::Io(_)));
+    }
+
+    #[test]
+    fn metric_code_translation() {
+        assert_eq!(metric_code("NETWORK"), "N");
+        assert_eq!(metric_code("ADJACENT_NETWORK"), "A");
+        assert_eq!(metric_code("SINGLE_INSTANCE"), "S");
+        assert_eq!(metric_code("PARTIAL"), "P");
+        assert_eq!(metric_code("N"), "N");
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type shared by the parsers in this crate.
+
+use std::fmt;
+
+/// Error produced when parsing or validating any of the model types.
+///
+/// Every parser in this crate ([`crate::CveId`], [`crate::Cpe`],
+/// [`crate::CvssV2`], [`crate::Date`], [`crate::OsDistribution`]) reports
+/// failures through this type so that callers can bubble them up with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A CVE identifier did not have the `CVE-YEAR-NUMBER` shape.
+    ParseCveId {
+        /// The offending input.
+        input: String,
+        /// Human readable description of what was wrong.
+        reason: &'static str,
+    },
+    /// A CPE URI could not be parsed.
+    ParseCpe {
+        /// The offending input.
+        input: String,
+        /// Human readable description of what was wrong.
+        reason: &'static str,
+    },
+    /// A CVSS v2 vector could not be parsed.
+    ParseCvss {
+        /// The offending input.
+        input: String,
+        /// Human readable description of what was wrong.
+        reason: &'static str,
+    },
+    /// A date string could not be parsed or was out of range.
+    ParseDate {
+        /// The offending input.
+        input: String,
+        /// Human readable description of what was wrong.
+        reason: &'static str,
+    },
+    /// An operating-system name was not one of the distributions studied
+    /// in the paper.
+    UnknownOs {
+        /// The offending input.
+        input: String,
+    },
+    /// A vulnerability entry failed validation when being built.
+    InvalidEntry {
+        /// Human readable description of what was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ParseCveId { input, reason } => {
+                write!(f, "invalid CVE identifier {input:?}: {reason}")
+            }
+            ModelError::ParseCpe { input, reason } => {
+                write!(f, "invalid CPE URI {input:?}: {reason}")
+            }
+            ModelError::ParseCvss { input, reason } => {
+                write!(f, "invalid CVSS v2 vector {input:?}: {reason}")
+            }
+            ModelError::ParseDate { input, reason } => {
+                write!(f, "invalid date {input:?}: {reason}")
+            }
+            ModelError::UnknownOs { input } => {
+                write!(f, "unknown operating system {input:?}")
+            }
+            ModelError::InvalidEntry { reason } => {
+                write!(f, "invalid vulnerability entry: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_input() {
+        let err = ModelError::ParseCveId {
+            input: "CVE-XYZ".to_string(),
+            reason: "missing year",
+        };
+        let text = err.to_string();
+        assert!(text.contains("CVE-XYZ"));
+        assert!(text.contains("missing year"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let err = ModelError::InvalidEntry { reason: "empty" };
+        assert!(!format!("{err:?}").is_empty());
+    }
+}

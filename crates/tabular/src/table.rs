@@ -1,0 +1,203 @@
+//! Column-aligned text tables with CSV export.
+
+use std::fmt;
+
+/// A simple text table: a header row plus data rows, rendered with columns
+/// padded to their widest cell.
+///
+/// # Example
+///
+/// ```
+/// use tabular::TextTable;
+///
+/// let mut t = TextTable::new(["pair", "v(AB)"]);
+/// t.push_row(["OpenBSD-NetBSD", "40"]);
+/// assert_eq!(t.row_count(), 1);
+/// assert!(t.to_csv().starts_with("pair,v(AB)"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.header.len()
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are truncated to the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// The cell at `(row, column)`, if present.
+    pub fn cell(&self, row: usize, column: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(column)).map(String::as_str)
+    }
+
+    /// Renders the table as aligned text (header, separator line, rows).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header first). Cells containing commas,
+    /// quotes or newlines are quoted.
+    pub fn to_csv(&self) -> String {
+        fn csv_cell(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_padded_and_truncated_to_header_width() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.push_row(["1"]);
+        t.push_row(["1", "2", "3", "4"]);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(0, 1), Some(""));
+        assert_eq!(t.cell(1, 2), Some("3"));
+        assert_eq!(t.cell(1, 3), None);
+        assert_eq!(t.column_count(), 3);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(["OS", "Valid"]);
+        t.push_row(["OpenBSD", "142"]);
+        t.push_row(["Windows 2000", "481"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The "Valid" column starts at the same offset in every data line.
+        let offset = lines[2].find("142").unwrap();
+        assert_eq!(lines[3].find("481").unwrap(), offset);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new(["x"]);
+        t.push_row(["y"]);
+        assert_eq!(format!("{t}"), t.render());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = TextTable::new(["name", "note"]);
+        t.push_row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("name,note\n"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn render_has_one_line_per_row_plus_two(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec("[a-z0-9]{0,8}", 3), 0..20)
+            ) {
+                let mut t = TextTable::new(["c1", "c2", "c3"]);
+                for row in &rows {
+                    t.push_row(row.clone());
+                }
+                prop_assert_eq!(t.render().lines().count(), rows.len() + 2);
+                prop_assert_eq!(t.to_csv().lines().count(), rows.len() + 1);
+            }
+        }
+    }
+}

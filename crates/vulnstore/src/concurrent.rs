@@ -1,0 +1,138 @@
+//! A thread-safe, clone-able handle over a [`VulnStore`].
+//!
+//! The Monte-Carlo simulator in `bft-sim` evaluates thousands of attack
+//! scenarios in parallel; every scenario only *reads* the vulnerability
+//! database. [`SharedStore`] wraps the store in an `Arc<RwLock<..>>`
+//! (parking_lot's lock, which is cheap for read-mostly workloads) so the
+//! same data can be shared across worker threads without copying it.
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::VulnStore;
+
+/// A cheaply clone-able, thread-safe handle to a [`VulnStore`].
+///
+/// # Example
+///
+/// ```
+/// use vulnstore::{SharedStore, VulnStore};
+/// use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let shared = SharedStore::new(VulnStore::new());
+/// let writer = shared.clone();
+/// let entry = VulnerabilityEntry::builder(CveId::new(2009, 1))
+///     .affects_os(OsDistribution::Debian)
+///     .build()?;
+/// writer.write().insert_entry(&entry);
+/// assert_eq!(shared.read().vulnerability_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<VulnStore>>,
+}
+
+impl SharedStore {
+    /// Wraps a store in a shared handle.
+    pub fn new(store: VulnStore) -> Self {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Acquires a read lock on the store.
+    pub fn read(&self) -> RwLockReadGuard<'_, VulnStore> {
+        self.inner.read()
+    }
+
+    /// Acquires a write lock on the store.
+    pub fn write(&self) -> RwLockWriteGuard<'_, VulnStore> {
+        self.inner.write()
+    }
+
+    /// Number of live handles to the same store (useful in tests and
+    /// diagnostics).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Extracts the store if this is the last handle, otherwise returns the
+    /// handle back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other handles still exist.
+    pub fn try_unwrap(self) -> Result<VulnStore, SharedStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(inner) => Err(SharedStore { inner }),
+        }
+    }
+}
+
+impl From<VulnStore> for SharedStore {
+    fn from(store: VulnStore) -> Self {
+        SharedStore::new(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
+
+    fn sample_entry(number: u32) -> VulnerabilityEntry {
+        VulnerabilityEntry::builder(CveId::new(2009, number))
+            .affects_os(OsDistribution::FreeBsd)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reads_and_writes_are_visible_across_handles() {
+        let shared = SharedStore::new(VulnStore::new());
+        let other = shared.clone();
+        other.write().insert_entry(&sample_entry(1));
+        assert_eq!(shared.read().vulnerability_count(), 1);
+        assert_eq!(shared.handle_count(), 2);
+    }
+
+    #[test]
+    fn parallel_readers_see_a_consistent_store() {
+        let shared = SharedStore::new(VulnStore::new());
+        {
+            let mut store = shared.write();
+            for i in 1..=50 {
+                store.insert_entry(&sample_entry(i));
+            }
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reader = shared.clone();
+                std::thread::spawn(move || reader.read().vulnerability_count())
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), 50);
+        }
+    }
+
+    #[test]
+    fn try_unwrap_only_succeeds_for_last_handle() {
+        let shared = SharedStore::new(VulnStore::new());
+        let clone = shared.clone();
+        let still_shared = shared.try_unwrap().unwrap_err();
+        drop(clone);
+        assert!(still_shared.try_unwrap().is_ok());
+    }
+
+    #[test]
+    fn from_store_conversion() {
+        let shared: SharedStore = VulnStore::new().into();
+        assert_eq!(shared.read().vulnerability_count(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for store operations.
+
+use std::fmt;
+
+use nvd_model::CveId;
+
+/// Error produced by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An entry with the same CVE identifier is already stored.
+    DuplicateVulnerability {
+        /// The identifier that was inserted twice.
+        id: CveId,
+    },
+    /// A row referenced by id does not exist.
+    NotFound {
+        /// Description of what was being looked up.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateVulnerability { id } => {
+                write!(f, "vulnerability {id} is already stored")
+            }
+            StoreError::NotFound { what } => write!(f, "{what} not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_id() {
+        let err = StoreError::DuplicateVulnerability {
+            id: CveId::new(2008, 1447),
+        };
+        assert!(err.to_string().contains("CVE-2008-1447"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<StoreError>();
+    }
+}

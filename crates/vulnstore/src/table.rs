@@ -1,0 +1,245 @@
+//! A small generic table with dense primary keys and secondary indexes.
+//!
+//! The store only needs a fraction of what a real SQL engine provides:
+//! append-only inserts, primary-key lookup, full scans and equality lookups
+//! through secondary indexes. [`Table`] provides exactly that, generically
+//! over the row type, so each of the Figure 1 tables reuses the same
+//! machinery.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An append-only table of rows with dense `usize` row ids and any number of
+/// hash-based secondary indexes.
+///
+/// # Example
+///
+/// ```
+/// use vulnstore::Table;
+///
+/// let mut table: Table<&'static str> = Table::new("names");
+/// let alice = table.insert("alice");
+/// let bob = table.insert("bob");
+/// assert_eq!(table.get(alice), Some(&"alice"));
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.scan().filter(|(_, row)| row.starts_with('b')).count(), 1);
+/// # let _ = bob;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table<R> {
+    name: &'static str,
+    rows: Vec<R>,
+}
+
+impl<R> Table<R> {
+    /// Creates an empty table with a name (used only for diagnostics).
+    pub fn new(name: &'static str) -> Self {
+        Table {
+            name,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row and returns its dense row id.
+    pub fn insert(&mut self, row: R) -> usize {
+        self.rows.push(row);
+        self.rows.len() - 1
+    }
+
+    /// Looks a row up by its dense id.
+    pub fn get(&self, id: usize) -> Option<&R> {
+        self.rows.get(id)
+    }
+
+    /// Mutable lookup by dense id.
+    pub fn get_mut(&mut self, id: usize) -> Option<&mut R> {
+        self.rows.get_mut(id)
+    }
+
+    /// Iterates over `(row_id, row)` pairs.
+    pub fn scan(&self) -> impl Iterator<Item = (usize, &R)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, R> {
+        self.rows.iter()
+    }
+
+    /// Builds a hash index over the rows using the given key extractor.
+    ///
+    /// The index maps each key to the list of row ids with that key, in
+    /// insertion order. It is a snapshot: rows inserted after the index was
+    /// built are not reflected.
+    pub fn build_index<K, F>(&self, key_fn: F) -> SecondaryIndex<K>
+    where
+        K: Eq + Hash,
+        F: Fn(&R) -> K,
+    {
+        let mut map: HashMap<K, Vec<usize>> = HashMap::new();
+        for (id, row) in self.scan() {
+            map.entry(key_fn(row)).or_default().push(id);
+        }
+        SecondaryIndex { map }
+    }
+}
+
+impl<R> Default for Table<R> {
+    fn default() -> Self {
+        Table::new("unnamed")
+    }
+}
+
+impl<'a, R> IntoIterator for &'a Table<R> {
+    type Item = &'a R;
+    type IntoIter = std::slice::Iter<'a, R>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl<R> FromIterator<R> for Table<R> {
+    fn from_iter<T: IntoIterator<Item = R>>(iter: T) -> Self {
+        let mut table = Table::default();
+        for row in iter {
+            table.insert(row);
+        }
+        table
+    }
+}
+
+impl<R> Extend<R> for Table<R> {
+    fn extend<T: IntoIterator<Item = R>>(&mut self, iter: T) {
+        for row in iter {
+            self.insert(row);
+        }
+    }
+}
+
+/// A snapshot equality index built by [`Table::build_index`].
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex<K> {
+    map: HashMap<K, Vec<usize>>,
+}
+
+impl<K: Eq + Hash> SecondaryIndex<K> {
+    /// Row ids whose key equals `key`, in insertion order.
+    pub fn lookup(&self, key: &K) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(key, row_ids)` groups (the relational `GROUP BY`).
+    pub fn groups(&self) -> impl Iterator<Item = (&K, &[usize])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_scan() {
+        let mut table: Table<u32> = Table::new("numbers");
+        assert!(table.is_empty());
+        let id0 = table.insert(10);
+        let id1 = table.insert(20);
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(id1), Some(&20));
+        assert_eq!(table.get(99), None);
+        let sum: u32 = table.iter().sum();
+        assert_eq!(sum, 30);
+        assert_eq!(table.name(), "numbers");
+    }
+
+    #[test]
+    fn get_mut_updates_rows() {
+        let mut table: Table<String> = Table::new("strings");
+        let id = table.insert("old".to_string());
+        *table.get_mut(id).unwrap() = "new".to_string();
+        assert_eq!(table.get(id).map(String::as_str), Some("new"));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut table: Table<u32> = (0..5).collect();
+        assert_eq!(table.len(), 5);
+        table.extend(5..8);
+        assert_eq!(table.len(), 8);
+        let via_ref: Vec<u32> = (&table).into_iter().copied().collect();
+        assert_eq!(via_ref, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn secondary_index_groups_rows() {
+        let table: Table<(&'static str, u32)> = [
+            ("kernel", 1),
+            ("driver", 2),
+            ("kernel", 3),
+            ("app", 4),
+            ("kernel", 5),
+        ]
+        .into_iter()
+        .collect();
+        let index = table.build_index(|row| row.0);
+        assert_eq!(index.distinct_keys(), 3);
+        assert_eq!(index.lookup(&"kernel"), &[0, 2, 4]);
+        assert_eq!(index.lookup(&"driver"), &[1]);
+        assert_eq!(index.lookup(&"missing"), &[] as &[usize]);
+        let total_rows: usize = index.groups().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(total_rows, table.len());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn every_row_is_reachable_by_its_id(rows in proptest::collection::vec(0u32..1000, 0..100)) {
+                let mut table: Table<u32> = Table::new("prop");
+                let ids: Vec<usize> = rows.iter().map(|&r| table.insert(r)).collect();
+                for (id, expected) in ids.iter().zip(&rows) {
+                    prop_assert_eq!(table.get(*id), Some(expected));
+                }
+                prop_assert_eq!(table.len(), rows.len());
+            }
+
+            #[test]
+            fn index_partitions_the_table(rows in proptest::collection::vec(0u32..10, 0..200)) {
+                let table: Table<u32> = rows.iter().copied().collect();
+                let index = table.build_index(|row| *row % 3);
+                let total: usize = index.groups().map(|(_, ids)| ids.len()).sum();
+                prop_assert_eq!(total, table.len());
+                for (key, ids) in index.groups() {
+                    for id in ids {
+                        prop_assert_eq!(table.get(*id).unwrap() % 3, *key);
+                    }
+                }
+            }
+        }
+    }
+}

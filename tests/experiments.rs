@@ -1,0 +1,262 @@
+//! Integration tests checking that every experiment (E1–E11 in DESIGN.md)
+//! reproduces the paper's published numbers within the documented
+//! calibration slack. EXPERIMENTS.md records the same comparisons in prose.
+
+use datagen::calibration::{self, table1_row, table3_row, table5_cell};
+use datagen::CalibratedGenerator;
+use nvd_model::{OsDistribution, OsFamily, OsPart};
+use osdiv_core::{
+    report, ClassDistribution, KWayAnalysis, PairwiseAnalysis, Period, ReleaseAnalysis,
+    ReplicaSelection, ServerProfile, SplitMatrix, StudyDataset, TemporalAnalysis,
+    ValidityDistribution,
+};
+
+/// Shared slack: the three named multi-OS vulnerabilities of Section IV-B
+/// cannot be made exactly consistent with every published marginal (see
+/// DESIGN.md §5), so a small deviation is accepted on the pairs they touch.
+const SLACK: usize = 3;
+
+fn study() -> StudyDataset {
+    let dataset = CalibratedGenerator::new(2011).generate();
+    StudyDataset::from_entries(dataset.entries())
+}
+
+#[test]
+fn e1_table1_validity_distribution_matches_the_paper() {
+    let study = study();
+    let table1 = ValidityDistribution::compute(&study);
+    for os in OsDistribution::ALL {
+        let expected = table1_row(os);
+        let [valid, unknown, unspecified, disputed] = table1.for_os(os);
+        assert_eq!(valid, expected.valid as usize, "{os} valid");
+        assert_eq!(unknown, expected.unknown as usize, "{os} unknown");
+        assert_eq!(unspecified, expected.unspecified as usize, "{os} unspecified");
+        assert_eq!(disputed, expected.disputed as usize, "{os} disputed");
+    }
+}
+
+#[test]
+fn e2_table2_class_shares_match_the_paper_shape() {
+    let study = study();
+    let table2 = ClassDistribution::compute(&study);
+    let [driver, kernel, syssoft, app] = table2.class_percentages();
+    // Paper: 1.4% / 35.5% / 23.2% / 39.9%.
+    assert!(driver < 4.0, "driver {driver:.1}%");
+    assert!((kernel - 35.5).abs() < 10.0, "kernel {kernel:.1}%");
+    assert!((syssoft - 23.2).abs() < 10.0, "system software {syssoft:.1}%");
+    assert!((app - 39.9).abs() < 10.0, "application {app:.1}%");
+}
+
+#[test]
+fn e3_figure2_temporal_shape_matches_the_paper() {
+    let study = study();
+    let temporal = TemporalAnalysis::compute(&study);
+    // Recent OSes only receive reports after their first release.
+    assert_eq!(temporal.count(OsDistribution::Windows2008, 2005), 0);
+    assert_eq!(temporal.count(OsDistribution::OpenSolaris, 2006), 0);
+    assert!(temporal.count(OsDistribution::Ubuntu, 2000) == 0);
+    // The BSD and Linux families report fewer vulnerabilities in the last
+    // five years than before (the paper's second observation on Figure 2).
+    for os in [OsDistribution::OpenBsd, OsDistribution::Debian] {
+        let early: u64 = (1996..=2005).map(|y| temporal.count(os, y)).sum();
+        let late: u64 = (2006..=2010).map(|y| temporal.count(os, y)).sum();
+        assert!(late < early, "{os}: early {early}, late {late}");
+    }
+    // Windows family members have correlated peaks and valleys.
+    let corr = temporal
+        .correlation(OsDistribution::Windows2000, OsDistribution::Windows2003)
+        .unwrap();
+    assert!(corr > 0.2, "Windows 2000/2003 correlation {corr}");
+}
+
+#[test]
+fn e4_table3_pairwise_counts_match_the_paper() {
+    let study = study();
+    let analysis = PairwiseAnalysis::compute(&study);
+    let mut exact_pairs = 0;
+    for row in analysis.rows() {
+        let expected = table3_row(row.a, row.b).unwrap();
+        let expected_triple = (
+            expected.all as usize,
+            expected.no_app as usize,
+            expected.no_app_no_local as usize,
+        );
+        assert!(
+            row.v_ab.0 >= expected_triple.0 && row.v_ab.0 <= expected_triple.0 + SLACK,
+            "{}-{} all: {} vs {}",
+            row.a,
+            row.b,
+            row.v_ab.0,
+            expected_triple.0
+        );
+        assert!(
+            row.v_ab.2 >= expected_triple.2 && row.v_ab.2 <= expected_triple.2 + SLACK,
+            "{}-{} isolated: {} vs {}",
+            row.a,
+            row.b,
+            row.v_ab.2,
+            expected_triple.2
+        );
+        if (row.v_ab.0, row.v_ab.1, row.v_ab.2) == expected_triple {
+            exact_pairs += 1;
+        }
+    }
+    assert!(exact_pairs >= 40, "only {exact_pairs} of 55 pairs are exact");
+    // Per-OS totals (the v(A) columns) are exact.
+    for os in OsDistribution::ALL {
+        let (all, no_app, its) = calibration::os_totals(os);
+        assert_eq!(
+            study.count_for_os(os, ServerProfile::FatServer),
+            all as usize,
+            "{os} all"
+        );
+        let measured_no_app = study.count_for_os(os, ServerProfile::ThinServer);
+        let measured_its = study.count_for_os(os, ServerProfile::IsolatedThinServer);
+        assert!(measured_no_app.abs_diff(no_app as usize) <= 12, "{os} no-app");
+        assert!(measured_its.abs_diff(its as usize) <= 12, "{os} isolated");
+    }
+}
+
+#[test]
+fn e5_table4_part_breakdown_matches_the_paper() {
+    let study = study();
+    let analysis = PairwiseAnalysis::compute(&study);
+    for expected in &calibration::TABLE4 {
+        let row = analysis
+            .part_breakdown()
+            .iter()
+            .find(|r| {
+                (r.a == expected.a && r.b == expected.b) || (r.a == expected.b && r.b == expected.a)
+            })
+            .unwrap_or_else(|| panic!("missing breakdown row {}-{}", expected.a, expected.b));
+        assert!(
+            row.kernel.abs_diff(expected.kernel as usize) <= SLACK,
+            "{}-{} kernel {} vs {}",
+            expected.a,
+            expected.b,
+            row.kernel,
+            expected.kernel
+        );
+        assert!(
+            row.system_software.abs_diff(expected.system_software as usize) <= SLACK,
+            "{}-{} syssoft",
+            expected.a,
+            expected.b
+        );
+        assert!(row.driver.abs_diff(expected.driver as usize) <= SLACK);
+    }
+}
+
+#[test]
+fn e6_kway_combinations_match_the_papers_named_findings() {
+    let study = study();
+    let analysis = KWayAnalysis::compute(&study, ServerProfile::FatServer, 9);
+    // "There are only two vulnerabilities shared by six OSes … and one
+    // vulnerability that appears in nine OSes."
+    assert_eq!(analysis.row(9).unwrap().vulnerabilities_at_least_k, 1);
+    assert_eq!(analysis.row(6).unwrap().vulnerabilities_at_least_k, 3);
+    assert_eq!(
+        analysis.row(6).unwrap().vulnerabilities_at_least_k
+            - analysis.row(7).unwrap().vulnerabilities_at_least_k,
+        2,
+        "exactly two vulnerabilities affect exactly six OSes"
+    );
+}
+
+#[test]
+fn e7_table5_history_observed_split_matches_the_paper() {
+    let study = study();
+    let matrix = SplitMatrix::compute(&study);
+    for cell in &calibration::TABLE5 {
+        let history = matrix.count(cell.a, cell.b, Period::History).unwrap();
+        let observed = matrix.count(cell.a, cell.b, Period::Observed).unwrap();
+        assert!(
+            history.abs_diff(cell.history as usize) <= SLACK,
+            "{}-{} history {} vs {}",
+            cell.a,
+            cell.b,
+            history,
+            cell.history
+        );
+        assert!(
+            observed.abs_diff(cell.observed as usize) <= SLACK,
+            "{}-{} observed {} vs {}",
+            cell.a,
+            cell.b,
+            observed,
+            cell.observed
+        );
+    }
+    // Spot check the pair the paper highlights (Windows 2000 / 2003).
+    assert!(table5_cell(OsDistribution::Windows2000, OsDistribution::Windows2003).is_some());
+}
+
+#[test]
+fn e8_figure3_diverse_sets_beat_the_homogeneous_baseline() {
+    let study = study();
+    let selection = ReplicaSelection::new(&study);
+    let outcomes = selection.figure3();
+    let rendered = report::figure3(&outcomes).render();
+    assert!(rendered.contains("Set1"));
+    let baseline = &outcomes[0];
+    // The paper's baseline: Debian with 16 history / 9 observed.
+    assert!(baseline.history.abs_diff(16) <= SLACK, "baseline history {}", baseline.history);
+    assert!(baseline.observed.abs_diff(9) <= SLACK, "baseline observed {}", baseline.observed);
+    // At least three of the four diverse sets beat the baseline in the
+    // observed period, and the best does so by a factor of at least two.
+    let better = outcomes[1..]
+        .iter()
+        .filter(|o| o.observed < baseline.observed)
+        .count();
+    assert!(better >= 3);
+    let best = outcomes[1..].iter().map(|o| o.observed).min().unwrap();
+    assert!(best * 2 < baseline.observed);
+}
+
+#[test]
+fn e9_table6_release_level_diversity_matches_the_paper() {
+    let study = study();
+    let analysis = ReleaseAnalysis::compute(&study);
+    assert_eq!(analysis.rows().len(), 15);
+    assert_eq!(analysis.disjoint_pairs(), 11);
+    let non_zero: usize = analysis.rows().iter().filter(|r| r.common > 0).count();
+    assert_eq!(non_zero, 4);
+    for row in analysis.rows() {
+        assert!(row.common <= 1, "{}-{} has {}", row.a.label(), row.b.label(), row.common);
+    }
+}
+
+#[test]
+fn e11_summary_findings_match_section_4e() {
+    let study = study();
+    let analysis = PairwiseAnalysis::compute(&study);
+    let summary = analysis.summary();
+    // Finding 1: ~56% average reduction.
+    assert!(
+        (0.40..=0.75).contains(&summary.average_reduction),
+        "average reduction {:.2}",
+        summary.average_reduction
+    );
+    // Finding 2: more than half the pairs have at most one common
+    // vulnerability.
+    assert!(summary.pairs_with_at_most_one_common * 2 > summary.pair_count);
+    // Finding 6: drivers account for a very small share of the
+    // vulnerabilities.
+    let driver_share = ClassDistribution::compute(&study).class_percentages()[OsPart::ALL
+        .iter()
+        .position(|p| *p == OsPart::Driver)
+        .unwrap()];
+    assert!(driver_share < 4.0, "driver share {driver_share:.1}%");
+}
+
+#[test]
+fn full_report_renders_every_family_and_table() {
+    let study = study();
+    let rendered = report::full_report(&study);
+    for family in OsFamily::ALL {
+        assert!(rendered.contains(&format!("Figure 2 ({family} family)")));
+    }
+    for table in ["Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI"] {
+        assert!(rendered.contains(table), "missing {table}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests spanning the analysis core and the intrusion-tolerance
+//! simulator: the simulator's survival ordering must be consistent with the
+//! diversity metrics computed by `osdiv-core`.
+
+use bft_sim::{AttackerModel, QuorumModel, ReplicaSet, SimulationConfig, Simulator};
+use datagen::CalibratedGenerator;
+use nvd_model::{OsDistribution, OsSet};
+use osdiv_core::{figure3_configurations, Period, ReplicaSelection, StudyDataset};
+
+fn study() -> StudyDataset {
+    let dataset = CalibratedGenerator::new(31).generate();
+    StudyDataset::from_entries(dataset.entries())
+}
+
+#[test]
+fn survival_ordering_matches_the_diversity_analysis() {
+    let study = study();
+    let selection = ReplicaSelection::new(&study);
+    let simulator = Simulator::new(
+        &study,
+        SimulationConfig::default().with_trials(150).with_seed(4),
+    );
+
+    // Rank the Figure 3 configurations by their observed-period shared
+    // vulnerabilities and by simulated failure probability: the most diverse
+    // configuration must not be the most fragile one in the simulation.
+    let mut analytic: Vec<(String, usize)> = Vec::new();
+    let mut simulated: Vec<(String, f64)> = Vec::new();
+    for (label, oses) in figure3_configurations() {
+        analytic.push((label.to_string(), selection.score(oses, Period::Observed)));
+        let report = simulator.run(&ReplicaSet::diverse(oses));
+        simulated.push((label.to_string(), report.failure_probability()));
+    }
+    let best_analytic = analytic
+        .iter()
+        .min_by_key(|(_, score)| *score)
+        .unwrap()
+        .0
+        .clone();
+    let worst_simulated = simulated
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0
+        .clone();
+    assert_ne!(
+        best_analytic, worst_simulated,
+        "the analytically most diverse set must not be the most fragile in simulation"
+    );
+}
+
+#[test]
+fn homogeneous_systems_fail_more_often_than_the_paper_sets() {
+    let study = study();
+    let simulator = Simulator::new(
+        &study,
+        SimulationConfig::default().with_trials(200).with_seed(9),
+    );
+    let homogeneous = simulator.run(&ReplicaSet::homogeneous(OsDistribution::Windows2000, 4));
+    for (label, oses) in figure3_configurations() {
+        let diverse = simulator.run(&ReplicaSet::diverse(oses));
+        assert!(
+            diverse.failure_probability() <= homogeneous.failure_probability(),
+            "{label}: diverse {} vs homogeneous {}",
+            diverse.failure_probability(),
+            homogeneous.failure_probability()
+        );
+    }
+}
+
+#[test]
+fn stronger_attackers_and_weaker_quorums_never_help() {
+    let study = study();
+    let set = ReplicaSet::diverse(OsSet::from_iter([
+        OsDistribution::Windows2003,
+        OsDistribution::Solaris,
+        OsDistribution::Debian,
+        OsDistribution::OpenBsd,
+    ]));
+    let weak = Simulator::new(
+        &study,
+        SimulationConfig::default()
+            .with_trials(120)
+            .with_seed(5)
+            .with_attacker(AttackerModel {
+                exploit_probability: 0.05,
+                exposure_days: 5.0,
+            }),
+    )
+    .run(&set);
+    let strong = Simulator::new(
+        &study,
+        SimulationConfig::default()
+            .with_trials(120)
+            .with_seed(5)
+            .with_attacker(AttackerModel {
+                exploit_probability: 0.6,
+                exposure_days: 60.0,
+            }),
+    )
+    .run(&set);
+    assert!(weak.failure_probability() <= strong.failure_probability());
+
+    // For a three-replica deployment, the 2f+1 model tolerates one intrusion
+    // while 3f+1 tolerates none, so it can only do better.
+    let three = ReplicaSet::diverse(OsSet::from_iter([
+        OsDistribution::OpenBsd,
+        OsDistribution::Solaris,
+        OsDistribution::Windows2003,
+    ]));
+    let strict = Simulator::new(
+        &study,
+        SimulationConfig::default().with_trials(120).with_seed(6),
+    )
+    .run(&three);
+    let relaxed = Simulator::new(
+        &study,
+        SimulationConfig::default()
+            .with_trials(120)
+            .with_seed(6)
+            .with_quorum(QuorumModel::TwoFPlusOne),
+    )
+    .run(&three);
+    assert!(relaxed.failure_probability() <= strict.failure_probability());
+}
+
+#[test]
+fn selection_recommendation_survives_well_in_simulation() {
+    let study = study();
+    let selection = ReplicaSelection::new(&study);
+    let (best_group, _) = selection.best_groups(4, 1)[0];
+    let simulator = Simulator::new(
+        &study,
+        SimulationConfig::default().with_trials(200).with_seed(12),
+    );
+    let recommended = simulator.run(&ReplicaSet::diverse(best_group));
+    let homogeneous = simulator.run(&ReplicaSet::homogeneous(OsDistribution::Debian, 4));
+    assert!(
+        recommended.failure_probability() < homogeneous.failure_probability(),
+        "recommended {} vs homogeneous {}",
+        recommended.failure_probability(),
+        homogeneous.failure_probability()
+    );
+}
