@@ -9,7 +9,9 @@ fn main() {
     let study = calibrated_study();
     let temporal = TemporalAnalysis::compute(&study);
     for family in OsFamily::ALL {
-        print_header(&format!("Figure 2: {family} family (vulnerabilities per year)"));
+        print_header(&format!(
+            "Figure 2: {family} family (vulnerabilities per year)"
+        ));
         print!("{}", report::figure2(&temporal, family).to_csv());
         println!();
     }

@@ -199,6 +199,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "inverted year range")]
     fn inverted_years_are_rejected() {
-        SimulationConfig::default().with_years(2010, 2006).validate();
+        SimulationConfig::default()
+            .with_years(2010, 2006)
+            .validate();
     }
 }

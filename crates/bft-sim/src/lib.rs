@@ -36,7 +36,7 @@
 //!     OsDistribution::OpenBsd,
 //! ]);
 //!
-//! let config = SimulationConfig::default().with_trials(50).with_seed(7);
+//! let config = SimulationConfig::default().with_trials(500).with_seed(5);
 //! let simulator = Simulator::new(&study, config);
 //! let homo = simulator.run(&homogeneous);
 //! let div = simulator.run(&diverse);

@@ -106,11 +106,7 @@ impl ReplicaSet {
     pub fn label(&self) -> String {
         let distinct = self.distinct_oses();
         if distinct.len() == 1 {
-            format!(
-                "{} x{}",
-                self.replicas[0].short_name(),
-                self.replicas.len()
-            )
+            format!("{} x{}", self.replicas[0].short_name(), self.replicas.len())
         } else {
             distinct.to_string()
         }
@@ -181,7 +177,10 @@ mod tests {
         ]);
         let affected = OsSet::pair(OsDistribution::Debian, OsDistribution::RedHat);
         assert_eq!(set.replicas_affected_by(affected), 3);
-        assert_eq!(set.replicas_affected_by(OsSet::singleton(OsDistribution::Solaris)), 0);
+        assert_eq!(
+            set.replicas_affected_by(OsSet::singleton(OsDistribution::Solaris)),
+            0
+        );
     }
 
     #[test]

@@ -78,18 +78,17 @@ impl<'a> Simulator<'a> {
             }
         } else {
             let chunk = trials.div_ceil(threads);
-            let results = crossbeam::thread::scope(|scope| {
+            let results = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for worker in 0..threads {
                     let start = worker * chunk;
                     let end = (start + chunk).min(trials);
                     let threats = &threats;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut local_failures = Vec::new();
                         let mut local_peak = 0.0f64;
                         for trial in start..end {
-                            let (failure, peak) =
-                                self.run_trial(trial, threats, faults_tolerated);
+                            let (failure, peak) = self.run_trial(trial, threats, faults_tolerated);
                             if let Some(day) = failure {
                                 local_failures.push((trial, day));
                             }
@@ -102,15 +101,14 @@ impl<'a> Simulator<'a> {
                     .into_iter()
                     .map(|handle| handle.join().expect("simulation worker panicked"))
                     .collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope never fails to join");
+            });
             for (local_failures, local_peak) in results {
                 failures.extend(local_failures);
                 peak_sum += local_peak;
             }
         }
         // Deterministic ordering regardless of the thread interleaving.
-        failures.sort_by(|a, b| a.0.cmp(&b.0));
+        failures.sort_by_key(|a| a.0);
         let times: Vec<f64> = failures.into_iter().map(|(_, day)| day).collect();
         let mean_peak = peak_sum / trials as f64;
         SurvivalReport::new(replicas, faults_tolerated, trials, times, mean_peak)

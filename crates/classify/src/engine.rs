@@ -138,7 +138,10 @@ impl Classifier {
         let part = priority
             .into_iter()
             .find(|p| {
-                let index = OsPart::ALL.iter().position(|q| q == p).expect("class index");
+                let index = OsPart::ALL
+                    .iter()
+                    .position(|q| q == p)
+                    .expect("class index");
                 scores[index] == best_score
             })
             .expect("some class attains the maximum score");
@@ -274,7 +277,10 @@ mod tests {
         let outcome = c.outcome_for(None, "buffer overflow in the kernel scheduler");
         assert!(!outcome.defaulted);
         assert!(!outcome.from_override);
-        let kernel_index = OsPart::ALL.iter().position(|p| *p == OsPart::Kernel).unwrap();
+        let kernel_index = OsPart::ALL
+            .iter()
+            .position(|p| *p == OsPart::Kernel)
+            .unwrap();
         assert!(outcome.scores[kernel_index] >= 6);
     }
 

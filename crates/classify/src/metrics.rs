@@ -136,8 +136,7 @@ impl ClassificationReport {
         let mut sum = 0.0;
         let mut classes = 0u32;
         for part in OsPart::ALL {
-            let (Some(p), Some(r)) = (self.matrix.precision(part), self.matrix.recall(part))
-            else {
+            let (Some(p), Some(r)) = (self.matrix.precision(part), self.matrix.recall(part)) else {
                 continue;
             };
             classes += 1;

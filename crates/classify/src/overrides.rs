@@ -114,10 +114,7 @@ mod tests {
     fn paper_defaults_contains_the_named_cves() {
         let table = OverrideTable::paper_defaults();
         assert_eq!(table.len(), 3);
-        assert_eq!(
-            table.lookup(CveId::new(2008, 4609)),
-            Some(OsPart::Kernel)
-        );
+        assert_eq!(table.lookup(CveId::new(2008, 4609)), Some(OsPart::Kernel));
         assert_eq!(
             table.lookup(CveId::new(2008, 1447)),
             Some(OsPart::SystemSoftware)

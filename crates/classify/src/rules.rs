@@ -229,7 +229,10 @@ mod tests {
         let upper = set.scores("Buffer overflow in the KERNEL memory management");
         let lower = set.scores("buffer overflow in the kernel memory management");
         assert_eq!(upper, lower);
-        let kernel_index = OsPart::ALL.iter().position(|p| *p == OsPart::Kernel).unwrap();
+        let kernel_index = OsPart::ALL
+            .iter()
+            .position(|p| *p == OsPart::Kernel)
+            .unwrap();
         assert!(upper[kernel_index] > 0);
     }
 

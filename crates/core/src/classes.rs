@@ -201,7 +201,10 @@ mod tests {
         // Paper: 1.4% / 35.5% / 23.2% / 39.9%.
         assert!(driver < 5.0, "driver share {driver:.1}%");
         assert!((25.0..=50.0).contains(&kernel), "kernel share {kernel:.1}%");
-        assert!((15.0..=35.0).contains(&syssoft), "system software share {syssoft:.1}%");
+        assert!(
+            (15.0..=35.0).contains(&syssoft),
+            "system software share {syssoft:.1}%"
+        );
         assert!((30.0..=50.0).contains(&app), "application share {app:.1}%");
         let total: f64 = table2.class_percentages().iter().sum();
         assert!((total - 100.0).abs() < 1e-6);

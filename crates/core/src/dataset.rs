@@ -158,8 +158,7 @@ impl StudyDataset {
             ServerProfile::FatServer => true,
             ServerProfile::ThinServer => row.part.map(|p| p.is_base_system()).unwrap_or(true),
             ServerProfile::IsolatedThinServer => {
-                row.part.map(|p| p.is_base_system()).unwrap_or(true)
-                    && self.store.is_remote(row.id)
+                row.part.map(|p| p.is_base_system()).unwrap_or(true) && self.store.is_remote(row.id)
             }
         }
     }
@@ -269,7 +268,13 @@ mod tests {
         StudyDataset::from_entries(&[
             entry(1, 2000, Some(OsPart::Kernel), true, &[OpenBsd, NetBsd]),
             entry(2, 2004, Some(OsPart::Application), true, &[OpenBsd, NetBsd]),
-            entry(3, 2007, Some(OsPart::SystemSoftware), false, &[OpenBsd, NetBsd]),
+            entry(
+                3,
+                2007,
+                Some(OsPart::SystemSoftware),
+                false,
+                &[OpenBsd, NetBsd],
+            ),
             entry(4, 2008, Some(OsPart::Kernel), true, &[OpenBsd]),
             entry(5, 2009, Some(OsPart::Kernel), true, &[NetBsd]),
         ])
@@ -281,14 +286,23 @@ mod tests {
         let pair = OsSet::pair(OsDistribution::OpenBsd, OsDistribution::NetBsd);
         assert_eq!(study.count_common(pair, ServerProfile::FatServer), 3);
         assert_eq!(study.count_common(pair, ServerProfile::ThinServer), 2);
-        assert_eq!(study.count_common(pair, ServerProfile::IsolatedThinServer), 1);
+        assert_eq!(
+            study.count_common(pair, ServerProfile::IsolatedThinServer),
+            1
+        );
     }
 
     #[test]
     fn per_os_counts_match_table_iii_diagonal_semantics() {
         let study = sample_dataset();
-        assert_eq!(study.count_for_os(OsDistribution::OpenBsd, ServerProfile::FatServer), 4);
-        assert_eq!(study.count_for_os(OsDistribution::NetBsd, ServerProfile::FatServer), 4);
+        assert_eq!(
+            study.count_for_os(OsDistribution::OpenBsd, ServerProfile::FatServer),
+            4
+        );
+        assert_eq!(
+            study.count_for_os(OsDistribution::NetBsd, ServerProfile::FatServer),
+            4
+        );
         assert_eq!(
             study.count_for_os(OsDistribution::OpenBsd, ServerProfile::IsolatedThinServer),
             2
@@ -315,7 +329,13 @@ mod tests {
 
     #[test]
     fn invalid_entries_never_count() {
-        let mut invalid = entry(10, 2005, Some(OsPart::Kernel), true, &[OsDistribution::OpenBsd]);
+        let mut invalid = entry(
+            10,
+            2005,
+            Some(OsPart::Kernel),
+            true,
+            &[OsDistribution::OpenBsd],
+        );
         invalid.set_validity(Validity::Unspecified);
         let study = StudyDataset::from_entries(&[invalid]);
         assert_eq!(study.valid_count(), 0);
@@ -327,13 +347,8 @@ mod tests {
 
     #[test]
     fn unclassified_rows_are_treated_as_base_system() {
-        let study = StudyDataset::from_entries(&[entry(
-            11,
-            2005,
-            None,
-            true,
-            &[OsDistribution::Solaris],
-        )]);
+        let study =
+            StudyDataset::from_entries(&[entry(11, 2005, None, true, &[OsDistribution::Solaris])]);
         assert_eq!(
             study.count_for_os(OsDistribution::Solaris, ServerProfile::ThinServer),
             1
@@ -354,8 +369,10 @@ mod tests {
         let row = study.store().rows().next().unwrap();
         assert_eq!(row.part, Some(OsPart::Kernel));
         // A second pass has nothing left to classify.
-        let mut study = study;
-        assert_eq!(study.classify_unlabelled(&Classifier::with_default_rules()), 0);
+        assert_eq!(
+            study.classify_unlabelled(&Classifier::with_default_rules()),
+            0
+        );
     }
 
     #[test]

@@ -104,16 +104,21 @@ impl PairwiseAnalysis {
             for &(b, v_b) in totals.iter().skip(i + 1) {
                 let pair = OsSet::pair(a, b);
                 let v_ab = per_profile_totals(study, pair);
-                rows.push(PairRow { a, b, v_a, v_b, v_ab });
+                rows.push(PairRow {
+                    a,
+                    b,
+                    v_a,
+                    v_b,
+                    v_ab,
+                });
 
-                let common =
-                    study.common_vulnerabilities(pair, ServerProfile::IsolatedThinServer, Period::Whole);
-                let count_part = |part: OsPart| {
-                    common
-                        .iter()
-                        .filter(|row| row.part == Some(part))
-                        .count()
-                };
+                let common = study.common_vulnerabilities(
+                    pair,
+                    ServerProfile::IsolatedThinServer,
+                    Period::Whole,
+                );
+                let count_part =
+                    |part: OsPart| common.iter().filter(|row| row.part == Some(part)).count();
                 let row = PartBreakdownRow {
                     a,
                     b,
@@ -127,7 +132,7 @@ impl PairwiseAnalysis {
             }
         }
         // Table IV is sorted by descending total.
-        breakdown.sort_by(|x, y| y.total().cmp(&x.total()));
+        breakdown.sort_by_key(|row| std::cmp::Reverse(row.total()));
         PairwiseAnalysis { rows, breakdown }
     }
 
@@ -223,7 +228,10 @@ mod tests {
         for row in analysis.rows() {
             assert!(row.v_ab.0 >= row.v_ab.1);
             assert!(row.v_ab.1 >= row.v_ab.2);
-            assert!(row.v_a.0 >= row.v_ab.0, "common cannot exceed per-OS totals");
+            assert!(
+                row.v_a.0 >= row.v_ab.0,
+                "common cannot exceed per-OS totals"
+            );
             assert!(row.v_b.0 >= row.v_ab.0);
             assert_eq!(row.common(ServerProfile::FatServer), row.v_ab.0);
         }
@@ -237,15 +245,30 @@ mod tests {
         // generator can exceed them by at most the named-vulnerability
         // slack of 2).
         let cases = [
-            (OsDistribution::OpenBsd, OsDistribution::NetBsd, (40, 32, 16)),
+            (
+                OsDistribution::OpenBsd,
+                OsDistribution::NetBsd,
+                (40, 32, 16),
+            ),
             (OsDistribution::Debian, OsDistribution::RedHat, (61, 26, 11)),
-            (OsDistribution::Windows2000, OsDistribution::Windows2003, (253, 116, 81)),
+            (
+                OsDistribution::Windows2000,
+                OsDistribution::Windows2003,
+                (253, 116, 81),
+            ),
             (OsDistribution::NetBsd, OsDistribution::Ubuntu, (0, 0, 0)),
         ];
         for (a, b, (all, no_app, its)) in cases {
             let row = analysis.pair(a, b).unwrap();
-            assert!(row.v_ab.0 >= all && row.v_ab.0 <= all + 2, "{a}-{b} all {:?}", row.v_ab);
-            assert!(row.v_ab.1 >= no_app && row.v_ab.1 <= no_app + 2, "{a}-{b} noapp");
+            assert!(
+                row.v_ab.0 >= all && row.v_ab.0 <= all + 2,
+                "{a}-{b} all {:?}",
+                row.v_ab
+            );
+            assert!(
+                row.v_ab.1 >= no_app && row.v_ab.1 <= no_app + 2,
+                "{a}-{b} noapp"
+            );
             assert!(row.v_ab.2 >= its && row.v_ab.2 <= its + 2, "{a}-{b} its");
         }
     }
@@ -298,10 +321,16 @@ mod tests {
         let study = study_from_paper_calibration();
         let analysis = PairwiseAnalysis::compute_for(
             &study,
-            &[OsDistribution::Debian, OsDistribution::RedHat, OsDistribution::Ubuntu],
+            &[
+                OsDistribution::Debian,
+                OsDistribution::RedHat,
+                OsDistribution::Ubuntu,
+            ],
         );
         assert_eq!(analysis.rows().len(), 3);
-        assert!(analysis.pair(OsDistribution::Debian, OsDistribution::Windows2000).is_none());
+        assert!(analysis
+            .pair(OsDistribution::Debian, OsDistribution::Windows2000)
+            .is_none());
     }
 
     #[test]

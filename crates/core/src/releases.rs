@@ -107,15 +107,11 @@ fn affects_release_explicitly(
     id: vulnstore::VulnId,
     release: OsRelease,
 ) -> bool {
-    study
-        .store()
-        .os_vuln_rows_for(id)
-        .iter()
-        .any(|row| {
-            row.os == release.distribution()
-                && !row.versions.is_empty()
-                && row.versions.iter().any(|v| v == release.version())
-        })
+    study.store().os_vuln_rows_for(id).iter().any(|row| {
+        row.os == release.distribution()
+            && !row.versions.is_empty()
+            && row.versions.iter().any(|v| v == release.version())
+    })
 }
 
 #[cfg(test)]
@@ -144,12 +140,32 @@ mod tests {
         assert_eq!(analysis.rows().len(), 15);
         // The non-zero cells of Table VI.
         let expectations = [
-            (release(OsDistribution::Debian, "3.0"), release(OsDistribution::Debian, "4.0"), 1),
-            (release(OsDistribution::RedHat, "4.0"), release(OsDistribution::RedHat, "5.0"), 1),
-            (release(OsDistribution::Debian, "4.0"), release(OsDistribution::RedHat, "4.0"), 1),
-            (release(OsDistribution::Debian, "4.0"), release(OsDistribution::RedHat, "5.0"), 1),
+            (
+                release(OsDistribution::Debian, "3.0"),
+                release(OsDistribution::Debian, "4.0"),
+                1,
+            ),
+            (
+                release(OsDistribution::RedHat, "4.0"),
+                release(OsDistribution::RedHat, "5.0"),
+                1,
+            ),
+            (
+                release(OsDistribution::Debian, "4.0"),
+                release(OsDistribution::RedHat, "4.0"),
+                1,
+            ),
+            (
+                release(OsDistribution::Debian, "4.0"),
+                release(OsDistribution::RedHat, "5.0"),
+                1,
+            ),
             // A zero cell for contrast.
-            (release(OsDistribution::Debian, "2.1"), release(OsDistribution::RedHat, "6.2"), 0),
+            (
+                release(OsDistribution::Debian, "2.1"),
+                release(OsDistribution::RedHat, "6.2"),
+                0,
+            ),
         ];
         for (a, b, expected) in expectations {
             let row = analysis.pair(&a, &b).unwrap();

@@ -261,12 +261,36 @@ pub fn full_report(study: &StudyDataset) -> String {
     let section = |title: &str, body: String, out: &mut String| {
         out.push_str(&format!("== {title} ==\n{body}\n"));
     };
-    section("Table I: validity distribution", table1(&validity).render(), &mut out);
-    section("Table II: component classes", table2(&classes).render(), &mut out);
-    section("Table III: pairwise common vulnerabilities", table3(&pairwise).render(), &mut out);
-    section("Table IV: isolated thin server breakdown", table4(&pairwise).render(), &mut out);
-    section("Table V: history vs observed", table5(&matrix).render(), &mut out);
-    section("Table VI: OS releases", table6(&releases).render(), &mut out);
+    section(
+        "Table I: validity distribution",
+        table1(&validity).render(),
+        &mut out,
+    );
+    section(
+        "Table II: component classes",
+        table2(&classes).render(),
+        &mut out,
+    );
+    section(
+        "Table III: pairwise common vulnerabilities",
+        table3(&pairwise).render(),
+        &mut out,
+    );
+    section(
+        "Table IV: isolated thin server breakdown",
+        table4(&pairwise).render(),
+        &mut out,
+    );
+    section(
+        "Table V: history vs observed",
+        table5(&matrix).render(),
+        &mut out,
+    );
+    section(
+        "Table VI: OS releases",
+        table6(&releases).render(),
+        &mut out,
+    );
     for family in OsFamily::ALL {
         section(
             &format!("Figure 2 ({family} family)"),
@@ -274,8 +298,16 @@ pub fn full_report(study: &StudyDataset) -> String {
             &mut out,
         );
     }
-    section("Section IV-B: k-OS combinations", kway_table(&kway).render(), &mut out);
-    section("Section IV-E: summary", summary_table(study, &pairwise).render(), &mut out);
+    section(
+        "Section IV-B: k-OS combinations",
+        kway_table(&kway).render(),
+        &mut out,
+    );
+    section(
+        "Section IV-E: summary",
+        summary_table(study, &pairwise).render(),
+        &mut out,
+    );
     out
 }
 

@@ -171,9 +171,18 @@ impl<'a> ReplicaSelection<'a> {
 pub fn figure3_configurations() -> Vec<(&'static str, OsSet)> {
     use OsDistribution::*;
     vec![
-        ("Set1", OsSet::from_iter([Windows2003, Solaris, Debian, OpenBsd])),
-        ("Set2", OsSet::from_iter([Windows2003, Solaris, Debian, NetBsd])),
-        ("Set3", OsSet::from_iter([Windows2003, Solaris, RedHat, NetBsd])),
+        (
+            "Set1",
+            OsSet::from_iter([Windows2003, Solaris, Debian, OpenBsd]),
+        ),
+        (
+            "Set2",
+            OsSet::from_iter([Windows2003, Solaris, Debian, NetBsd]),
+        ),
+        (
+            "Set3",
+            OsSet::from_iter([Windows2003, Solaris, RedHat, NetBsd]),
+        ),
         ("Set4", OsSet::from_iter([OpenBsd, NetBsd, Debian, RedHat])),
     ]
 }
@@ -218,7 +227,10 @@ mod tests {
             .iter()
             .filter(|o| o.observed < baseline.observed)
             .count();
-        assert!(better >= 3, "only {better} of 4 diverse sets beat the baseline");
+        assert!(
+            better >= 3,
+            "only {better} of 4 diverse sets beat the baseline"
+        );
         let best = outcomes[1..].iter().map(|o| o.observed).min().unwrap();
         assert!(
             best * 2 < baseline.observed,
@@ -276,11 +288,11 @@ mod tests {
     fn distinct_shared_criterion_counts_each_vulnerability_once() {
         let study = calibrated_study();
         let pairwise = ReplicaSelection::new(&study);
-        let distinct = ReplicaSelection::new(&study)
-            .with_criterion(SelectionCriterion::DistinctShared);
+        let distinct =
+            ReplicaSelection::new(&study).with_criterion(SelectionCriterion::DistinctShared);
         let group = figure3_configurations()[3].1; // Set4
-        // A vulnerability shared by three members counts three times in the
-        // pairwise sum but once in the distinct count.
+                                                   // A vulnerability shared by three members counts three times in the
+                                                   // pairwise sum but once in the distinct count.
         assert!(distinct.score(group, Period::Whole) <= pairwise.score(group, Period::Whole));
     }
 

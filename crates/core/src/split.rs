@@ -188,15 +188,26 @@ mod tests {
         let study = calibrated_study();
         let matrix = SplitMatrix::compute(&study);
         let debian_history = matrix
-            .count(OsDistribution::Debian, OsDistribution::Debian, Period::History)
+            .count(
+                OsDistribution::Debian,
+                OsDistribution::Debian,
+                Period::History,
+            )
             .unwrap();
         let debian_observed = matrix
-            .count(OsDistribution::Debian, OsDistribution::Debian, Period::Observed)
+            .count(
+                OsDistribution::Debian,
+                OsDistribution::Debian,
+                Period::Observed,
+            )
             .unwrap();
         // The paper: Debian had 16 remotely exploitable base-system
         // vulnerabilities in the history period and 9 in the observed one.
         assert!(debian_history.abs_diff(16) <= 3, "history {debian_history}");
-        assert!(debian_observed.abs_diff(9) <= 3, "observed {debian_observed}");
+        assert!(
+            debian_observed.abs_diff(9) <= 3,
+            "observed {debian_observed}"
+        );
     }
 
     #[test]
@@ -204,7 +215,11 @@ mod tests {
         let study = calibrated_study();
         let matrix = SplitMatrix::compute(&study);
         assert_eq!(
-            matrix.count(OsDistribution::Ubuntu, OsDistribution::Debian, Period::History),
+            matrix.count(
+                OsDistribution::Ubuntu,
+                OsDistribution::Debian,
+                Period::History
+            ),
             None
         );
     }
@@ -214,7 +229,10 @@ mod tests {
         let study = calibrated_study();
         let matrix = SplitMatrix::compute(&study);
         let (a, b, history) = matrix.most_diverse_pair().unwrap();
-        assert!(history <= 1, "most diverse pair {a}-{b} has {history} common");
+        assert!(
+            history <= 1,
+            "most diverse pair {a}-{b} has {history} common"
+        );
         assert_ne!(a, b);
     }
 }

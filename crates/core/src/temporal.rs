@@ -150,8 +150,16 @@ mod tests {
         // Windows 2008 and OpenSolaris were released in 2008; the generator
         // assigns them no vulnerabilities before their first release.
         for year in 1993..2007 {
-            assert_eq!(temporal.count(OsDistribution::Windows2008, year), 0, "{year}");
-            assert_eq!(temporal.count(OsDistribution::OpenSolaris, year), 0, "{year}");
+            assert_eq!(
+                temporal.count(OsDistribution::Windows2008, year),
+                0,
+                "{year}"
+            );
+            assert_eq!(
+                temporal.count(OsDistribution::OpenSolaris, year),
+                0,
+                "{year}"
+            );
         }
         assert!(temporal.peak_year(OsDistribution::Windows2008) >= 2008);
     }

@@ -303,10 +303,7 @@ mod tests {
         let dataset = CalibratedGenerator::new(2).generate();
         for os in OsDistribution::ALL {
             let row = table1_row(os);
-            let valid = dataset
-                .valid_entries()
-                .filter(|e| e.affects(os))
-                .count() as u32;
+            let valid = dataset.valid_entries().filter(|e| e.affects(os)).count() as u32;
             assert_eq!(valid, row.valid, "valid count for {os}");
             let unknown = dataset
                 .entries()
@@ -325,7 +322,9 @@ mod tests {
 
     #[test]
     fn without_invalid_entries_keeps_only_valid_ones() {
-        let dataset = CalibratedGenerator::new(3).without_invalid_entries().generate();
+        let dataset = CalibratedGenerator::new(3)
+            .without_invalid_entries()
+            .generate();
         assert_eq!(dataset.valid_entries().count(), dataset.len());
     }
 
@@ -335,7 +334,9 @@ mod tests {
         let row = table3_row(OsDistribution::Windows2000, OsDistribution::Windows2003).unwrap();
         let shared = dataset
             .valid_entries()
-            .filter(|e| e.affects(OsDistribution::Windows2000) && e.affects(OsDistribution::Windows2003))
+            .filter(|e| {
+                e.affects(OsDistribution::Windows2000) && e.affects(OsDistribution::Windows2003)
+            })
             .count() as u32;
         assert!(shared >= row.all && shared <= row.all + 2);
     }
@@ -367,8 +368,14 @@ mod tests {
             .find(|e| e.id() == CveId::new(2008, 4609))
             .expect("CVE-2008-4609 present");
         assert_eq!(nine.affected_os_set().len(), 9);
-        assert!(dataset.entries().iter().any(|e| e.id() == CveId::new(2008, 1447)));
-        assert!(dataset.entries().iter().any(|e| e.id() == CveId::new(2007, 5365)));
+        assert!(dataset
+            .entries()
+            .iter()
+            .any(|e| e.id() == CveId::new(2008, 1447)));
+        assert!(dataset
+            .entries()
+            .iter()
+            .any(|e| e.id() == CveId::new(2007, 5365)));
     }
 
     #[test]
@@ -379,18 +386,26 @@ mod tests {
                 && e.affects_release(OsDistribution::Debian, "4.0")
                 && e.affected_os_set().len() == 1
         });
-        assert!(debian_only.is_some(), "missing the Debian 3.0/4.0 vulnerability");
+        assert!(
+            debian_only.is_some(),
+            "missing the Debian 3.0/4.0 vulnerability"
+        );
         let cross = dataset.valid_entries().find(|e| {
             e.affects_release(OsDistribution::Debian, "4.0")
                 && e.affects_release(OsDistribution::RedHat, "4.0")
                 && e.affects_release(OsDistribution::RedHat, "5.0")
         });
-        assert!(cross.is_some(), "missing the Debian/RedHat release vulnerability");
+        assert!(
+            cross.is_some(),
+            "missing the Debian/RedHat release vulnerability"
+        );
     }
 
     #[test]
     fn dataset_round_trips_through_the_feed_format() {
-        let dataset = CalibratedGenerator::new(9).without_invalid_entries().generate();
+        let dataset = CalibratedGenerator::new(9)
+            .without_invalid_entries()
+            .generate();
         let xml = dataset.to_feed_xml().unwrap();
         let parsed = nvd_feed::FeedReader::new()
             .strict()

@@ -40,17 +40,83 @@ pub struct Table1Row {
 
 /// Table I of the paper.
 pub const TABLE1: [Table1Row; 11] = [
-    Table1Row { os: OpenBsd, valid: 142, unknown: 1, unspecified: 1, disputed: 1 },
-    Table1Row { os: NetBsd, valid: 126, unknown: 0, unspecified: 1, disputed: 2 },
-    Table1Row { os: FreeBsd, valid: 258, unknown: 0, unspecified: 0, disputed: 2 },
-    Table1Row { os: OpenSolaris, valid: 31, unknown: 0, unspecified: 40, disputed: 0 },
-    Table1Row { os: Solaris, valid: 400, unknown: 39, unspecified: 109, disputed: 0 },
-    Table1Row { os: Debian, valid: 201, unknown: 3, unspecified: 1, disputed: 0 },
-    Table1Row { os: Ubuntu, valid: 87, unknown: 2, unspecified: 1, disputed: 0 },
-    Table1Row { os: RedHat, valid: 369, unknown: 12, unspecified: 8, disputed: 1 },
-    Table1Row { os: Windows2000, valid: 481, unknown: 7, unspecified: 27, disputed: 5 },
-    Table1Row { os: Windows2003, valid: 343, unknown: 4, unspecified: 30, disputed: 3 },
-    Table1Row { os: Windows2008, valid: 118, unknown: 0, unspecified: 3, disputed: 0 },
+    Table1Row {
+        os: OpenBsd,
+        valid: 142,
+        unknown: 1,
+        unspecified: 1,
+        disputed: 1,
+    },
+    Table1Row {
+        os: NetBsd,
+        valid: 126,
+        unknown: 0,
+        unspecified: 1,
+        disputed: 2,
+    },
+    Table1Row {
+        os: FreeBsd,
+        valid: 258,
+        unknown: 0,
+        unspecified: 0,
+        disputed: 2,
+    },
+    Table1Row {
+        os: OpenSolaris,
+        valid: 31,
+        unknown: 0,
+        unspecified: 40,
+        disputed: 0,
+    },
+    Table1Row {
+        os: Solaris,
+        valid: 400,
+        unknown: 39,
+        unspecified: 109,
+        disputed: 0,
+    },
+    Table1Row {
+        os: Debian,
+        valid: 201,
+        unknown: 3,
+        unspecified: 1,
+        disputed: 0,
+    },
+    Table1Row {
+        os: Ubuntu,
+        valid: 87,
+        unknown: 2,
+        unspecified: 1,
+        disputed: 0,
+    },
+    Table1Row {
+        os: RedHat,
+        valid: 369,
+        unknown: 12,
+        unspecified: 8,
+        disputed: 1,
+    },
+    Table1Row {
+        os: Windows2000,
+        valid: 481,
+        unknown: 7,
+        unspecified: 27,
+        disputed: 5,
+    },
+    Table1Row {
+        os: Windows2003,
+        valid: 343,
+        unknown: 4,
+        unspecified: 30,
+        disputed: 3,
+    },
+    Table1Row {
+        os: Windows2008,
+        valid: 118,
+        unknown: 0,
+        unspecified: 3,
+        disputed: 0,
+    },
 ];
 
 /// Number of distinct valid vulnerabilities in the paper's data set
@@ -91,17 +157,83 @@ impl Table2Row {
 
 /// Table II of the paper.
 pub const TABLE2: [Table2Row; 11] = [
-    Table2Row { os: OpenBsd, driver: 2, kernel: 75, system_software: 33, application: 32 },
-    Table2Row { os: NetBsd, driver: 9, kernel: 59, system_software: 32, application: 26 },
-    Table2Row { os: FreeBsd, driver: 4, kernel: 147, system_software: 54, application: 53 },
-    Table2Row { os: OpenSolaris, driver: 0, kernel: 15, system_software: 9, application: 7 },
-    Table2Row { os: Solaris, driver: 2, kernel: 156, system_software: 114, application: 128 },
-    Table2Row { os: Debian, driver: 1, kernel: 24, system_software: 34, application: 142 },
-    Table2Row { os: Ubuntu, driver: 2, kernel: 22, system_software: 8, application: 55 },
-    Table2Row { os: RedHat, driver: 5, kernel: 89, system_software: 93, application: 182 },
-    Table2Row { os: Windows2000, driver: 3, kernel: 143, system_software: 132, application: 203 },
-    Table2Row { os: Windows2003, driver: 1, kernel: 95, system_software: 71, application: 176 },
-    Table2Row { os: Windows2008, driver: 0, kernel: 42, system_software: 14, application: 62 },
+    Table2Row {
+        os: OpenBsd,
+        driver: 2,
+        kernel: 75,
+        system_software: 33,
+        application: 32,
+    },
+    Table2Row {
+        os: NetBsd,
+        driver: 9,
+        kernel: 59,
+        system_software: 32,
+        application: 26,
+    },
+    Table2Row {
+        os: FreeBsd,
+        driver: 4,
+        kernel: 147,
+        system_software: 54,
+        application: 53,
+    },
+    Table2Row {
+        os: OpenSolaris,
+        driver: 0,
+        kernel: 15,
+        system_software: 9,
+        application: 7,
+    },
+    Table2Row {
+        os: Solaris,
+        driver: 2,
+        kernel: 156,
+        system_software: 114,
+        application: 128,
+    },
+    Table2Row {
+        os: Debian,
+        driver: 1,
+        kernel: 24,
+        system_software: 34,
+        application: 142,
+    },
+    Table2Row {
+        os: Ubuntu,
+        driver: 2,
+        kernel: 22,
+        system_software: 8,
+        application: 55,
+    },
+    Table2Row {
+        os: RedHat,
+        driver: 5,
+        kernel: 89,
+        system_software: 93,
+        application: 182,
+    },
+    Table2Row {
+        os: Windows2000,
+        driver: 3,
+        kernel: 143,
+        system_software: 132,
+        application: 203,
+    },
+    Table2Row {
+        os: Windows2003,
+        driver: 1,
+        kernel: 95,
+        system_software: 71,
+        application: 176,
+    },
+    Table2Row {
+        os: Windows2008,
+        driver: 0,
+        kernel: 42,
+        system_software: 14,
+        application: 62,
+    },
 ];
 
 /// One row of Table III: an OS pair with the common-vulnerability counts
@@ -124,61 +256,391 @@ pub struct Table3Row {
 
 /// Table III of the paper: all 55 OS pairs.
 pub const TABLE3: [Table3Row; 55] = [
-    Table3Row { a: OpenBsd, b: NetBsd, all: 40, no_app: 32, no_app_no_local: 16 },
-    Table3Row { a: OpenBsd, b: FreeBsd, all: 53, no_app: 48, no_app_no_local: 32 },
-    Table3Row { a: OpenBsd, b: OpenSolaris, all: 1, no_app: 1, no_app_no_local: 0 },
-    Table3Row { a: OpenBsd, b: Solaris, all: 12, no_app: 10, no_app_no_local: 6 },
-    Table3Row { a: OpenBsd, b: Debian, all: 2, no_app: 2, no_app_no_local: 0 },
-    Table3Row { a: OpenBsd, b: Ubuntu, all: 3, no_app: 1, no_app_no_local: 0 },
-    Table3Row { a: OpenBsd, b: RedHat, all: 10, no_app: 5, no_app_no_local: 4 },
-    Table3Row { a: OpenBsd, b: Windows2000, all: 3, no_app: 3, no_app_no_local: 3 },
-    Table3Row { a: OpenBsd, b: Windows2003, all: 2, no_app: 2, no_app_no_local: 2 },
-    Table3Row { a: OpenBsd, b: Windows2008, all: 1, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: NetBsd, b: FreeBsd, all: 49, no_app: 39, no_app_no_local: 24 },
-    Table3Row { a: NetBsd, b: OpenSolaris, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: NetBsd, b: Solaris, all: 15, no_app: 12, no_app_no_local: 8 },
-    Table3Row { a: NetBsd, b: Debian, all: 3, no_app: 2, no_app_no_local: 2 },
-    Table3Row { a: NetBsd, b: Ubuntu, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: NetBsd, b: RedHat, all: 7, no_app: 4, no_app_no_local: 2 },
-    Table3Row { a: NetBsd, b: Windows2000, all: 3, no_app: 3, no_app_no_local: 3 },
-    Table3Row { a: NetBsd, b: Windows2003, all: 1, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: NetBsd, b: Windows2008, all: 1, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: FreeBsd, b: OpenSolaris, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: FreeBsd, b: Solaris, all: 21, no_app: 15, no_app_no_local: 8 },
-    Table3Row { a: FreeBsd, b: Debian, all: 7, no_app: 4, no_app_no_local: 1 },
-    Table3Row { a: FreeBsd, b: Ubuntu, all: 3, no_app: 3, no_app_no_local: 0 },
-    Table3Row { a: FreeBsd, b: RedHat, all: 20, no_app: 13, no_app_no_local: 5 },
-    Table3Row { a: FreeBsd, b: Windows2000, all: 4, no_app: 4, no_app_no_local: 4 },
-    Table3Row { a: FreeBsd, b: Windows2003, all: 2, no_app: 2, no_app_no_local: 2 },
-    Table3Row { a: FreeBsd, b: Windows2008, all: 1, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: OpenSolaris, b: Solaris, all: 27, no_app: 22, no_app_no_local: 6 },
-    Table3Row { a: OpenSolaris, b: Debian, all: 1, no_app: 1, no_app_no_local: 0 },
-    Table3Row { a: OpenSolaris, b: Ubuntu, all: 1, no_app: 1, no_app_no_local: 0 },
-    Table3Row { a: OpenSolaris, b: RedHat, all: 1, no_app: 1, no_app_no_local: 0 },
-    Table3Row { a: OpenSolaris, b: Windows2000, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: OpenSolaris, b: Windows2003, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: OpenSolaris, b: Windows2008, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: Solaris, b: Debian, all: 4, no_app: 4, no_app_no_local: 2 },
-    Table3Row { a: Solaris, b: Ubuntu, all: 2, no_app: 2, no_app_no_local: 0 },
-    Table3Row { a: Solaris, b: RedHat, all: 13, no_app: 8, no_app_no_local: 4 },
-    Table3Row { a: Solaris, b: Windows2000, all: 9, no_app: 3, no_app_no_local: 3 },
-    Table3Row { a: Solaris, b: Windows2003, all: 7, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: Solaris, b: Windows2008, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: Debian, b: Ubuntu, all: 12, no_app: 6, no_app_no_local: 2 },
-    Table3Row { a: Debian, b: RedHat, all: 61, no_app: 26, no_app_no_local: 11 },
-    Table3Row { a: Debian, b: Windows2000, all: 1, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: Debian, b: Windows2003, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: Debian, b: Windows2008, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: Ubuntu, b: RedHat, all: 25, no_app: 8, no_app_no_local: 1 },
-    Table3Row { a: Ubuntu, b: Windows2000, all: 1, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: Ubuntu, b: Windows2003, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: Ubuntu, b: Windows2008, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: RedHat, b: Windows2000, all: 2, no_app: 1, no_app_no_local: 1 },
-    Table3Row { a: RedHat, b: Windows2003, all: 1, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: RedHat, b: Windows2008, all: 0, no_app: 0, no_app_no_local: 0 },
-    Table3Row { a: Windows2000, b: Windows2003, all: 253, no_app: 116, no_app_no_local: 81 },
-    Table3Row { a: Windows2000, b: Windows2008, all: 70, no_app: 27, no_app_no_local: 14 },
-    Table3Row { a: Windows2003, b: Windows2008, all: 95, no_app: 39, no_app_no_local: 18 },
+    Table3Row {
+        a: OpenBsd,
+        b: NetBsd,
+        all: 40,
+        no_app: 32,
+        no_app_no_local: 16,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: FreeBsd,
+        all: 53,
+        no_app: 48,
+        no_app_no_local: 32,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: OpenSolaris,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: Solaris,
+        all: 12,
+        no_app: 10,
+        no_app_no_local: 6,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: Debian,
+        all: 2,
+        no_app: 2,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: Ubuntu,
+        all: 3,
+        no_app: 1,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: RedHat,
+        all: 10,
+        no_app: 5,
+        no_app_no_local: 4,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: Windows2000,
+        all: 3,
+        no_app: 3,
+        no_app_no_local: 3,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: Windows2003,
+        all: 2,
+        no_app: 2,
+        no_app_no_local: 2,
+    },
+    Table3Row {
+        a: OpenBsd,
+        b: Windows2008,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: FreeBsd,
+        all: 49,
+        no_app: 39,
+        no_app_no_local: 24,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: OpenSolaris,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: Solaris,
+        all: 15,
+        no_app: 12,
+        no_app_no_local: 8,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: Debian,
+        all: 3,
+        no_app: 2,
+        no_app_no_local: 2,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: Ubuntu,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: RedHat,
+        all: 7,
+        no_app: 4,
+        no_app_no_local: 2,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: Windows2000,
+        all: 3,
+        no_app: 3,
+        no_app_no_local: 3,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: Windows2003,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: NetBsd,
+        b: Windows2008,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: OpenSolaris,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: Solaris,
+        all: 21,
+        no_app: 15,
+        no_app_no_local: 8,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: Debian,
+        all: 7,
+        no_app: 4,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: Ubuntu,
+        all: 3,
+        no_app: 3,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: RedHat,
+        all: 20,
+        no_app: 13,
+        no_app_no_local: 5,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: Windows2000,
+        all: 4,
+        no_app: 4,
+        no_app_no_local: 4,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: Windows2003,
+        all: 2,
+        no_app: 2,
+        no_app_no_local: 2,
+    },
+    Table3Row {
+        a: FreeBsd,
+        b: Windows2008,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: Solaris,
+        all: 27,
+        no_app: 22,
+        no_app_no_local: 6,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: Debian,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: Ubuntu,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: RedHat,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: Windows2000,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: Windows2003,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: OpenSolaris,
+        b: Windows2008,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Solaris,
+        b: Debian,
+        all: 4,
+        no_app: 4,
+        no_app_no_local: 2,
+    },
+    Table3Row {
+        a: Solaris,
+        b: Ubuntu,
+        all: 2,
+        no_app: 2,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Solaris,
+        b: RedHat,
+        all: 13,
+        no_app: 8,
+        no_app_no_local: 4,
+    },
+    Table3Row {
+        a: Solaris,
+        b: Windows2000,
+        all: 9,
+        no_app: 3,
+        no_app_no_local: 3,
+    },
+    Table3Row {
+        a: Solaris,
+        b: Windows2003,
+        all: 7,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: Solaris,
+        b: Windows2008,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Debian,
+        b: Ubuntu,
+        all: 12,
+        no_app: 6,
+        no_app_no_local: 2,
+    },
+    Table3Row {
+        a: Debian,
+        b: RedHat,
+        all: 61,
+        no_app: 26,
+        no_app_no_local: 11,
+    },
+    Table3Row {
+        a: Debian,
+        b: Windows2000,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: Debian,
+        b: Windows2003,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Debian,
+        b: Windows2008,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Ubuntu,
+        b: RedHat,
+        all: 25,
+        no_app: 8,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: Ubuntu,
+        b: Windows2000,
+        all: 1,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: Ubuntu,
+        b: Windows2003,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Ubuntu,
+        b: Windows2008,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: RedHat,
+        b: Windows2000,
+        all: 2,
+        no_app: 1,
+        no_app_no_local: 1,
+    },
+    Table3Row {
+        a: RedHat,
+        b: Windows2003,
+        all: 1,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: RedHat,
+        b: Windows2008,
+        all: 0,
+        no_app: 0,
+        no_app_no_local: 0,
+    },
+    Table3Row {
+        a: Windows2000,
+        b: Windows2003,
+        all: 253,
+        no_app: 116,
+        no_app_no_local: 81,
+    },
+    Table3Row {
+        a: Windows2000,
+        b: Windows2008,
+        all: 70,
+        no_app: 27,
+        no_app_no_local: 14,
+    },
+    Table3Row {
+        a: Windows2003,
+        b: Windows2008,
+        all: 95,
+        no_app: 39,
+        no_app_no_local: 18,
+    },
 ];
 
 /// Per-OS totals of Table III (the `v(A)` column) under the three filters:
@@ -225,46 +687,257 @@ impl Table4Row {
 
 /// Table IV of the paper (non-zero pairs only).
 pub const TABLE4: [Table4Row; 34] = [
-    Table4Row { a: Windows2000, b: Windows2003, driver: 0, kernel: 40, system_software: 41 },
-    Table4Row { a: OpenBsd, b: FreeBsd, driver: 1, kernel: 14, system_software: 17 },
-    Table4Row { a: NetBsd, b: FreeBsd, driver: 2, kernel: 13, system_software: 9 },
-    Table4Row { a: Windows2003, b: Windows2008, driver: 0, kernel: 10, system_software: 8 },
-    Table4Row { a: OpenBsd, b: NetBsd, driver: 1, kernel: 8, system_software: 7 },
-    Table4Row { a: Windows2000, b: Windows2008, driver: 0, kernel: 8, system_software: 6 },
-    Table4Row { a: Debian, b: RedHat, driver: 0, kernel: 5, system_software: 6 },
-    Table4Row { a: FreeBsd, b: Solaris, driver: 0, kernel: 5, system_software: 3 },
-    Table4Row { a: NetBsd, b: Solaris, driver: 0, kernel: 4, system_software: 4 },
-    Table4Row { a: OpenBsd, b: Solaris, driver: 0, kernel: 5, system_software: 1 },
-    Table4Row { a: OpenSolaris, b: Solaris, driver: 0, kernel: 3, system_software: 3 },
-    Table4Row { a: FreeBsd, b: RedHat, driver: 0, kernel: 1, system_software: 4 },
-    Table4Row { a: FreeBsd, b: Windows2000, driver: 1, kernel: 3, system_software: 0 },
-    Table4Row { a: OpenBsd, b: RedHat, driver: 0, kernel: 1, system_software: 3 },
-    Table4Row { a: Solaris, b: RedHat, driver: 0, kernel: 3, system_software: 1 },
-    Table4Row { a: NetBsd, b: Windows2000, driver: 1, kernel: 2, system_software: 0 },
-    Table4Row { a: OpenBsd, b: Windows2000, driver: 0, kernel: 3, system_software: 0 },
-    Table4Row { a: Solaris, b: Windows2000, driver: 0, kernel: 3, system_software: 0 },
-    Table4Row { a: Solaris, b: Debian, driver: 0, kernel: 1, system_software: 1 },
-    Table4Row { a: OpenBsd, b: Windows2003, driver: 0, kernel: 2, system_software: 0 },
-    Table4Row { a: FreeBsd, b: Windows2003, driver: 0, kernel: 2, system_software: 0 },
-    Table4Row { a: Debian, b: Ubuntu, driver: 0, kernel: 0, system_software: 2 },
-    Table4Row { a: NetBsd, b: Debian, driver: 0, kernel: 0, system_software: 2 },
-    Table4Row { a: NetBsd, b: RedHat, driver: 0, kernel: 0, system_software: 2 },
-    Table4Row { a: NetBsd, b: Windows2003, driver: 0, kernel: 1, system_software: 0 },
-    Table4Row { a: NetBsd, b: Windows2008, driver: 0, kernel: 1, system_software: 0 },
-    Table4Row { a: OpenBsd, b: Windows2008, driver: 0, kernel: 1, system_software: 0 },
-    Table4Row { a: FreeBsd, b: Windows2008, driver: 0, kernel: 1, system_software: 0 },
-    Table4Row { a: Solaris, b: Windows2003, driver: 0, kernel: 1, system_software: 0 },
-    Table4Row { a: FreeBsd, b: Debian, driver: 0, kernel: 0, system_software: 1 },
-    Table4Row { a: Debian, b: Windows2000, driver: 0, kernel: 0, system_software: 1 },
-    Table4Row { a: Ubuntu, b: RedHat, driver: 0, kernel: 0, system_software: 1 },
-    Table4Row { a: Ubuntu, b: Windows2000, driver: 0, kernel: 0, system_software: 1 },
-    Table4Row { a: RedHat, b: Windows2000, driver: 0, kernel: 0, system_software: 1 },
+    Table4Row {
+        a: Windows2000,
+        b: Windows2003,
+        driver: 0,
+        kernel: 40,
+        system_software: 41,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: FreeBsd,
+        driver: 1,
+        kernel: 14,
+        system_software: 17,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: FreeBsd,
+        driver: 2,
+        kernel: 13,
+        system_software: 9,
+    },
+    Table4Row {
+        a: Windows2003,
+        b: Windows2008,
+        driver: 0,
+        kernel: 10,
+        system_software: 8,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: NetBsd,
+        driver: 1,
+        kernel: 8,
+        system_software: 7,
+    },
+    Table4Row {
+        a: Windows2000,
+        b: Windows2008,
+        driver: 0,
+        kernel: 8,
+        system_software: 6,
+    },
+    Table4Row {
+        a: Debian,
+        b: RedHat,
+        driver: 0,
+        kernel: 5,
+        system_software: 6,
+    },
+    Table4Row {
+        a: FreeBsd,
+        b: Solaris,
+        driver: 0,
+        kernel: 5,
+        system_software: 3,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: Solaris,
+        driver: 0,
+        kernel: 4,
+        system_software: 4,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: Solaris,
+        driver: 0,
+        kernel: 5,
+        system_software: 1,
+    },
+    Table4Row {
+        a: OpenSolaris,
+        b: Solaris,
+        driver: 0,
+        kernel: 3,
+        system_software: 3,
+    },
+    Table4Row {
+        a: FreeBsd,
+        b: RedHat,
+        driver: 0,
+        kernel: 1,
+        system_software: 4,
+    },
+    Table4Row {
+        a: FreeBsd,
+        b: Windows2000,
+        driver: 1,
+        kernel: 3,
+        system_software: 0,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: RedHat,
+        driver: 0,
+        kernel: 1,
+        system_software: 3,
+    },
+    Table4Row {
+        a: Solaris,
+        b: RedHat,
+        driver: 0,
+        kernel: 3,
+        system_software: 1,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: Windows2000,
+        driver: 1,
+        kernel: 2,
+        system_software: 0,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: Windows2000,
+        driver: 0,
+        kernel: 3,
+        system_software: 0,
+    },
+    Table4Row {
+        a: Solaris,
+        b: Windows2000,
+        driver: 0,
+        kernel: 3,
+        system_software: 0,
+    },
+    Table4Row {
+        a: Solaris,
+        b: Debian,
+        driver: 0,
+        kernel: 1,
+        system_software: 1,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: Windows2003,
+        driver: 0,
+        kernel: 2,
+        system_software: 0,
+    },
+    Table4Row {
+        a: FreeBsd,
+        b: Windows2003,
+        driver: 0,
+        kernel: 2,
+        system_software: 0,
+    },
+    Table4Row {
+        a: Debian,
+        b: Ubuntu,
+        driver: 0,
+        kernel: 0,
+        system_software: 2,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: Debian,
+        driver: 0,
+        kernel: 0,
+        system_software: 2,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: RedHat,
+        driver: 0,
+        kernel: 0,
+        system_software: 2,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: Windows2003,
+        driver: 0,
+        kernel: 1,
+        system_software: 0,
+    },
+    Table4Row {
+        a: NetBsd,
+        b: Windows2008,
+        driver: 0,
+        kernel: 1,
+        system_software: 0,
+    },
+    Table4Row {
+        a: OpenBsd,
+        b: Windows2008,
+        driver: 0,
+        kernel: 1,
+        system_software: 0,
+    },
+    Table4Row {
+        a: FreeBsd,
+        b: Windows2008,
+        driver: 0,
+        kernel: 1,
+        system_software: 0,
+    },
+    Table4Row {
+        a: Solaris,
+        b: Windows2003,
+        driver: 0,
+        kernel: 1,
+        system_software: 0,
+    },
+    Table4Row {
+        a: FreeBsd,
+        b: Debian,
+        driver: 0,
+        kernel: 0,
+        system_software: 1,
+    },
+    Table4Row {
+        a: Debian,
+        b: Windows2000,
+        driver: 0,
+        kernel: 0,
+        system_software: 1,
+    },
+    Table4Row {
+        a: Ubuntu,
+        b: RedHat,
+        driver: 0,
+        kernel: 0,
+        system_software: 1,
+    },
+    Table4Row {
+        a: Ubuntu,
+        b: Windows2000,
+        driver: 0,
+        kernel: 0,
+        system_software: 1,
+    },
+    Table4Row {
+        a: RedHat,
+        b: Windows2000,
+        driver: 0,
+        kernel: 0,
+        system_software: 1,
+    },
 ];
 
 /// The eight OSes with enough data during the history period to appear in
 /// Table V (Ubuntu, OpenSolaris and Windows 2008 are excluded).
 pub const TABLE5_OSES: [OsDistribution; 8] = [
-    OpenBsd, NetBsd, FreeBsd, Solaris, Debian, RedHat, Windows2000, Windows2003,
+    OpenBsd,
+    NetBsd,
+    FreeBsd,
+    Solaris,
+    Debian,
+    RedHat,
+    Windows2000,
+    Windows2003,
 ];
 
 /// One cell pair of Table V: the history-period (1994–2005) and
@@ -285,34 +958,174 @@ pub struct Table5Cell {
 /// Table V of the paper (28 pairs over the 8 OSes). History + observed
 /// always equals the pair's Isolated Thin Server total of Tables III/IV.
 pub const TABLE5: [Table5Cell; 28] = [
-    Table5Cell { a: OpenBsd, b: NetBsd, history: 9, observed: 7 },
-    Table5Cell { a: OpenBsd, b: FreeBsd, history: 25, observed: 7 },
-    Table5Cell { a: OpenBsd, b: Solaris, history: 6, observed: 0 },
-    Table5Cell { a: OpenBsd, b: Debian, history: 0, observed: 0 },
-    Table5Cell { a: OpenBsd, b: RedHat, history: 4, observed: 0 },
-    Table5Cell { a: OpenBsd, b: Windows2000, history: 2, observed: 1 },
-    Table5Cell { a: OpenBsd, b: Windows2003, history: 1, observed: 1 },
-    Table5Cell { a: NetBsd, b: FreeBsd, history: 15, observed: 9 },
-    Table5Cell { a: NetBsd, b: Solaris, history: 8, observed: 0 },
-    Table5Cell { a: NetBsd, b: Debian, history: 2, observed: 0 },
-    Table5Cell { a: NetBsd, b: RedHat, history: 2, observed: 0 },
-    Table5Cell { a: NetBsd, b: Windows2000, history: 2, observed: 1 },
-    Table5Cell { a: NetBsd, b: Windows2003, history: 0, observed: 1 },
-    Table5Cell { a: FreeBsd, b: Solaris, history: 8, observed: 0 },
-    Table5Cell { a: FreeBsd, b: Debian, history: 1, observed: 0 },
-    Table5Cell { a: FreeBsd, b: RedHat, history: 5, observed: 0 },
-    Table5Cell { a: FreeBsd, b: Windows2000, history: 3, observed: 1 },
-    Table5Cell { a: FreeBsd, b: Windows2003, history: 1, observed: 1 },
-    Table5Cell { a: Solaris, b: Debian, history: 2, observed: 0 },
-    Table5Cell { a: Solaris, b: RedHat, history: 3, observed: 1 },
-    Table5Cell { a: Solaris, b: Windows2000, history: 3, observed: 0 },
-    Table5Cell { a: Solaris, b: Windows2003, history: 1, observed: 0 },
-    Table5Cell { a: Debian, b: RedHat, history: 10, observed: 1 },
-    Table5Cell { a: Debian, b: Windows2000, history: 0, observed: 1 },
-    Table5Cell { a: Debian, b: Windows2003, history: 0, observed: 0 },
-    Table5Cell { a: RedHat, b: Windows2000, history: 0, observed: 1 },
-    Table5Cell { a: RedHat, b: Windows2003, history: 0, observed: 0 },
-    Table5Cell { a: Windows2000, b: Windows2003, history: 35, observed: 46 },
+    Table5Cell {
+        a: OpenBsd,
+        b: NetBsd,
+        history: 9,
+        observed: 7,
+    },
+    Table5Cell {
+        a: OpenBsd,
+        b: FreeBsd,
+        history: 25,
+        observed: 7,
+    },
+    Table5Cell {
+        a: OpenBsd,
+        b: Solaris,
+        history: 6,
+        observed: 0,
+    },
+    Table5Cell {
+        a: OpenBsd,
+        b: Debian,
+        history: 0,
+        observed: 0,
+    },
+    Table5Cell {
+        a: OpenBsd,
+        b: RedHat,
+        history: 4,
+        observed: 0,
+    },
+    Table5Cell {
+        a: OpenBsd,
+        b: Windows2000,
+        history: 2,
+        observed: 1,
+    },
+    Table5Cell {
+        a: OpenBsd,
+        b: Windows2003,
+        history: 1,
+        observed: 1,
+    },
+    Table5Cell {
+        a: NetBsd,
+        b: FreeBsd,
+        history: 15,
+        observed: 9,
+    },
+    Table5Cell {
+        a: NetBsd,
+        b: Solaris,
+        history: 8,
+        observed: 0,
+    },
+    Table5Cell {
+        a: NetBsd,
+        b: Debian,
+        history: 2,
+        observed: 0,
+    },
+    Table5Cell {
+        a: NetBsd,
+        b: RedHat,
+        history: 2,
+        observed: 0,
+    },
+    Table5Cell {
+        a: NetBsd,
+        b: Windows2000,
+        history: 2,
+        observed: 1,
+    },
+    Table5Cell {
+        a: NetBsd,
+        b: Windows2003,
+        history: 0,
+        observed: 1,
+    },
+    Table5Cell {
+        a: FreeBsd,
+        b: Solaris,
+        history: 8,
+        observed: 0,
+    },
+    Table5Cell {
+        a: FreeBsd,
+        b: Debian,
+        history: 1,
+        observed: 0,
+    },
+    Table5Cell {
+        a: FreeBsd,
+        b: RedHat,
+        history: 5,
+        observed: 0,
+    },
+    Table5Cell {
+        a: FreeBsd,
+        b: Windows2000,
+        history: 3,
+        observed: 1,
+    },
+    Table5Cell {
+        a: FreeBsd,
+        b: Windows2003,
+        history: 1,
+        observed: 1,
+    },
+    Table5Cell {
+        a: Solaris,
+        b: Debian,
+        history: 2,
+        observed: 0,
+    },
+    Table5Cell {
+        a: Solaris,
+        b: RedHat,
+        history: 3,
+        observed: 1,
+    },
+    Table5Cell {
+        a: Solaris,
+        b: Windows2000,
+        history: 3,
+        observed: 0,
+    },
+    Table5Cell {
+        a: Solaris,
+        b: Windows2003,
+        history: 1,
+        observed: 0,
+    },
+    Table5Cell {
+        a: Debian,
+        b: RedHat,
+        history: 10,
+        observed: 1,
+    },
+    Table5Cell {
+        a: Debian,
+        b: Windows2000,
+        history: 0,
+        observed: 1,
+    },
+    Table5Cell {
+        a: Debian,
+        b: Windows2003,
+        history: 0,
+        observed: 0,
+    },
+    Table5Cell {
+        a: RedHat,
+        b: Windows2000,
+        history: 0,
+        observed: 1,
+    },
+    Table5Cell {
+        a: RedHat,
+        b: Windows2003,
+        history: 0,
+        observed: 0,
+    },
+    Table5Cell {
+        a: Windows2000,
+        b: Windows2003,
+        history: 35,
+        observed: 46,
+    },
 ];
 
 /// Per-OS Isolated Thin Server totals split into history / observed periods.
@@ -356,7 +1169,14 @@ pub fn named_multi_os_vulnerabilities() -> Vec<NamedVulnerability> {
             id: CveId::new(2008, 4609),
             year: 2008,
             oses: OsSet::from_iter([
-                OpenBsd, NetBsd, FreeBsd, Solaris, Debian, RedHat, Windows2000, Windows2003,
+                OpenBsd,
+                NetBsd,
+                FreeBsd,
+                Solaris,
+                Debian,
+                RedHat,
+                Windows2000,
+                Windows2003,
                 Windows2008,
             ]),
             part: OsPart::Kernel,
@@ -392,48 +1212,142 @@ pub fn figure2_year_weights(os: OsDistribution) -> &'static [(u16, u32)] {
         // Solaris reports span the whole period with peaks around 1995,
         // 2004-2007; OpenSolaris only exists from 2008.
         Solaris => &[
-            (1994, 6), (1995, 12), (1996, 8), (1997, 6), (1998, 8), (1999, 10), (2000, 8),
-            (2001, 12), (2002, 16), (2003, 18), (2004, 28), (2005, 30), (2006, 34), (2007, 40),
-            (2008, 30), (2009, 26), (2010, 20),
+            (1994, 6),
+            (1995, 12),
+            (1996, 8),
+            (1997, 6),
+            (1998, 8),
+            (1999, 10),
+            (2000, 8),
+            (2001, 12),
+            (2002, 16),
+            (2003, 18),
+            (2004, 28),
+            (2005, 30),
+            (2006, 34),
+            (2007, 40),
+            (2008, 30),
+            (2009, 26),
+            (2010, 20),
         ],
         OpenSolaris => &[(2008, 10), (2009, 14), (2010, 7)],
         // BSD family: busy 1999-2006, quieter recently.
         OpenBsd => &[
-            (1996, 2), (1997, 4), (1998, 6), (1999, 10), (2000, 12), (2001, 14), (2002, 22),
-            (2003, 14), (2004, 16), (2005, 12), (2006, 10), (2007, 8), (2008, 6), (2009, 4),
+            (1996, 2),
+            (1997, 4),
+            (1998, 6),
+            (1999, 10),
+            (2000, 12),
+            (2001, 14),
+            (2002, 22),
+            (2003, 14),
+            (2004, 16),
+            (2005, 12),
+            (2006, 10),
+            (2007, 8),
+            (2008, 6),
+            (2009, 4),
             (2010, 2),
         ],
         NetBsd => &[
-            (1997, 2), (1998, 4), (1999, 6), (2000, 10), (2001, 10), (2002, 12), (2003, 12),
-            (2004, 14), (2005, 16), (2006, 18), (2007, 10), (2008, 6), (2009, 4), (2010, 2),
+            (1997, 2),
+            (1998, 4),
+            (1999, 6),
+            (2000, 10),
+            (2001, 10),
+            (2002, 12),
+            (2003, 12),
+            (2004, 14),
+            (2005, 16),
+            (2006, 18),
+            (2007, 10),
+            (2008, 6),
+            (2009, 4),
+            (2010, 2),
         ],
         FreeBsd => &[
-            (1996, 4), (1997, 8), (1998, 10), (1999, 16), (2000, 22), (2001, 24), (2002, 30),
-            (2003, 24), (2004, 28), (2005, 26), (2006, 24), (2007, 16), (2008, 14), (2009, 10),
+            (1996, 4),
+            (1997, 8),
+            (1998, 10),
+            (1999, 16),
+            (2000, 22),
+            (2001, 24),
+            (2002, 30),
+            (2003, 24),
+            (2004, 28),
+            (2005, 26),
+            (2006, 24),
+            (2007, 16),
+            (2008, 14),
+            (2009, 10),
             (2010, 6),
         ],
         // Windows server family: 2000 and 2003 peak mid-decade, 2008 recent.
         Windows2000 => &[
-            (1999, 8), (2000, 30), (2001, 36), (2002, 44), (2003, 40), (2004, 44), (2005, 48),
-            (2006, 50), (2007, 40), (2008, 40), (2009, 36), (2010, 28),
+            (1999, 8),
+            (2000, 30),
+            (2001, 36),
+            (2002, 44),
+            (2003, 40),
+            (2004, 44),
+            (2005, 48),
+            (2006, 50),
+            (2007, 40),
+            (2008, 40),
+            (2009, 36),
+            (2010, 28),
         ],
         Windows2003 => &[
-            (2003, 16), (2004, 28), (2005, 36), (2006, 44), (2007, 38), (2008, 44), (2009, 42),
+            (2003, 16),
+            (2004, 28),
+            (2005, 36),
+            (2006, 44),
+            (2007, 38),
+            (2008, 44),
+            (2009, 42),
             (2010, 34),
         ],
         Windows2008 => &[(2008, 24), (2009, 48), (2010, 46)],
         // Linux family: Red Hat spans the period, Debian peaks early-2000s,
         // Ubuntu starts in 2005.
         Debian => &[
-            (1998, 4), (1999, 10), (2000, 14), (2001, 18), (2002, 22), (2003, 24), (2004, 26),
-            (2005, 28), (2006, 20), (2007, 14), (2008, 10), (2009, 6), (2010, 4),
+            (1998, 4),
+            (1999, 10),
+            (2000, 14),
+            (2001, 18),
+            (2002, 22),
+            (2003, 24),
+            (2004, 26),
+            (2005, 28),
+            (2006, 20),
+            (2007, 14),
+            (2008, 10),
+            (2009, 6),
+            (2010, 4),
         ],
         Ubuntu => &[
-            (2005, 8), (2006, 18), (2007, 20), (2008, 16), (2009, 14), (2010, 10),
+            (2005, 8),
+            (2006, 18),
+            (2007, 20),
+            (2008, 16),
+            (2009, 14),
+            (2010, 10),
         ],
         RedHat => &[
-            (1997, 6), (1998, 10), (1999, 18), (2000, 28), (2001, 30), (2002, 36), (2003, 30),
-            (2004, 34), (2005, 32), (2006, 36), (2007, 30), (2008, 28), (2009, 26), (2010, 22),
+            (1997, 6),
+            (1998, 10),
+            (1999, 18),
+            (2000, 28),
+            (2001, 30),
+            (2002, 36),
+            (2003, 30),
+            (2004, 34),
+            (2005, 32),
+            (2006, 36),
+            (2007, 30),
+            (2008, 28),
+            (2009, 26),
+            (2010, 22),
         ],
     }
 }

@@ -323,32 +323,30 @@ pub fn build_specs() -> OverlapPlan {
         let mut remaining = budget.total;
         let mut remote_base_left = budget.remote_base;
         let mut history_left = budget.history;
-        let mut base_single = |class: OsPart,
-                               count: u32,
-                               specs: &mut Vec<VulnSpec>,
-                               remaining: &mut u32| {
-            let take = count.min(*remaining);
-            *remaining -= take;
-            for _ in 0..take {
-                let access = if remote_base_left > 0 {
-                    remote_base_left -= 1;
-                    AccessVector::Network
-                } else {
-                    AccessVector::Local
-                };
-                let era = if access.is_remote() {
-                    if history_left > 0 {
-                        history_left -= 1;
-                        Era::History
+        let mut base_single =
+            |class: OsPart, count: u32, specs: &mut Vec<VulnSpec>, remaining: &mut u32| {
+                let take = count.min(*remaining);
+                *remaining -= take;
+                for _ in 0..take {
+                    let access = if remote_base_left > 0 {
+                        remote_base_left -= 1;
+                        AccessVector::Network
                     } else {
-                        Era::Observed
-                    }
-                } else {
-                    Era::Any
-                };
-                specs.push(VulnSpec::new(single, class, access, era));
-            }
-        };
+                        AccessVector::Local
+                    };
+                    let era = if access.is_remote() {
+                        if history_left > 0 {
+                            history_left -= 1;
+                            Era::History
+                        } else {
+                            Era::Observed
+                        }
+                    } else {
+                        Era::Any
+                    };
+                    specs.push(VulnSpec::new(single, class, access, era));
+                }
+            };
         base_single(OsPart::Driver, budget.driver, &mut specs, &mut remaining);
         base_single(OsPart::Kernel, budget.kernel, &mut specs, &mut remaining);
         base_single(
@@ -435,9 +433,7 @@ fn consume(
                 }
             } else {
                 match spec.era {
-                    Era::History => {
-                        budget.remote_history = budget.remote_history.saturating_sub(1)
-                    }
+                    Era::History => budget.remote_history = budget.remote_history.saturating_sub(1),
                     Era::Observed => {
                         budget.remote_observed = budget.remote_observed.saturating_sub(1)
                     }

@@ -272,9 +272,15 @@ mod tests {
 
     #[test]
     fn merge_keeps_distinct_entries_apart() {
-        let a = VulnerabilityEntry::builder(CveId::new(2006, 10)).build().unwrap();
-        let b = VulnerabilityEntry::builder(CveId::new(2006, 11)).build().unwrap();
-        let c = VulnerabilityEntry::builder(CveId::new(2007, 10)).build().unwrap();
+        let a = VulnerabilityEntry::builder(CveId::new(2006, 10))
+            .build()
+            .unwrap();
+        let b = VulnerabilityEntry::builder(CveId::new(2006, 11))
+            .build()
+            .unwrap();
+        let c = VulnerabilityEntry::builder(CveId::new(2007, 10))
+            .build()
+            .unwrap();
         let merged = merge_duplicate_entries(vec![c, b, a]);
         assert_eq!(merged.len(), 3);
         // Sorted by identifier.

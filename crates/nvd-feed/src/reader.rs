@@ -95,7 +95,10 @@ impl FeedReader {
     ///
     /// Returns [`FeedError::Io`] if the file cannot be read, or any parse
     /// error a string read would produce.
-    pub fn read_from_path(&mut self, path: impl AsRef<Path>) -> Result<Vec<VulnerabilityEntry>, FeedError> {
+    pub fn read_from_path(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<Vec<VulnerabilityEntry>, FeedError> {
         let text = fs::read_to_string(path)?;
         self.read_from_str(&text)
     }
@@ -185,32 +188,32 @@ impl FeedReader {
         loop {
             match reader.next_event()? {
                 Some(XmlEvent::StartElement {
-                    name, self_closing, attributes, ..
+                    name,
+                    self_closing,
+                    attributes,
+                    ..
                 }) => match name.as_str() {
-                    "summary" | "descript" => {
-                        if !self_closing {
+                    "summary" | "descript"
+                        if !self_closing => {
                             let text = reader.read_element_text(&name)?;
                             if raw.summary.is_empty() {
                                 raw.summary = text;
                             }
                         }
-                    }
-                    "published-datetime" => {
-                        if !self_closing {
+                    "published-datetime"
+                        if !self_closing => {
                             raw.published = Some(reader.read_element_text(&name)?);
                         }
-                    }
-                    "cve-id" => {
-                        if !self_closing {
+                    "cve-id"
+                        if !self_closing => {
                             let text = reader.read_element_text(&name)?;
                             if raw.name.is_empty() {
                                 raw.name = text;
                             }
                         }
-                    }
-                    "product" => {
+                    "product"
                         // 2.0 layout: <vuln:product>cpe:/o:...</vuln:product>
-                        if !self_closing {
+                        if !self_closing => {
                             let uri = reader.read_element_text(&name)?;
                             match RawProduct::from_cpe_uri(uri.trim()) {
                                 Ok(product) => raw.products.push(product),
@@ -218,7 +221,6 @@ impl FeedReader {
                                 Err(_) => {}
                             }
                         }
-                    }
                     "prod" => {
                         // 1.2 layout: <prod name="..." vendor="..."><vers num="..."/></prod>
                         let mut product = RawProduct::from_vendor_product("", "");
@@ -267,36 +269,30 @@ impl FeedReader {
                         }
                         raw.products.push(product);
                     }
-                    "access-vector" => {
-                        if !self_closing {
+                    "access-vector"
+                        if !self_closing => {
                             access_vector = Some(reader.read_element_text(&name)?);
                         }
-                    }
-                    "access-complexity" => {
-                        if !self_closing {
+                    "access-complexity"
+                        if !self_closing => {
                             access_complexity = Some(reader.read_element_text(&name)?);
                         }
-                    }
-                    "authentication" => {
-                        if !self_closing {
+                    "authentication"
+                        if !self_closing => {
                             authentication = Some(reader.read_element_text(&name)?);
                         }
-                    }
-                    "confidentiality-impact" => {
-                        if !self_closing {
+                    "confidentiality-impact"
+                        if !self_closing => {
                             conf = Some(reader.read_element_text(&name)?);
                         }
-                    }
-                    "integrity-impact" => {
-                        if !self_closing {
+                    "integrity-impact"
+                        if !self_closing => {
                             integ = Some(reader.read_element_text(&name)?);
                         }
-                    }
-                    "availability-impact" => {
-                        if !self_closing {
+                    "availability-impact"
+                        if !self_closing => {
                             avail = Some(reader.read_element_text(&name)?);
                         }
-                    }
                     _ => {
                         // Unknown container elements (vuln_soft,
                         // vulnerable-software-list, cvss, base_metrics, …)
@@ -490,9 +486,7 @@ mod tests {
     #[test]
     fn read_from_path_reports_missing_file() {
         let mut reader = FeedReader::new();
-        let err = reader
-            .read_from_path("/nonexistent/feed.xml")
-            .unwrap_err();
+        let err = reader.read_from_path("/nonexistent/feed.xml").unwrap_err();
         assert!(matches!(err, FeedError::Io(_)));
     }
 

@@ -56,7 +56,10 @@ impl RawProduct {
             part: Some(cpe.part().code()),
             vendor: cpe.vendor().to_string(),
             product: cpe.product().to_string(),
-            versions: cpe.version().map(|v| vec![v.to_string()]).unwrap_or_default(),
+            versions: cpe
+                .version()
+                .map(|v| vec![v.to_string()])
+                .unwrap_or_default(),
         })
     }
 
@@ -133,13 +136,10 @@ impl RawEntry {
     /// Returns [`FeedError`] if the CVE name, publication date or CVSS
     /// vector cannot be parsed.
     pub fn to_entry(&self, normalizer: &NameNormalizer) -> Result<VulnerabilityEntry, FeedError> {
-        let id: CveId = self
-            .name
-            .parse()
-            .map_err(|e| FeedError::Schema {
-                entry: Some(self.name.clone()),
-                reason: format!("bad CVE name: {e}"),
-            })?;
+        let id: CveId = self.name.parse().map_err(|e| FeedError::Schema {
+            entry: Some(self.name.clone()),
+            reason: format!("bad CVE name: {e}"),
+        })?;
         let mut builder = VulnerabilityEntry::builder(id).summary(self.summary.clone());
         if let Some(published) = &self.published {
             let date: Date = published.parse()?;

@@ -62,7 +62,10 @@ impl FeedWriter {
         let mut w = XmlWriter::new();
         let pub_date = self.pub_date.clone().unwrap_or_default();
         let mut root_attrs: Vec<(&str, &str)> = vec![
-            ("xmlns", "http://scap.nist.gov/schema/feed/vulnerability/2.0"),
+            (
+                "xmlns",
+                "http://scap.nist.gov/schema/feed/vulnerability/2.0",
+            ),
             ("nvd_xml_version", "2.0"),
         ];
         if !pub_date.is_empty() {
@@ -123,7 +126,10 @@ impl FeedWriter {
             w.open("vuln:cvss");
             w.open("cvss:base_metrics");
             w.text_element("cvss:score", &format!("{:.1}", cvss.base_score()));
-            w.text_element("cvss:access-vector", access_vector_name(cvss.access_vector()));
+            w.text_element(
+                "cvss:access-vector",
+                access_vector_name(cvss.access_vector()),
+            );
             w.text_element(
                 "cvss:access-complexity",
                 access_complexity_name(cvss.access_complexity()),
@@ -235,7 +241,9 @@ mod tests {
 
     #[test]
     fn special_characters_are_escaped() {
-        let xml = FeedWriter::new().write_to_string(&sample_entries()).unwrap();
+        let xml = FeedWriter::new()
+            .write_to_string(&sample_entries())
+            .unwrap();
         assert!(xml.contains("&lt;multiple&gt;"));
         assert!(xml.contains("&amp; resolvers"));
         assert!(!xml.contains("<multiple>"));

@@ -472,7 +472,10 @@ impl XmlWriter {
     /// Panics if there is no open element (writer misuse, a programming
     /// error).
     pub fn close(&mut self, name: &str) {
-        assert!(self.depth > 0, "XmlWriter::close called with no open element");
+        assert!(
+            self.depth > 0,
+            "XmlWriter::close called with no open element"
+        );
         self.depth -= 1;
         self.indent();
         self.buffer.push_str("</");

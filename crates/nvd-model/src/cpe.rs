@@ -17,9 +17,7 @@ use crate::ModelError;
 ///
 /// The paper filters on `Operating System` ("`/o` on its CPE",
 /// Section III-A).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CpePart {
     /// `h` — a hardware platform.
     Hardware,
@@ -296,9 +294,7 @@ impl FromStr for Cpe {
             return Err(err("product must not be empty"));
         }
         let optional = |value: Option<&str>| -> Option<String> {
-            value
-                .filter(|v| !v.is_empty())
-                .map(normalize_component)
+            value.filter(|v| !v.is_empty()).map(normalize_component)
         };
         let version = optional(parts.next());
         let update = optional(parts.next());

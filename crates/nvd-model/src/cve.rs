@@ -27,9 +27,7 @@ use crate::ModelError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CveId {
     year: u16,
     number: u32,
@@ -85,9 +83,7 @@ impl FromStr for CveId {
         if year.len() != 4 {
             return Err(err("year must have exactly four digits"));
         }
-        let year: u16 = year
-            .parse()
-            .map_err(|_| err("year is not a number"))?;
+        let year: u16 = year.parse().map_err(|_| err("year is not a number"))?;
         if number.is_empty() || number.len() > 9 {
             return Err(err("sequence number must have between 1 and 9 digits"));
         }

@@ -15,9 +15,7 @@ use crate::ModelError;
 
 /// The CVSS v2 *Access Vector* metric: where an attacker must be located to
 /// exploit the vulnerability.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AccessVector {
     /// `AV:L` — requires local access to the machine.
     Local,
@@ -91,9 +89,7 @@ impl FromStr for AccessVector {
 }
 
 /// The CVSS v2 *Access Complexity* metric.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AccessComplexity {
     /// `AC:H` — specialized access conditions exist.
     High,
@@ -122,9 +118,7 @@ impl AccessComplexity {
 }
 
 /// The CVSS v2 *Authentication* metric.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Authentication {
     /// `Au:M` — multiple authentications required.
     Multiple,
@@ -154,9 +148,7 @@ impl Authentication {
 
 /// The CVSS v2 impact level shared by the confidentiality, integrity and
 /// availability metrics.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ImpactMetric {
     /// `N` — no impact.
     None,
@@ -186,9 +178,7 @@ impl ImpactMetric {
 
 /// Qualitative severity rating derived from the CVSS v2 base score using the
 /// NVD thresholds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// Base score in `[0.0, 4.0)`.
     Low,

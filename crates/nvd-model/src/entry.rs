@@ -17,9 +17,7 @@ use crate::{AccessVector, Cpe, CveId, CvssV2, Date, ModelError, OsDistribution, 
 /// The paper manually classified all 1887 valid entries into these four
 /// classes; Table II reports the per-OS distribution and Table IV the
 /// per-class breakdown of shared vulnerabilities.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OsPart {
     /// Drivers for network/video/audio cards, web cams, UPnP devices, …
     Driver,
@@ -186,7 +184,10 @@ impl AffectedProduct {
     /// [`OsDistribution`] when possible.
     pub fn new(cpe: Cpe) -> Self {
         let os = OsDistribution::from_cpe(&cpe);
-        let versions = cpe.version().map(|v| vec![v.to_string()]).unwrap_or_default();
+        let versions = cpe
+            .version()
+            .map(|v| vec![v.to_string()])
+            .unwrap_or_default();
         AffectedProduct { cpe, os, versions }
     }
 
@@ -657,8 +658,14 @@ mod tests {
     fn os_part_labels_and_parsing() {
         assert_eq!(OsPart::SystemSoftware.label(), "Sys. Soft.");
         assert_eq!("kernel".parse::<OsPart>().unwrap(), OsPart::Kernel);
-        assert_eq!("Sys. Soft.".parse::<OsPart>().unwrap(), OsPart::SystemSoftware);
-        assert_eq!("Applications".parse::<OsPart>().unwrap(), OsPart::Application);
+        assert_eq!(
+            "Sys. Soft.".parse::<OsPart>().unwrap(),
+            OsPart::SystemSoftware
+        );
+        assert_eq!(
+            "Applications".parse::<OsPart>().unwrap(),
+            OsPart::Application
+        );
         assert!("firmware".parse::<OsPart>().is_err());
     }
 

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::{Cpe, ModelError};
 
 /// One of the four operating-system families studied in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OsFamily {
     /// OpenBSD, NetBSD and FreeBSD.
     Bsd,
@@ -101,9 +99,7 @@ impl FromStr for OsFamily {
 ///
 /// The discriminants are used as bit positions by [`OsSet`], so the enum is
 /// `repr(u8)` and the order matches Table I of the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum OsDistribution {
     /// OpenBSD.
@@ -549,9 +545,7 @@ impl OsSet {
 
     /// Iterates over the members in [`OsDistribution::ALL`] order.
     pub fn iter(&self) -> OsSetIter {
-        OsSetIter {
-            remaining: self.0,
-        }
+        OsSetIter { remaining: self.0 }
     }
 
     /// The raw 11-bit mask (bit *i* set means `OsDistribution::from_index(i)`

@@ -1,0 +1,43 @@
+//! Facade over the OS-diversity reproduction workspace.
+//!
+//! Depend on this crate to get the whole pipeline — data generation, NVD
+//! feed round-trip, relational store, classification, pairwise/k-way
+//! analysis and the BFT simulator — through one import. Each member crate is
+//! re-exported under its own name, and the headline types of the analysis
+//! pipeline are lifted to the crate root.
+//!
+//! # Example
+//!
+//! ```
+//! use osdiv::{CalibratedGenerator, PairwiseAnalysis, StudyDataset};
+//!
+//! let dataset = CalibratedGenerator::new(1).generate();
+//! let study = StudyDataset::from_entries(dataset.entries());
+//! let pairwise = PairwiseAnalysis::compute(&study);
+//! assert_eq!(pairwise.rows().len(), 55);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bft_sim;
+pub use classify;
+pub use datagen;
+pub use nvd_feed;
+pub use nvd_model;
+pub use osdiv_bench;
+pub use osdiv_core;
+pub use tabular;
+pub use vulnstore;
+
+pub use bft_sim::{QuorumModel, ReplicaSet, SimulationConfig, Simulator};
+pub use classify::Classifier;
+pub use datagen::{CalibratedGenerator, ParametricConfig, ParametricGenerator};
+pub use nvd_feed::{FeedReader, FeedWriter};
+pub use nvd_model::{CveId, OsDistribution, OsFamily, OsPart, OsSet, VulnerabilityEntry};
+pub use osdiv_core::{
+    ClassDistribution, KWayAnalysis, PairwiseAnalysis, ReleaseAnalysis, ReplicaSelection,
+    ServerProfile, SplitMatrix, StudyDataset, TemporalAnalysis, ValidityDistribution,
+};
+pub use tabular::TextTable;
+pub use vulnstore::VulnStore;

@@ -64,7 +64,7 @@ impl<K: Eq + Hash> Counter<K> {
     /// unspecified order).
     pub fn sorted_desc(&self) -> Vec<(&K, u64)> {
         let mut pairs: Vec<(&K, u64)> = self.iter().collect();
-        pairs.sort_by(|a, b| b.1.cmp(&a.1));
+        pairs.sort_by_key(|pair| std::cmp::Reverse(pair.1));
         pairs
     }
 

@@ -63,7 +63,10 @@ impl TextTable {
 
     /// The cell at `(row, column)`, if present.
     pub fn cell(&self, row: usize, column: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(column)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(column))
+            .map(String::as_str)
     }
 
     /// Renders the table as aligned text (header, separator line, rows).

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use nvd_model::{
-    AccessVector, CveId, OsDistribution, OsPart, OsSet, Validity, VulnerabilityEntry,
-};
+use nvd_model::{AccessVector, CveId, OsDistribution, OsPart, OsSet, Validity, VulnerabilityEntry};
 
 use crate::schema::{CvssRow, OsRow, OsVulnRow, VulnId, VulnerabilityRow};
 use crate::table::Table;
@@ -395,8 +393,14 @@ mod tests {
         assert_eq!(row.os_set.len(), 2);
         assert_eq!(store.get_by_cve(CveId::new(2008, 1447)).unwrap().id, id);
         assert!(store.is_remote(id));
-        assert_eq!(store.vulnerabilities_for_os(OsDistribution::Debian).len(), 1);
-        assert_eq!(store.vulnerabilities_for_os(OsDistribution::Solaris).len(), 0);
+        assert_eq!(
+            store.vulnerabilities_for_os(OsDistribution::Debian).len(),
+            1
+        );
+        assert_eq!(
+            store.vulnerabilities_for_os(OsDistribution::Solaris).len(),
+            0
+        );
     }
 
     #[test]
@@ -428,14 +432,31 @@ mod tests {
         assert!(row.os_set.contains(OsDistribution::Windows2000));
         assert!(row.os_set.contains(OsDistribution::Windows2003));
         // Both OS indexes know the vulnerability.
-        assert_eq!(store.vulnerabilities_for_os(OsDistribution::Windows2003).len(), 1);
+        assert_eq!(
+            store
+                .vulnerabilities_for_os(OsDistribution::Windows2003)
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn ingest_counts_new_rows_only() {
         let mut store = VulnStore::new();
-        let a = entry(CveId::new(2005, 1), 2005, OsPart::Kernel, true, &[OsDistribution::OpenBsd]);
-        let b = entry(CveId::new(2005, 2), 2005, OsPart::Kernel, true, &[OsDistribution::NetBsd]);
+        let a = entry(
+            CveId::new(2005, 1),
+            2005,
+            OsPart::Kernel,
+            true,
+            &[OsDistribution::OpenBsd],
+        );
+        let b = entry(
+            CveId::new(2005, 2),
+            2005,
+            OsPart::Kernel,
+            true,
+            &[OsDistribution::NetBsd],
+        );
         let duplicate = a.clone();
         let new_rows = store.ingest([&a, &b, &duplicate]);
         assert_eq!(new_rows, 2);
@@ -445,11 +466,29 @@ mod tests {
     #[test]
     fn validity_counts() {
         let mut store = VulnStore::new();
-        let mut valid = entry(CveId::new(2006, 1), 2006, OsPart::Kernel, true, &[OsDistribution::Solaris]);
+        let mut valid = entry(
+            CveId::new(2006, 1),
+            2006,
+            OsPart::Kernel,
+            true,
+            &[OsDistribution::Solaris],
+        );
         valid.set_validity(Validity::Valid);
-        let mut unknown = entry(CveId::new(2006, 2), 2006, OsPart::Kernel, true, &[OsDistribution::Solaris]);
+        let mut unknown = entry(
+            CveId::new(2006, 2),
+            2006,
+            OsPart::Kernel,
+            true,
+            &[OsDistribution::Solaris],
+        );
         unknown.set_validity(Validity::Unknown);
-        let mut disputed = entry(CveId::new(2006, 3), 2006, OsPart::Kernel, true, &[OsDistribution::Solaris]);
+        let mut disputed = entry(
+            CveId::new(2006, 3),
+            2006,
+            OsPart::Kernel,
+            true,
+            &[OsDistribution::Solaris],
+        );
         disputed.set_validity(Validity::Disputed);
         store.ingest([&valid, &unknown, &disputed]);
         assert_eq!(store.vulnerability_count(), 3);
@@ -463,12 +502,31 @@ mod tests {
     fn shared_by_all_and_affecting_any() {
         let mut store = VulnStore::new();
         store.ingest([
-            &entry(CveId::new(2007, 1), 2007, OsPart::Kernel, true,
-                   &[OsDistribution::OpenBsd, OsDistribution::NetBsd, OsDistribution::FreeBsd]),
-            &entry(CveId::new(2007, 2), 2007, OsPart::Kernel, true,
-                   &[OsDistribution::OpenBsd, OsDistribution::NetBsd]),
-            &entry(CveId::new(2007, 3), 2007, OsPart::Kernel, true,
-                   &[OsDistribution::Debian]),
+            &entry(
+                CveId::new(2007, 1),
+                2007,
+                OsPart::Kernel,
+                true,
+                &[
+                    OsDistribution::OpenBsd,
+                    OsDistribution::NetBsd,
+                    OsDistribution::FreeBsd,
+                ],
+            ),
+            &entry(
+                CveId::new(2007, 2),
+                2007,
+                OsPart::Kernel,
+                true,
+                &[OsDistribution::OpenBsd, OsDistribution::NetBsd],
+            ),
+            &entry(
+                CveId::new(2007, 3),
+                2007,
+                OsPart::Kernel,
+                true,
+                &[OsDistribution::Debian],
+            ),
         ]);
         let pair = OsSet::pair(OsDistribution::OpenBsd, OsDistribution::NetBsd);
         assert_eq!(store.shared_by_all(pair).len(), 2);
@@ -478,9 +536,16 @@ mod tests {
             OsDistribution::FreeBsd,
         ]);
         assert_eq!(store.shared_by_all(triple).len(), 1);
-        assert_eq!(store.affecting_any(OsSet::singleton(OsDistribution::Debian)).len(), 1);
+        assert_eq!(
+            store
+                .affecting_any(OsSet::singleton(OsDistribution::Debian))
+                .len(),
+            1
+        );
         assert_eq!(store.affecting_any(OsSet::all()).len(), 3);
-        assert!(store.shared_by_all(OsSet::pair(OsDistribution::Debian, OsDistribution::Ubuntu)).is_empty());
+        assert!(store
+            .shared_by_all(OsSet::pair(OsDistribution::Debian, OsDistribution::Ubuntu))
+            .is_empty());
     }
 
     #[test]
@@ -533,9 +598,21 @@ mod tests {
 
     #[test]
     fn from_iterator_builds_a_store() {
-        let entries = vec![
-            entry(CveId::new(2003, 1), 2003, OsPart::Kernel, true, &[OsDistribution::FreeBsd]),
-            entry(CveId::new(2003, 2), 2003, OsPart::Application, false, &[OsDistribution::RedHat]),
+        let entries = [
+            entry(
+                CveId::new(2003, 1),
+                2003,
+                OsPart::Kernel,
+                true,
+                &[OsDistribution::FreeBsd],
+            ),
+            entry(
+                CveId::new(2003, 2),
+                2003,
+                OsPart::Application,
+                false,
+                &[OsDistribution::RedHat],
+            ),
         ];
         let store: VulnStore = entries.iter().collect();
         assert_eq!(store.vulnerability_count(), 2);

@@ -38,11 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let path = feed_dir.join(format!("nvdcve-2.0-{year}.xml"));
         FeedWriter::new()
-            .with_pub_date(&format!("{year}-12-31"))
+            .with_pub_date(format!("{year}-12-31"))
             .write_to_path(&path, &entries)?;
         feed_paths.push((path, entries.len()));
     }
-    println!("Wrote {} yearly feeds to {}", feed_paths.len(), feed_dir.display());
+    println!(
+        "Wrote {} yearly feeds to {}",
+        feed_paths.len(),
+        feed_dir.display()
+    );
 
     // 2. Parse the feeds back and merge duplicates (entries republished in
     //    several yearly feeds), as the SQL ingestion of the paper did.
@@ -83,7 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let distribution = ClassDistribution::compute(&study);
     println!("Per-class share of the classified dataset:");
     let [driver, kernel, syssoft, app] = distribution.class_percentages();
-    println!("  Driver {driver:.1}%  Kernel {kernel:.1}%  Sys. Soft. {syssoft:.1}%  App. {app:.1}%");
+    println!(
+        "  Driver {driver:.1}%  Kernel {kernel:.1}%  Sys. Soft. {syssoft:.1}%  App. {app:.1}%"
+    );
 
     // Clean up the temporary feeds.
     for (path, _) in feed_paths {

@@ -30,7 +30,10 @@ fn e1_table1_validity_distribution_matches_the_paper() {
         let [valid, unknown, unspecified, disputed] = table1.for_os(os);
         assert_eq!(valid, expected.valid as usize, "{os} valid");
         assert_eq!(unknown, expected.unknown as usize, "{os} unknown");
-        assert_eq!(unspecified, expected.unspecified as usize, "{os} unspecified");
+        assert_eq!(
+            unspecified, expected.unspecified as usize,
+            "{os} unspecified"
+        );
         assert_eq!(disputed, expected.disputed as usize, "{os} disputed");
     }
 }
@@ -43,7 +46,10 @@ fn e2_table2_class_shares_match_the_paper_shape() {
     // Paper: 1.4% / 35.5% / 23.2% / 39.9%.
     assert!(driver < 4.0, "driver {driver:.1}%");
     assert!((kernel - 35.5).abs() < 10.0, "kernel {kernel:.1}%");
-    assert!((syssoft - 23.2).abs() < 10.0, "system software {syssoft:.1}%");
+    assert!(
+        (syssoft - 23.2).abs() < 10.0,
+        "system software {syssoft:.1}%"
+    );
     assert!((app - 39.9).abs() < 10.0, "application {app:.1}%");
 }
 
@@ -101,7 +107,10 @@ fn e4_table3_pairwise_counts_match_the_paper() {
             exact_pairs += 1;
         }
     }
-    assert!(exact_pairs >= 40, "only {exact_pairs} of 55 pairs are exact");
+    assert!(
+        exact_pairs >= 40,
+        "only {exact_pairs} of 55 pairs are exact"
+    );
     // Per-OS totals (the v(A) columns) are exact.
     for os in OsDistribution::ALL {
         let (all, no_app, its) = calibration::os_totals(os);
@@ -112,7 +121,10 @@ fn e4_table3_pairwise_counts_match_the_paper() {
         );
         let measured_no_app = study.count_for_os(os, ServerProfile::ThinServer);
         let measured_its = study.count_for_os(os, ServerProfile::IsolatedThinServer);
-        assert!(measured_no_app.abs_diff(no_app as usize) <= 12, "{os} no-app");
+        assert!(
+            measured_no_app.abs_diff(no_app as usize) <= 12,
+            "{os} no-app"
+        );
         assert!(measured_its.abs_diff(its as usize) <= 12, "{os} isolated");
     }
 }
@@ -138,7 +150,9 @@ fn e5_table4_part_breakdown_matches_the_paper() {
             expected.kernel
         );
         assert!(
-            row.system_software.abs_diff(expected.system_software as usize) <= SLACK,
+            row.system_software
+                .abs_diff(expected.system_software as usize)
+                <= SLACK,
             "{}-{} syssoft",
             expected.a,
             expected.b
@@ -200,8 +214,16 @@ fn e8_figure3_diverse_sets_beat_the_homogeneous_baseline() {
     assert!(rendered.contains("Set1"));
     let baseline = &outcomes[0];
     // The paper's baseline: Debian with 16 history / 9 observed.
-    assert!(baseline.history.abs_diff(16) <= SLACK, "baseline history {}", baseline.history);
-    assert!(baseline.observed.abs_diff(9) <= SLACK, "baseline observed {}", baseline.observed);
+    assert!(
+        baseline.history.abs_diff(16) <= SLACK,
+        "baseline history {}",
+        baseline.history
+    );
+    assert!(
+        baseline.observed.abs_diff(9) <= SLACK,
+        "baseline observed {}",
+        baseline.observed
+    );
     // At least three of the four diverse sets beat the baseline in the
     // observed period, and the best does so by a factor of at least two.
     let better = outcomes[1..]
@@ -222,7 +244,13 @@ fn e9_table6_release_level_diversity_matches_the_paper() {
     let non_zero: usize = analysis.rows().iter().filter(|r| r.common > 0).count();
     assert_eq!(non_zero, 4);
     for row in analysis.rows() {
-        assert!(row.common <= 1, "{}-{} has {}", row.a.label(), row.b.label(), row.common);
+        assert!(
+            row.common <= 1,
+            "{}-{} has {}",
+            row.a.label(),
+            row.b.label(),
+            row.common
+        );
     }
 }
 
@@ -256,7 +284,14 @@ fn full_report_renders_every_family_and_table() {
     for family in OsFamily::ALL {
         assert!(rendered.contains(&format!("Figure 2 ({family} family)")));
     }
-    for table in ["Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI"] {
+    for table in [
+        "Table I",
+        "Table II",
+        "Table III",
+        "Table IV",
+        "Table V",
+        "Table VI",
+    ] {
         assert!(rendered.contains(table), "missing {table}");
     }
 }

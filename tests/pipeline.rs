@@ -10,13 +10,17 @@ use osdiv_core::{PairwiseAnalysis, ServerProfile, StudyDataset};
 
 #[test]
 fn feed_roundtrip_preserves_the_analysis_results() {
-    let dataset = CalibratedGenerator::new(77).without_invalid_entries().generate();
+    let dataset = CalibratedGenerator::new(77)
+        .without_invalid_entries()
+        .generate();
 
     // Direct ingestion.
     let direct = StudyDataset::from_entries(dataset.entries());
 
     // Ingestion through the XML feed format.
-    let xml = FeedWriter::new().write_to_string(dataset.entries()).unwrap();
+    let xml = FeedWriter::new()
+        .write_to_string(dataset.entries())
+        .unwrap();
     let parsed = FeedReader::new().strict().read_from_str(&xml).unwrap();
     let roundtripped = StudyDataset::from_entries(&parsed);
 
@@ -44,7 +48,9 @@ fn feed_roundtrip_preserves_the_analysis_results() {
 
 #[test]
 fn duplicated_feed_entries_are_merged_not_double_counted() {
-    let dataset = CalibratedGenerator::new(78).without_invalid_entries().generate();
+    let dataset = CalibratedGenerator::new(78)
+        .without_invalid_entries()
+        .generate();
     // Simulate the same entries appearing in two yearly feeds.
     let mut duplicated = dataset.entries().to_vec();
     duplicated.extend(dataset.entries().iter().cloned());
@@ -56,7 +62,9 @@ fn duplicated_feed_entries_are_merged_not_double_counted() {
 
 #[test]
 fn classifier_recovers_most_ground_truth_classes() {
-    let dataset = CalibratedGenerator::new(79).without_invalid_entries().generate();
+    let dataset = CalibratedGenerator::new(79)
+        .without_invalid_entries()
+        .generate();
     let classifier = Classifier::with_default_rules();
     let pairs: Vec<_> = dataset
         .entries()
@@ -75,15 +83,23 @@ fn classifier_recovers_most_ground_truth_classes() {
         "classification accuracy {:.3} too low",
         report.accuracy()
     );
-    assert!(report.macro_f1() > 0.75, "macro F1 {:.3} too low", report.macro_f1());
+    assert!(
+        report.macro_f1() > 0.75,
+        "macro F1 {:.3} too low",
+        report.macro_f1()
+    );
 }
 
 #[test]
 fn classification_via_store_matches_direct_classification() {
-    let dataset = CalibratedGenerator::new(80).without_invalid_entries().generate();
+    let dataset = CalibratedGenerator::new(80)
+        .without_invalid_entries()
+        .generate();
     // Re-ingest through the feed (which drops the ground-truth class), then
     // classify inside the store.
-    let xml = FeedWriter::new().write_to_string(dataset.entries()).unwrap();
+    let xml = FeedWriter::new()
+        .write_to_string(dataset.entries())
+        .unwrap();
     let parsed = FeedReader::new().strict().read_from_str(&xml).unwrap();
     let mut study = StudyDataset::from_entries(&parsed);
     let classified = study.classify_unlabelled(&Classifier::with_default_rules());

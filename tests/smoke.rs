@@ -1,0 +1,68 @@
+//! Workspace smoke test: asserts the facade crate's re-exports compile and
+//! interoperate — one headline type per member crate, exercised end-to-end
+//! on a tiny pipeline run (mirroring the imports of `tests/pipeline.rs`).
+
+use osdiv::bft_sim::{ReplicaSet, SimulationConfig, Simulator};
+use osdiv::classify::Classifier;
+use osdiv::datagen::CalibratedGenerator;
+use osdiv::nvd_feed::{FeedReader, FeedWriter};
+use osdiv::nvd_model::{OsDistribution, OsSet};
+use osdiv::osdiv_core::{PairwiseAnalysis, ServerProfile, StudyDataset};
+use osdiv::tabular::TextTable;
+use osdiv::vulnstore::VulnStore;
+
+#[test]
+fn facade_reexports_compose_into_a_pipeline() {
+    // datagen → vulnstore/core ingestion.
+    let dataset = CalibratedGenerator::new(99).generate();
+    let study = StudyDataset::from_entries(dataset.entries());
+    assert!(
+        study.valid_count() > 0,
+        "calibrated dataset must not be empty"
+    );
+
+    // Standalone store ingestion.
+    let mut store = VulnStore::new();
+    for entry in dataset.entries().iter().take(10) {
+        store.insert_entry(entry);
+    }
+    assert!(store.vulnerability_count() > 0);
+
+    // Feed round-trip on a small slice.
+    let slice: Vec<_> = dataset.entries().iter().take(5).cloned().collect();
+    let xml = FeedWriter::new()
+        .write_to_string(&slice)
+        .expect("write feed");
+    let parsed = FeedReader::new().read_from_str(&xml).expect("parse feed");
+    assert_eq!(parsed.len(), slice.len());
+
+    // Classification of one summary.
+    let classifier = Classifier::with_default_rules();
+    let _part = classifier.classify_summary(slice[0].summary());
+
+    // Pairwise analysis headline query.
+    let pairwise = PairwiseAnalysis::compute(&study);
+    assert_eq!(pairwise.rows().len(), 55, "11 OSes give C(11,2) = 55 pairs");
+    let pair = OsSet::pair(OsDistribution::Debian, OsDistribution::OpenBsd);
+    let _common = study.count_common(pair, ServerProfile::FatServer);
+
+    // Simulator on a tiny trial budget.
+    let replicas = ReplicaSet::homogeneous(OsDistribution::Debian, 4);
+    let config = SimulationConfig::default().with_trials(5).with_seed(1);
+    let outcome = Simulator::new(&study, config).run(&replicas);
+    let _ = outcome;
+
+    // Tabular rendering.
+    let mut table = TextTable::new(["OS", "Valid"]);
+    table.push_row(["Debian", "x"]);
+    assert!(table.render().contains("Debian"));
+}
+
+#[test]
+fn facade_root_reexports_are_usable_directly() {
+    // The crate root lifts the headline types; spot-check a few.
+    let dataset = osdiv::CalibratedGenerator::new(7).generate();
+    let study = osdiv::StudyDataset::from_entries(dataset.entries());
+    let _ = osdiv::ClassDistribution::compute(&study);
+    let _ = osdiv::ValidityDistribution::compute(&study);
+}

@@ -1,0 +1,134 @@
+//! Offline stub of `bytes`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement for the handful of external crates it uses (see
+//! `vendor/README.md`). [`BytesMut`] is a thin wrapper over `Vec<u8>` and
+//! [`BufMut`] carries the append methods the feed writer uses. Swapping in
+//! the real `bytes` later is a manifest-only change.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Write access to an append-only byte buffer.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte to the buffer.
+    fn put_u8(&mut self, byte: u8) {
+        self.put_slice(&[byte]);
+    }
+}
+
+/// A growable, contiguous byte buffer (Vec-backed stub of `bytes::BytesMut`).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Returns a copy of the buffer's bytes (the buffer is left intact).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer and returns the underlying `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+
+    /// Freezes the buffer (stub: returns the underlying bytes).
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            inner: src.to_vec(),
+        }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.inner.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_slice_appends() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(b"abc");
+        buf.put_u8(b'd');
+        assert_eq!(&buf[..], b"abcd");
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.into_vec(), b"abcd".to_vec());
+    }
+}

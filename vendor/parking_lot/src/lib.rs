@@ -1,0 +1,136 @@
+//! Offline stub of `parking_lot`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement for the handful of external crates it uses (see
+//! `vendor/README.md`). This stub wraps the `std::sync` primitives and
+//! reproduces parking_lot's headline API difference: locks are not poisoned,
+//! so `read()` / `write()` / `lock()` return guards directly instead of
+//! `Result`s. A poisoned std lock (a panic while holding the guard) is
+//! recovered by taking the inner value, matching parking_lot's behaviour of
+//! simply releasing the lock on panic.
+//!
+//! Swapping in the real `parking_lot` later is a manifest-only change.
+
+use std::sync::{self, PoisonError};
+
+/// Shared-read / exclusive-write lock guard types, re-exported from `std`.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// A reader-writer lock whose `read`/`write` never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked `RwLock`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
+/// A mutual-exclusion lock whose `lock` never returns poison errors.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked `Mutex`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_is_not_poisoned_by_a_panicking_writer() {
+        let lock = Arc::new(RwLock::new(0));
+        let poisoner = Arc::clone(&lock);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.write();
+            panic!("poison the std lock");
+        })
+        .join();
+        // parking_lot semantics: the lock is usable again after the panic.
+        assert_eq!(*lock.read(), 0);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let lock = Mutex::new(vec![1, 2]);
+        lock.lock().push(3);
+        assert_eq!(lock.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement for the handful of external crates it uses (see
+//! `vendor/README.md`). The real proptest shrinks failing inputs and persists
+//! regressions; this stub keeps the *property-test surface* of the workspace
+//! source-compatible and runs each property against a fixed number of
+//! deterministic, seeded random cases (no shrinking):
+//!
+//! * the [`proptest!`] macro (`fn prop(x in strategy, ..) { .. }`);
+//! * [`Strategy`] with `prop_map`, plus strategies for integer ranges,
+//!   `[class]{m,n}` string regexes, tuples, [`Just`], [`prop_oneof!`],
+//!   [`collection::vec`] and [`option::of`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Swapping in the real `proptest` later is a manifest-only change.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Marker returned by [`prop_assume!`] to reject the current case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseRejected;
+
+/// Runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Number of random cases each property is checked against.
+    pub const CASES: usize = 64;
+
+    /// Deterministic per-test RNG: the seed is derived from the test name
+    /// (FNV-1a) so every property gets a distinct but reproducible stream.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sampler: Box::new(move |rng| self.sample(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between type-erased strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.arms.len());
+        self.arms[index].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` strategies interpret the string as a regex of the restricted form
+/// `[class]{m,n}` (optionally `{n}`, or no repetition for a single char),
+/// which is the subset the workspace tests use.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_regex(self);
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, min_len, max_len).
+///
+/// # Panics
+///
+/// Panics on regex forms outside the supported subset.
+fn parse_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported regex (expected `[class]{{m,n}}`): {pattern:?}"));
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("unterminated character class: {pattern:?}"));
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if class[i] == '\\' && i + 1 < class.len() {
+            alphabet.push(class[i + 1]);
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class: {pattern:?}");
+
+    let rep = &rest[close + 1..];
+    if rep.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let counts = rep
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition (expected `{{m,n}}`): {pattern:?}"));
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+        None => {
+            let n = counts.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(min <= max, "bad repetition bounds in {pattern:?}");
+    (alphabet, min, max)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can act as a collection size: an exact count or a
+    /// range of counts.
+    pub trait SizeRange {
+        /// Draws one length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a size
+    /// drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>`: `None` a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy,
+    };
+}
+
+/// Declares property tests: each function runs its body against
+/// [`test_runner::CASES`] seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                    // The body runs inside a closure so `prop_assume!` can
+                    // reject the whole case with `return` from any nesting
+                    // depth (mirroring real proptest's TestCaseError::Reject).
+                    let __proptest_case = move || -> ::std::result::Result<(), $crate::CaseRejected> {
+                        $body
+                        Ok(())
+                    };
+                    let _rejected_is_fine = __proptest_case();
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property equality assertion (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property inequality assertion (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current random case when its precondition does not hold.
+///
+/// Expands to an early `return` from the case closure the [`proptest!`]
+/// macro wraps each body in, so it rejects the case correctly even from
+/// inside nested loops.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr $(, $($rest:tt)*)?) => {
+        if !$condition {
+            return Err($crate::CaseRejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{parse_class_regex, test_runner};
+
+    #[test]
+    fn class_regex_parsing() {
+        let (alphabet, min, max) = parse_class_regex("[a-c_]{1,12}");
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '_']);
+        assert_eq!((min, max), (1, 12));
+
+        let (alphabet, min, max) = parse_class_regex("[ -~]{0,64}");
+        assert_eq!(alphabet.len(), 95, "printable ASCII");
+        assert_eq!((min, max), (0, 64));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let a = test_runner::rng_for("x").next_u64();
+        let b = test_runner::rng_for("x").next_u64();
+        let c = test_runner::rng_for("y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runs_and_samples(len in 0usize..5, text in "[a-z]{2,4}", choice in prop_oneof![Just(1), Just(2)]) {
+            prop_assume!(len != 4);
+            prop_assert!(len < 4);
+            prop_assert_eq!(text.len() >= 2, true);
+            prop_assert_ne!(choice, 0);
+            let v = crate::Strategy::sample(
+                &crate::collection::vec(0u8..10, 1..3),
+                &mut crate::test_runner::rng_for("inner"),
+            );
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stub of `rand` (0.8-style API).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement for the handful of external crates it uses (see
+//! `vendor/README.md`). This crate implements the exact surface the
+//! `datagen` and `bft-sim` crates rely on:
+//!
+//! * [`Rng`] with `gen`, `gen_bool` and `gen_range` (half-open and inclusive
+//!   integer ranges);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`], a xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The generator is deterministic for a given seed, which is all the
+//! calibrated/parametric dataset builders need. Swapping in the real `rand`
+//! later is a manifest-only change, although it would change the sampled
+//! streams (and therefore the exact synthetic datasets) for a given seed.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+/// A source of random `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A type that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample values of type `T` from.
+///
+/// The trait is generic over the output type (mirroring `rand`'s design) so
+/// that integer-literal ranges like `1..=12` infer their type from how the
+/// sampled value is used.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing random-sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` (e.g. a `f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps a random `u64` to `[0, span)` with the widening-multiply method.
+fn bounded(word: u64, span: u64) -> u64 {
+    ((u128::from(word) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Wrapping add: for signed types the u64 offset can cast
+                // negative, and two's-complement wraparound is then exactly
+                // the right modular arithmetic.
+                self.start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every word is already uniform.
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1..=28u8);
+            assert!((1..=28).contains(&w));
+            let u = rng.gen_range(0..11usize);
+            assert!(u < 11);
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_full_width_signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(i32::MIN..i32::MAX);
+            neg |= v < 0;
+            pos |= v > 0;
+            let w = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = w;
+        }
+        assert!(neg && pos, "full-width range should cover both signs");
+    }
+
+    #[test]
+    fn gen_range_covers_the_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 12];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..12usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all 12 buckets should be hit");
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement for the handful of external crates it uses (see
+//! `vendor/README.md`). The data-model crates only *derive* `Serialize` /
+//! `Deserialize` — nothing in the workspace serializes through serde yet —
+//! so marker traits with blanket impls are sufficient for every bound to be
+//! satisfiable. The derive macros re-exported from [`serde_derive`] expand to
+//! nothing.
+//!
+//! Swapping in the real `serde` later is a manifest-only change; no source
+//! file references the stub directly.
+
+/// Marker stub of `serde::Serialize`; every type implements it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stub of `serde::Deserialize`; every sized type implements it.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stub of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

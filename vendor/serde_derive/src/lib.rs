@@ -1,0 +1,25 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement for the handful of external crates it uses (see
+//! `vendor/README.md`). This crate accepts the `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` attributes used throughout the data-model crates
+//! and expands to nothing: the stub `serde` crate provides blanket trait
+//! impls, so no generated code is required for the workspace to type-check.
+//!
+//! Swapping in the real `serde`/`serde_derive` later is a manifest-only
+//! change; no source file references the stub directly.
+
+use proc_macro::TokenStream;
+
+/// Stub of serde's `#[derive(Serialize)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub of serde's `#[derive(Deserialize)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
