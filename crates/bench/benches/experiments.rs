@@ -9,13 +9,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::CalibratedGenerator;
 use nvd_model::OsDistribution;
 use osdiv_core::{
-    ClassDistribution, KWayAnalysis, PairwiseAnalysis, ReleaseAnalysis, ReplicaSelection,
-    ServerProfile, SplitMatrix, StudyDataset, TemporalAnalysis, ValidityDistribution,
+    ClassDistribution, KWayAnalysis, KWayConfig, PairwiseAnalysis, ReleaseAnalysis,
+    ReplicaSelection, ServerProfile, SplitMatrix, Study, StudyDataset, TemporalAnalysis,
+    ValidityDistribution,
 };
 
-fn calibrated_study() -> StudyDataset {
+fn calibrated_study() -> Study {
     let dataset = CalibratedGenerator::new(2011).generate();
-    StudyDataset::from_entries(dataset.entries())
+    Study::from_entries(dataset.entries())
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -55,26 +56,38 @@ fn bench_pipeline(c: &mut Criterion) {
 fn bench_tables(c: &mut Criterion) {
     let study = calibrated_study();
     c.bench_function("table1/validity_distribution", |b| {
-        b.iter(|| ValidityDistribution::compute(&study))
+        b.iter(|| study.get_with::<ValidityDistribution>(&()).unwrap())
     });
     c.bench_function("table2/class_distribution", |b| {
-        b.iter(|| ClassDistribution::compute(&study))
+        b.iter(|| study.get_with::<ClassDistribution>(&()).unwrap())
     });
     c.bench_function("table3_table4/pairwise_analysis", |b| {
-        b.iter(|| PairwiseAnalysis::compute(&study))
+        b.iter(|| {
+            study
+                .get_with::<PairwiseAnalysis>(&Default::default())
+                .unwrap()
+        })
     });
     c.bench_function("table5/history_observed_split", |b| {
-        b.iter(|| SplitMatrix::compute(&study))
+        b.iter(|| study.get_with::<SplitMatrix>(&Default::default()).unwrap())
     });
     c.bench_function("table6/release_analysis", |b| {
-        b.iter(|| ReleaseAnalysis::compute(&study))
+        b.iter(|| {
+            study
+                .get_with::<ReleaseAnalysis>(&Default::default())
+                .unwrap()
+        })
     });
 }
 
 fn bench_figures(c: &mut Criterion) {
     let study = calibrated_study();
     c.bench_function("figure2/temporal_analysis", |b| {
-        b.iter(|| TemporalAnalysis::compute(&study))
+        b.iter(|| {
+            study
+                .get_with::<TemporalAnalysis>(&Default::default())
+                .unwrap()
+        })
     });
     c.bench_function("figure3/replica_selection", |b| {
         let selection = ReplicaSelection::new(&study);
@@ -85,7 +98,14 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| selection.best_groups(4, 3))
     });
     c.bench_function("section4b/kway_analysis", |b| {
-        b.iter(|| KWayAnalysis::compute(&study, ServerProfile::FatServer, 9))
+        b.iter(|| {
+            study
+                .get_with::<KWayAnalysis>(&KWayConfig {
+                    profile: ServerProfile::FatServer,
+                    max_k: 9,
+                })
+                .unwrap()
+        })
     });
 }
 

@@ -4,15 +4,19 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{ParametricConfig, ParametricGenerator};
-use osdiv_core::{KWayAnalysis, PairwiseAnalysis, ServerProfile, StudyDataset};
+use osdiv_core::{KWayAnalysis, KWayConfig, PairwiseAnalysis, ServerProfile, Study, StudyDataset};
 
 fn bench_dataset_size_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("scalability/pairwise_vs_dataset_size");
     for size in [500usize, 2_000, 8_000] {
         let dataset = ParametricGenerator::new(ParametricConfig::with_count(size)).generate();
-        let study = StudyDataset::from_entries(dataset.entries());
+        let study = Study::from_entries(dataset.entries());
         group.bench_with_input(BenchmarkId::from_parameter(size), &study, |b, study| {
-            b.iter(|| PairwiseAnalysis::compute(study))
+            b.iter(|| {
+                study
+                    .get_with::<PairwiseAnalysis>(&Default::default())
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -27,11 +31,20 @@ fn bench_reuse_sweep(c: &mut Criterion) {
             ..ParametricConfig::default()
         };
         let dataset = ParametricGenerator::new(config).generate();
-        let study = StudyDataset::from_entries(dataset.entries());
+        let study = Study::from_entries(dataset.entries());
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("reuse={reuse}")),
             &study,
-            |b, study| b.iter(|| KWayAnalysis::compute(study, ServerProfile::FatServer, 6)),
+            |b, study| {
+                b.iter(|| {
+                    study
+                        .get_with::<KWayAnalysis>(&KWayConfig {
+                            profile: ServerProfile::FatServer,
+                            max_k: 6,
+                        })
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

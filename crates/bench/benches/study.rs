@@ -1,0 +1,49 @@
+//! Session benches: the cost of warming a full `Study` cache sequentially
+//! (one analysis after another) vs in parallel (`Study::run_all` fanning the
+//! registry out across scoped threads), plus the marginal cost of a memoized
+//! lookup. The measured numbers are recorded per PR in CHANGES.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::CalibratedGenerator;
+use osdiv_core::{registry, Format, PairwiseAnalysis, Study, StudyDataset};
+
+fn calibrated_dataset() -> StudyDataset {
+    let dataset = CalibratedGenerator::new(2011).generate();
+    StudyDataset::from_entries(dataset.entries())
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let dataset = calibrated_dataset();
+    c.bench_function("study/full_report_sequential", |b| {
+        b.iter(|| {
+            let study = Study::new(dataset.clone());
+            for entry in registry() {
+                (entry.prime)(&study).unwrap();
+            }
+            study.report(Format::Text).unwrap()
+        })
+    });
+    c.bench_function("study/full_report_parallel_run_all", |b| {
+        b.iter(|| {
+            let study = Study::new(dataset.clone());
+            study.run_all().unwrap();
+            study.report(Format::Text).unwrap()
+        })
+    });
+}
+
+fn bench_memoized_lookup(c: &mut Criterion) {
+    let dataset = calibrated_dataset();
+    let study = Study::new(dataset);
+    study.run_all().unwrap();
+    c.bench_function("study/memoized_get_pairwise", |b| {
+        b.iter(|| study.get::<PairwiseAnalysis>().unwrap())
+    });
+}
+
+criterion_group!(
+    name = study;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_report, bench_memoized_lookup
+);
+criterion_main!(study);

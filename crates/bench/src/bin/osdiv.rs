@@ -1,0 +1,496 @@
+//! The `osdiv` CLI: one dispatcher for every table, figure and simulation
+//! of the study, replacing the twelve single-purpose experiment binaries.
+//!
+//! ```text
+//! osdiv <command> [--format text|csv|json] [--seed N] [--profile fat|thin|isolated]
+//!                 [--first-year Y] [--last-year Y] [--trials N]
+//! ```
+//!
+//! The default invocation of each command reproduces the corresponding
+//! historical binary byte for byte (text format, seed 2011); `--format csv`
+//! and `--format json` export the same deliverables through the
+//! [`osdiv_core::render`] sinks. `osdiv list` prints the analysis registry,
+//! so newly registered analyses appear in `report` and the help text
+//! without touching the dispatcher.
+
+use std::str::FromStr;
+
+use bft_sim::{ReplicaSet, SimulationConfig, Simulator};
+use nvd_model::{OsDistribution, OsFamily};
+use osdiv_bench::harness::{study_session_with_seed, EXPERIMENT_SEED};
+use osdiv_core::{
+    figure3_configurations, renderer, AnalysisError, AnalysisId, Format, KWayAnalysis, KWayConfig,
+    ReleaseAnalysis, ReleaseConfig, Render, Section, SelectionAnalysis, SelectionConfig,
+    ServerProfile, SplitConfig, SplitMatrix, Study, TemporalAnalysis, TemporalConfig, TextRenderer,
+};
+use tabular::TextTable;
+
+/// The dispatcher's command table: `(name, summary)`. The per-analysis
+/// registry behind `report` and `list` lives in `osdiv_core::registry`.
+const COMMANDS: &[(&str, &str)] = &[
+    (
+        "table1",
+        "Table I: distribution of OS vulnerabilities by validity",
+    ),
+    ("table2", "Table II: vulnerabilities per OS component class"),
+    ("table3", "Table III: pairwise common vulnerabilities"),
+    (
+        "table4",
+        "Table IV: isolated thin server per-class breakdown",
+    ),
+    (
+        "table5",
+        "Table V: history vs observed common vulnerabilities",
+    ),
+    (
+        "table6",
+        "Table VI: common vulnerabilities between OS releases",
+    ),
+    ("figure2", "Figure 2: per-family temporal series"),
+    (
+        "figure3",
+        "Figure 3: replica selection validated on the observed period",
+    ),
+    (
+        "kway",
+        "Section IV-B: vulnerabilities shared by k or more OSes",
+    ),
+    ("summary", "Section IV-E: summary of the findings"),
+    ("survival", "Monte-Carlo survival of replica configurations"),
+    ("report", "every table and figure in one document"),
+    ("list", "print the analysis registry"),
+    ("help", "show this help"),
+];
+
+#[derive(Debug, Clone)]
+struct Options {
+    format: Format,
+    seed: u64,
+    profile: Option<ServerProfile>,
+    first_year: Option<u16>,
+    last_year: Option<u16>,
+    trials: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            format: Format::Text,
+            seed: EXPERIMENT_SEED,
+            profile: None,
+            first_year: None,
+            last_year: None,
+            trials: 400,
+        }
+    }
+}
+
+enum CliError {
+    /// Bad invocation: message goes to stderr, exit code 2.
+    Usage(String),
+    /// A (configuration) error from the analysis layer: exit code 1.
+    Analysis(AnalysisError),
+}
+
+impl From<AnalysisError> for CliError {
+    fn from(error: AnalysisError) -> Self {
+        CliError::Analysis(error)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(message)) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+        Err(CliError::Analysis(error)) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(usage()));
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(usage());
+    }
+    if !COMMANDS.iter().any(|(name, _)| name == command) {
+        return Err(CliError::Usage(format!(
+            "unknown command {command:?}\n\n{}",
+            usage()
+        )));
+    }
+    let opts = parse_options(&args[1..])?;
+    if command == "list" {
+        return Ok(list_analyses(opts.format));
+    }
+    let study = study_session_with_seed(opts.seed);
+    dispatch(command, &study, &opts).map_err(CliError::from)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value\n\n{}", usage())))
+        };
+        match flag.as_str() {
+            "--format" => opts.format = Format::from_str(&value("--format")?)?,
+            "--seed" => {
+                let raw = value("--seed")?;
+                opts.seed = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --seed {raw:?}")))?;
+            }
+            "--profile" => opts.profile = Some(ServerProfile::from_str(&value("--profile")?)?),
+            "--first-year" => {
+                let raw = value("--first-year")?;
+                opts.first_year = Some(
+                    raw.parse()
+                        .map_err(|_| CliError::Usage(format!("invalid --first-year {raw:?}")))?,
+                );
+            }
+            "--last-year" => {
+                let raw = value("--last-year")?;
+                opts.last_year = Some(
+                    raw.parse()
+                        .map_err(|_| CliError::Usage(format!("invalid --last-year {raw:?}")))?,
+                );
+            }
+            "--trials" => {
+                let raw = value("--trials")?;
+                opts.trials = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --trials {raw:?}")))?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?}\n\n{}",
+                    usage()
+                )));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "osdiv — reproduce the tables and figures of \"OS diversity for intrusion \
+         tolerance\" (DSN 2011)\n\nUsage: osdiv <command> [options]\n\nCommands:\n",
+    );
+    for (name, summary) in COMMANDS {
+        out.push_str(&format!("  {name:<10} {summary}\n"));
+    }
+    out.push_str(
+        "\nOptions:\n  \
+         --format <text|csv|json>         output format (default: text)\n  \
+         --seed <N>                       dataset generator seed (default: 2011)\n  \
+         --profile <fat|thin|isolated>    server profile for kway/table5/table6/figure3\n  \
+         --first-year <Y>                 figure2: first year of the series (default: 1993)\n  \
+         --last-year <Y>                  figure2: last year of the series (default: 2010)\n  \
+         --trials <N>                     survival: Monte-Carlo trials (default: 400)\n\nAnalyses \
+         (osdiv list):\n",
+    );
+    for entry in osdiv_core::registry() {
+        out.push_str(&format!(
+            "  {:<10} {} — {}\n",
+            entry.id.name(),
+            entry.id.deliverables(),
+            entry.id.describe()
+        ));
+    }
+    out
+}
+
+fn list_analyses(format: Format) -> String {
+    let mut table = TextTable::new(["Analysis", "Deliverables", "Description"]);
+    for entry in osdiv_core::registry() {
+        table.push_row([
+            entry.id.name().to_string(),
+            entry.id.deliverables().to_string(),
+            entry.id.describe().to_string(),
+        ]);
+    }
+    let sections = [Section::table("Analysis registry", table.clone())];
+    emit(format, &sections, || table.render())
+}
+
+/// Replicates the header style of the historical experiment binaries.
+fn header(title: &str) -> String {
+    let width = title.len().max(8);
+    let bar = "=".repeat(width);
+    format!("{bar}\n{title}\n{bar}\n")
+}
+
+/// Renders a command's sections: the historical text layout for
+/// `Format::Text`, the pluggable sinks otherwise.
+fn emit(format: Format, sections: &[Section], text: impl FnOnce() -> String) -> String {
+    match format {
+        Format::Text => text(),
+        other => renderer(other).document(sections),
+    }
+}
+
+/// Renders one section's body in the text style (aligned table / CSV
+/// series), without its heading.
+fn body(section: &Section) -> String {
+    TextRenderer.artifact(&section.artifact)
+}
+
+/// The registry sections of an analysis (used for the CSV/JSON exports so
+/// every entry point emits the same section titles as the combined report).
+fn registry_sections(study: &Study, id: AnalysisId) -> Result<Vec<Section>, AnalysisError> {
+    (osdiv_core::registry_entry(id).sections)(study)
+}
+
+fn dispatch(command: &str, study: &Study, opts: &Options) -> Result<String, AnalysisError> {
+    match command {
+        "table1" => {
+            let sections = registry_sections(study, AnalysisId::Validity)?;
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}",
+                    header("Table I: distribution of OS vulnerabilities in NVD"),
+                    body(&sections[0])
+                )
+            }))
+        }
+        "table2" => {
+            let sections = registry_sections(study, AnalysisId::Classes)?;
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}",
+                    header("Table II: vulnerabilities per OS component class"),
+                    body(&sections[0])
+                )
+            }))
+        }
+        "table3" => {
+            // The pairwise registry entry builds [Table III, Table IV, summary].
+            let sections = vec![registry_sections(study, AnalysisId::Pairwise)?.swap_remove(0)];
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}",
+                    header("Table III: pairwise common vulnerabilities (1994 - Sept. 2010)"),
+                    body(&sections[0])
+                )
+            }))
+        }
+        "table4" => {
+            let sections = vec![registry_sections(study, AnalysisId::Pairwise)?.swap_remove(1)];
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}",
+                    header("Table IV: common vulnerabilities on Isolated Thin Servers"),
+                    body(&sections[0])
+                )
+            }))
+        }
+        "table5" => {
+            let sections = match opts.profile {
+                None => registry_sections(study, AnalysisId::Split)?,
+                Some(profile) => {
+                    let matrix = study.get_with::<SplitMatrix>(&SplitConfig {
+                        profile,
+                        ..SplitConfig::default()
+                    })?;
+                    vec![Section::table(
+                        "Table V: history vs observed",
+                        matrix.to_table(),
+                    )]
+                }
+            };
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}",
+                    header(
+                        "Table V: history (above diagonal) vs observed (below) common \
+                         vulnerabilities"
+                    ),
+                    body(&sections[0])
+                )
+            }))
+        }
+        "table6" => {
+            let analysis = match opts.profile {
+                None => study.get::<ReleaseAnalysis>()?,
+                Some(profile) => {
+                    std::sync::Arc::new(study.get_with::<ReleaseAnalysis>(&ReleaseConfig {
+                        profile,
+                        ..ReleaseConfig::default()
+                    })?)
+                }
+            };
+            let sections = match opts.profile {
+                None => registry_sections(study, AnalysisId::Releases)?,
+                Some(_) => vec![Section::table("Table VI: OS releases", analysis.to_table())],
+            };
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}{} of {} release pairs share no vulnerability at all\n",
+                    header("Table VI: common vulnerabilities between OS releases"),
+                    body(&sections[0]),
+                    analysis.disjoint_pairs(),
+                    analysis.rows().len()
+                )
+            }))
+        }
+        "figure2" => {
+            let sections = match (opts.first_year, opts.last_year) {
+                (None, None) => registry_sections(study, AnalysisId::Temporal)?,
+                (first, last) => {
+                    let defaults = TemporalConfig::default();
+                    let temporal = study.get_with::<TemporalAnalysis>(&TemporalConfig {
+                        first_year: first.unwrap_or(defaults.first_year),
+                        last_year: last.unwrap_or(defaults.last_year),
+                    })?;
+                    OsFamily::ALL
+                        .into_iter()
+                        .map(|family| {
+                            Section::series(
+                                format!("Figure 2 ({family} family)"),
+                                temporal.family_series(family),
+                            )
+                        })
+                        .collect()
+                }
+            };
+            Ok(emit(opts.format, &sections, || {
+                let mut out = String::new();
+                for (family, section) in OsFamily::ALL.into_iter().zip(&sections) {
+                    out.push_str(&header(&format!(
+                        "Figure 2: {family} family (vulnerabilities per year)"
+                    )));
+                    out.push_str(&body(section));
+                    out.push('\n');
+                }
+                out
+            }))
+        }
+        "figure3" => {
+            let analysis = match opts.profile {
+                None => study.get::<SelectionAnalysis>()?,
+                Some(profile) => {
+                    std::sync::Arc::new(study.get_with::<SelectionAnalysis>(&SelectionConfig {
+                        profile,
+                        ..SelectionConfig::default()
+                    })?)
+                }
+            };
+            let sections = match opts.profile {
+                None => registry_sections(study, AnalysisId::Selection)?,
+                Some(_) => vec![
+                    Section::table("Figure 3: replica configurations", analysis.to_table()),
+                    Section::table(
+                        "Best four-OS groups ranked from history data",
+                        analysis.ranking_table(),
+                    ),
+                ],
+            };
+            Ok(emit(opts.format, &sections, || {
+                let mut out = String::new();
+                out.push_str(&header(
+                    "Figure 3: replica configurations (history vs observed common vulnerabilities)",
+                ));
+                out.push_str(&body(&sections[0]));
+                out.push('\n');
+                out.push_str(&header("Best four-OS groups ranked from history data"));
+                for (group, score) in analysis.ranked_groups() {
+                    out.push_str(&format!("{group}  history score = {score}\n"));
+                }
+                out
+            }))
+        }
+        "kway" => {
+            let profiles: Vec<ServerProfile> = match opts.profile {
+                Some(profile) => vec![profile],
+                None => vec![ServerProfile::FatServer, ServerProfile::IsolatedThinServer],
+            };
+            let mut analyses = Vec::new();
+            for profile in profiles {
+                let analysis = if profile == KWayConfig::default().profile {
+                    study.get::<KWayAnalysis>()?
+                } else {
+                    std::sync::Arc::new(study.get_with::<KWayAnalysis>(&KWayConfig {
+                        profile,
+                        ..KWayConfig::default()
+                    })?)
+                };
+                analyses.push((profile, analysis));
+            }
+            let sections: Vec<Section> = analyses
+                .iter()
+                .map(|(profile, analysis)| {
+                    Section::table(
+                        format!("k-OS combinations ({profile})"),
+                        analysis.to_table(),
+                    )
+                })
+                .collect();
+            Ok(emit(opts.format, &sections, || {
+                let mut out = String::new();
+                for (profile, analysis) in &analyses {
+                    out.push_str(&header(&format!("k-OS combinations ({profile})")));
+                    out.push_str(&analysis.to_table().render());
+                    out.push('\n');
+                }
+                out
+            }))
+        }
+        "summary" => {
+            let sections = vec![registry_sections(study, AnalysisId::Pairwise)?.swap_remove(2)];
+            Ok(emit(opts.format, &sections, || {
+                format!(
+                    "{}{}",
+                    header("Section IV-E: summary of the findings"),
+                    body(&sections[0])
+                )
+            }))
+        }
+        "survival" => {
+            let config = SimulationConfig::default()
+                .with_trials(opts.trials)
+                .with_seed(7);
+            let simulator = Simulator::new(study.dataset(), config);
+            let mut configurations = vec![ReplicaSet::homogeneous(OsDistribution::Debian, 4)];
+            for (_, oses) in figure3_configurations() {
+                configurations.push(ReplicaSet::diverse(oses));
+            }
+            let mut table = TextTable::new([
+                "Configuration",
+                "P(system compromised)",
+                "Mean time to failure (days)",
+                "Mean peak compromised replicas",
+            ]);
+            for set in &configurations {
+                let outcome = simulator.run(set);
+                table.push_row([
+                    outcome.label().to_string(),
+                    format!("{:.2}", outcome.failure_probability()),
+                    outcome
+                        .mean_time_to_failure_days()
+                        .map(|d| format!("{d:.0}"))
+                        .unwrap_or_else(|| "never failed".to_string()),
+                    format!("{:.2}", outcome.mean_peak_compromised()),
+                ]);
+            }
+            let title = "Survival of replica configurations over 2006-2010 (Monte-Carlo)";
+            let sections = [Section::table(title, table.clone())];
+            Ok(emit(opts.format, &sections, || {
+                format!("{}{}", header(title), table.render())
+            }))
+        }
+        "report" => study.report(opts.format),
+        other => unreachable!("command {other} is filtered by the dispatcher"),
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared helpers for the experiment binaries and Criterion benches.
 
 use datagen::CalibratedGenerator;
-use osdiv_core::StudyDataset;
+use osdiv_core::{Study, StudyDataset};
 
 /// The seed used by every experiment binary so their outputs are mutually
 /// consistent (and consistent with EXPERIMENTS.md).
@@ -11,6 +11,19 @@ pub const EXPERIMENT_SEED: u64 = 2011;
 pub fn calibrated_study() -> StudyDataset {
     let dataset = CalibratedGenerator::new(EXPERIMENT_SEED).generate();
     StudyDataset::from_entries(dataset.entries())
+}
+
+/// Builds a [`Study`] session over the calibrated dataset at the default
+/// experiment seed.
+pub fn study_session() -> Study {
+    study_session_with_seed(EXPERIMENT_SEED)
+}
+
+/// Builds a [`Study`] session over the calibrated dataset at an arbitrary
+/// seed (the CLI's `--seed` flag).
+pub fn study_session_with_seed(seed: u64) -> Study {
+    let dataset = CalibratedGenerator::new(seed).generate();
+    Study::from_entries(dataset.entries())
 }
 
 /// Prints a section header in the style used by all experiment binaries.

@@ -2,13 +2,16 @@
 //!
 //! This crate hosts:
 //!
-//! * binary targets (`src/bin/*`) that regenerate every table and figure of
-//!   the paper from the calibrated synthetic dataset and print them in the
-//!   paper's layout;
+//! * the `osdiv` CLI (`src/bin/osdiv.rs`): one dispatcher with a subcommand
+//!   per table/figure of the paper, driven by the
+//!   [`osdiv_core::registry`](osdiv_core::analysis::registry) so new
+//!   analyses appear automatically, with `--format text|csv|json` exports
+//!   through the pluggable renderers;
 //! * Criterion benches (`benches/*`) that measure the cost of the full
-//!   analysis pipeline and of each individual experiment.
+//!   analysis pipeline, each individual experiment, and the sequential vs
+//!   parallel `Study::run_all` session warm-up.
 //!
-//! The library portion only re-exports small helpers shared by the binaries
-//! and benches.
+//! The library portion only re-exports small helpers shared by the CLI and
+//! the benches.
 
 pub mod harness;

@@ -1,8 +1,11 @@
 //! Per-OS distributions: validity (Table I) and component classes (Table II).
 
 use nvd_model::{OsDistribution, OsPart, Validity};
+use tabular::TextTable;
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::StudyDataset;
+use crate::study::Study;
 
 /// The Table I reproduction: per-OS counts by validity flag, plus the
 /// distinct counts across OSes.
@@ -14,7 +17,12 @@ pub struct ValidityDistribution {
 
 impl ValidityDistribution {
     /// Computes the distribution from a dataset.
+    #[deprecated(since = "0.2.0", note = "use `Study::get::<ValidityDistribution>()`")]
     pub fn compute(study: &StudyDataset) -> Self {
+        Self::compute_impl(study)
+    }
+
+    fn compute_impl(study: &StudyDataset) -> Self {
         let index_of = |validity: Validity| {
             Validity::ALL
                 .iter()
@@ -60,6 +68,50 @@ impl ValidityDistribution {
     pub fn distinct_valid(&self) -> usize {
         self.distinct[0]
     }
+
+    /// Renders Table I (distribution of OS vulnerabilities by validity).
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(["OS", "Valid", "Unknown", "Unspecified", "Disputed"]);
+        for (os, counts) in self.per_os() {
+            table.push_row([
+                os.short_name().to_string(),
+                counts[0].to_string(),
+                counts[1].to_string(),
+                counts[2].to_string(),
+                counts[3].to_string(),
+            ]);
+        }
+        let distinct = self.distinct();
+        table.push_row([
+            "# distinct vuln.".to_string(),
+            distinct[0].to_string(),
+            distinct[1].to_string(),
+            distinct[2].to_string(),
+            distinct[3].to_string(),
+        ]);
+        table
+    }
+}
+
+impl Analysis for ValidityDistribution {
+    type Config = ();
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Validity
+    }
+
+    fn run(study: &Study, _config: &()) -> Result<Self, AnalysisError> {
+        Ok(Self::compute_impl(study.dataset()))
+    }
+}
+
+/// The Table I section of the combined report.
+pub(crate) fn validity_sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    Ok(vec![Section::table(
+        "Table I: validity distribution",
+        study.get::<ValidityDistribution>()?.to_table(),
+    )])
 }
 
 /// The Table II reproduction: per-OS counts by component class, plus the
@@ -75,7 +127,12 @@ impl ClassDistribution {
     /// Computes the distribution from a dataset. Only valid vulnerabilities
     /// are counted; unclassified rows are ignored (the paper classified
     /// every valid entry, so run the classifier first for full coverage).
+    #[deprecated(since = "0.2.0", note = "use `Study::get::<ClassDistribution>()`")]
     pub fn compute(study: &StudyDataset) -> Self {
+        Self::compute_impl(study)
+    }
+
+    fn compute_impl(study: &StudyDataset) -> Self {
         let index_of = |part: OsPart| {
             OsPart::ALL
                 .iter()
@@ -143,10 +200,69 @@ impl ClassDistribution {
         }
         percentages
     }
+
+    /// The percentage of one class over the distinct classified
+    /// vulnerabilities.
+    pub fn class_percentage(&self, part: OsPart) -> f64 {
+        let index = OsPart::ALL
+            .iter()
+            .position(|p| *p == part)
+            .expect("OsPart::ALL is exhaustive");
+        self.class_percentages()[index]
+    }
+
+    /// Renders Table II (vulnerabilities per OS component class).
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(["OS", "Driver", "Kernel", "Sys. Soft.", "App.", "Total"]);
+        for (os, counts) in self.per_os() {
+            let total: usize = counts.iter().sum();
+            table.push_row([
+                os.short_name().to_string(),
+                counts[0].to_string(),
+                counts[1].to_string(),
+                counts[2].to_string(),
+                counts[3].to_string(),
+                total.to_string(),
+            ]);
+        }
+        let percentages = self.class_percentages();
+        table.push_row([
+            "% Total".to_string(),
+            format!("{:.1}%", percentages[0]),
+            format!("{:.1}%", percentages[1]),
+            format!("{:.1}%", percentages[2]),
+            format!("{:.1}%", percentages[3]),
+            String::new(),
+        ]);
+        table
+    }
+}
+
+impl Analysis for ClassDistribution {
+    type Config = ();
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Classes
+    }
+
+    fn run(study: &Study, _config: &()) -> Result<Self, AnalysisError> {
+        Ok(Self::compute_impl(study.dataset()))
+    }
+}
+
+/// The Table II section of the combined report.
+pub(crate) fn class_sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    Ok(vec![Section::table(
+        "Table II: component classes",
+        study.get::<ClassDistribution>()?.to_table(),
+    )])
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use datagen::calibration::{table1_row, table2_row};
     use datagen::CalibratedGenerator;

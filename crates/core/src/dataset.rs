@@ -47,6 +47,23 @@ impl std::fmt::Display for ServerProfile {
     }
 }
 
+impl std::str::FromStr for ServerProfile {
+    type Err = crate::analysis::AnalysisError;
+
+    /// Parses the CLI spellings of the three profiles: `fat`, `thin` and
+    /// `isolated` (plus a few long-form aliases).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fat" | "fat-server" | "all" => Ok(ServerProfile::FatServer),
+            "thin" | "thin-server" | "noapp" => Ok(ServerProfile::ThinServer),
+            "isolated" | "isolated-thin" | "its" => Ok(ServerProfile::IsolatedThinServer),
+            other => Err(crate::analysis::AnalysisError::UnknownProfile(
+                other.to_string(),
+            )),
+        }
+    }
+}
+
 /// The two periods of the Table V / Figure 3 analysis, plus the full study
 /// period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -10,8 +10,31 @@
 //!   under a chosen server profile.
 
 use nvd_model::{OsDistribution, OsSet};
+use tabular::TextTable;
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::study::Study;
+
+/// Configuration of the combination analysis: the server profile and the
+/// largest group size to enumerate. The default matches the combined
+/// report's Fat Server run up to `k = 9`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KWayConfig {
+    /// The server profile groups are evaluated under.
+    pub profile: ServerProfile,
+    /// Largest group size (inclusive).
+    pub max_k: usize,
+}
+
+impl Default for KWayConfig {
+    fn default() -> Self {
+        KWayConfig {
+            profile: ServerProfile::FatServer,
+            max_k: 9,
+        }
+    }
+}
 
 /// The per-`k` result of the combination analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +62,15 @@ impl KWayAnalysis {
     /// Runs the analysis for group sizes 2 through `max_k` under the given
     /// profile. Group enumeration is exhaustive (there are at most
     /// `C(11, 5) = 462` groups per size), matching the paper's methodology.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Study::get::<KWayAnalysis>()` or `Study::get_with::<KWayAnalysis>(&KWayConfig { .. })`"
+    )]
     pub fn compute(study: &StudyDataset, profile: ServerProfile, max_k: usize) -> Self {
+        Self::compute_impl(study, profile, max_k)
+    }
+
+    fn compute_impl(study: &StudyDataset, profile: ServerProfile, max_k: usize) -> Self {
         let mut rows = Vec::new();
         let universe = OsSet::all();
         for k in 2..=max_k {
@@ -96,10 +127,68 @@ impl KWayAnalysis {
             .map(|row| row.k)
             .max()
     }
+
+    /// Renders the k-OS combination analysis (Section IV-B).
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new([
+            "k",
+            "vulns affecting >= k OSes",
+            "best group",
+            "best count",
+            "worst group",
+            "worst count",
+        ]);
+        for row in self.rows() {
+            let (best_group, best_count) = row
+                .best_group
+                .map(|(set, count)| (set.to_string(), count.to_string()))
+                .unwrap_or_default();
+            let (worst_group, worst_count) = row
+                .worst_group
+                .map(|(set, count)| (set.to_string(), count.to_string()))
+                .unwrap_or_default();
+            table.push_row([
+                row.k.to_string(),
+                row.vulnerabilities_at_least_k.to_string(),
+                best_group,
+                best_count,
+                worst_group,
+                worst_count,
+            ]);
+        }
+        table
+    }
+}
+
+impl Analysis for KWayAnalysis {
+    type Config = KWayConfig;
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::KWay
+    }
+
+    fn run(study: &Study, config: &KWayConfig) -> Result<Self, AnalysisError> {
+        Ok(Self::compute_impl(
+            study.dataset(),
+            config.profile,
+            config.max_k,
+        ))
+    }
+}
+
+/// The Section IV-B section of the combined report.
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    Ok(vec![Section::table(
+        "Section IV-B: k-OS combinations",
+        study.get::<KWayAnalysis>()?.to_table(),
+    )])
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use datagen::CalibratedGenerator;
     use nvd_model::CveId;

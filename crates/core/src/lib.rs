@@ -4,61 +4,88 @@
 //!
 //! The crate answers the paper's central question — *what are the gains of
 //! applying OS diversity in a replicated intrusion-tolerant system?* — from
-//! a vulnerability dataset:
+//! a vulnerability dataset, through a small session API:
 //!
-//! * [`StudyDataset`] wraps the relational store and exposes the filtered
-//!   views the paper uses (Fat Server, Thin Server, Isolated Thin Server);
-//! * [`pairwise`] computes the common-vulnerability counts for every OS pair
-//!   (Table III), their per-class breakdown (Table IV) and the summary
-//!   statistics of Section IV-E (average reduction, pairs with at most one
-//!   common vulnerability);
-//! * [`classes`] reproduces the validity distribution (Table I) and the
-//!   per-class distribution (Table II);
-//! * [`temporal`] produces the per-family, per-year series of Figure 2;
-//! * [`kway`] counts vulnerabilities shared by k or more OSes and finds the
-//!   best/worst groups of a given size (Section IV-B);
-//! * [`split`] computes the history/observed matrix of Table V;
-//! * [`selection`] selects replica groups from history data and validates
-//!   them on observed data (Section IV-C, Figure 3);
-//! * [`releases`] analyses diversity across OS releases (Table VI);
-//! * [`report`] renders every analysis as aligned text tables / CSV series.
+//! * [`Study`] wraps a [`StudyDataset`] and runs analyses on demand,
+//!   **memoizing** each default-configuration result and fanning the whole
+//!   registry out across threads with [`Study::run_all`];
+//! * [`Analysis`] is the trait every deliverable implements: a typed
+//!   `Config` (whose `Default` is the paper's setup), an `Output`, and a
+//!   pure `run` over the session. Analyses compose — the Section IV-E
+//!   summary reuses the memoized pairwise and class results;
+//! * [`AnalysisId`] names the eight registered analyses; the
+//!   [`analysis::registry`] drives the combined report and the `osdiv` CLI,
+//!   so a new analysis plugs into both with one entry;
+//! * [`render`] holds the pluggable output sinks: every table and figure
+//!   renders as aligned text, CSV or JSON through the
+//!   [`Render`](render::Render) trait.
+//!
+//! The eight analyses map to the paper as follows: [`ValidityDistribution`]
+//! (Table I), [`ClassDistribution`] (Table II), [`PairwiseAnalysis`]
+//! (Tables III/IV and the Section IV-E summary), [`SplitMatrix`] (Table V),
+//! [`ReleaseAnalysis`] (Table VI), [`TemporalAnalysis`] (Figure 2),
+//! [`KWayAnalysis`] (Section IV-B) and [`SelectionAnalysis`] (Section IV-C,
+//! Figure 3).
 //!
 //! # Example
 //!
 //! ```
 //! use datagen::CalibratedGenerator;
-//! use nvd_model::{OsDistribution, OsSet};
-//! use osdiv_core::{ServerProfile, StudyDataset};
+//! use osdiv_core::{AnalysisId, Format, PairwiseAnalysis, Study};
 //!
 //! let dataset = CalibratedGenerator::new(1).generate();
-//! let study = StudyDataset::from_entries(dataset.entries());
+//! let study = Study::from_entries(dataset.entries());
 //!
-//! let pair = OsSet::pair(OsDistribution::Debian, OsDistribution::RedHat);
-//! let fat = study.count_common(pair, ServerProfile::FatServer);
-//! let isolated = study.count_common(pair, ServerProfile::IsolatedThinServer);
-//! assert!(isolated < fat, "filtering must reduce common vulnerabilities");
+//! // Typed, memoized analysis lookup.
+//! let pairwise = study.get::<PairwiseAnalysis>().unwrap();
+//! assert_eq!(pairwise.rows().len(), 55);
+//! assert!(study.is_cached(AnalysisId::Pairwise));
+//!
+//! // Custom configurations are what-if queries.
+//! use osdiv_core::TemporalConfig;
+//! let window = study
+//!     .get_with::<osdiv_core::TemporalAnalysis>(&TemporalConfig {
+//!         first_year: 2000,
+//!         last_year: 2005,
+//!     })
+//!     .unwrap();
+//! assert_eq!(window.last_year(), 2005);
+//!
+//! // The whole report, in any format, computed in parallel.
+//! study.run_all().unwrap();
+//! let json = study.report(Format::Json).unwrap();
+//! assert!(json.starts_with("{\"sections\":["));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod classes;
 pub mod dataset;
 pub mod kway;
 pub mod pairwise;
 pub mod releases;
+pub mod render;
 pub mod report;
 pub mod selection;
 pub mod split;
+pub mod study;
 pub mod temporal;
 
+pub use analysis::{
+    registry, registry_entry, Analysis, AnalysisEntry, AnalysisError, AnalysisId, Artifact, Section,
+};
 pub use classes::{ClassDistribution, ValidityDistribution};
 pub use dataset::{Period, ServerProfile, StudyDataset};
-pub use kway::{KWayAnalysis, KWayRow};
-pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseSummary, PartBreakdownRow};
-pub use releases::{ReleaseAnalysis, ReleasePairRow};
+pub use kway::{KWayAnalysis, KWayConfig, KWayRow};
+pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseConfig, PairwiseSummary, PartBreakdownRow};
+pub use releases::{ReleaseAnalysis, ReleaseConfig, ReleasePairRow};
+pub use render::{renderer, CsvRenderer, Format, JsonRenderer, Render, TextRenderer};
 pub use selection::{
-    figure3_configurations, ConfigurationOutcome, ReplicaSelection, SelectionCriterion,
+    figure3_configurations, figure3_table, ConfigurationOutcome, ReplicaSelection,
+    SelectionAnalysis, SelectionConfig, SelectionCriterion,
 };
-pub use split::SplitMatrix;
-pub use temporal::TemporalAnalysis;
+pub use split::{SplitConfig, SplitMatrix};
+pub use study::Study;
+pub use temporal::{TemporalAnalysis, TemporalConfig};

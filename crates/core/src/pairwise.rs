@@ -2,8 +2,12 @@
 //! summary findings of Section IV-E).
 
 use nvd_model::{OsDistribution, OsPart, OsSet};
+use tabular::TextTable;
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
+use crate::classes::ClassDistribution;
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::study::Study;
 
 /// One row of the Table III reproduction: an OS pair with its per-OS totals
 /// and common counts under the three profiles.
@@ -86,14 +90,40 @@ pub struct PairwiseAnalysis {
     breakdown: Vec<PartBreakdownRow>,
 }
 
+/// Configuration of the pairwise analysis: which OSes to pair up. The
+/// default covers the paper's 11 distributions; the three server profiles
+/// are always computed side by side (they are the columns of Table III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseConfig {
+    /// The OSes whose pairs are analysed.
+    pub oses: Vec<OsDistribution>,
+}
+
+impl Default for PairwiseConfig {
+    fn default() -> Self {
+        PairwiseConfig {
+            oses: OsDistribution::ALL.to_vec(),
+        }
+    }
+}
+
 impl PairwiseAnalysis {
     /// Runs the analysis over every pair of the 11 studied OSes.
+    #[deprecated(since = "0.2.0", note = "use `Study::get::<PairwiseAnalysis>()`")]
     pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_for(study, &OsDistribution::ALL)
+        Self::compute_impl(study, &OsDistribution::ALL)
     }
 
     /// Runs the analysis over every pair of a chosen OS subset.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Study::get_with::<PairwiseAnalysis>(&PairwiseConfig { oses })`"
+    )]
     pub fn compute_for(study: &StudyDataset, oses: &[OsDistribution]) -> Self {
+        Self::compute_impl(study, oses)
+    }
+
+    fn compute_impl(study: &StudyDataset, oses: &[OsDistribution]) -> Self {
         let totals: Vec<(OsDistribution, (usize, usize, usize))> = oses
             .iter()
             .map(|&os| (os, per_profile_totals(study, OsSet::singleton(os))))
@@ -193,6 +223,141 @@ impl PairwiseAnalysis {
             pairs_with_no_common_at_all: none_at_all,
         }
     }
+
+    /// Renders Table III (pairwise common vulnerabilities under the three
+    /// filters).
+    pub fn to_table3(&self) -> TextTable {
+        let mut table = TextTable::new([
+            "Pair (A-B)",
+            "v(A) all",
+            "v(B) all",
+            "v(AB) all",
+            "v(A) noapp",
+            "v(B) noapp",
+            "v(AB) noapp",
+            "v(A) its",
+            "v(B) its",
+            "v(AB) its",
+        ]);
+        for row in self.rows() {
+            table.push_row([
+                format!("{}-{}", row.a.short_name(), row.b.short_name()),
+                row.v_a.0.to_string(),
+                row.v_b.0.to_string(),
+                row.v_ab.0.to_string(),
+                row.v_a.1.to_string(),
+                row.v_b.1.to_string(),
+                row.v_ab.1.to_string(),
+                row.v_a.2.to_string(),
+                row.v_b.2.to_string(),
+                row.v_ab.2.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Renders Table IV (common vulnerabilities on Isolated Thin Servers,
+    /// broken down by OS part).
+    pub fn to_table4(&self) -> TextTable {
+        let mut table = TextTable::new(["OS Pairs", "Driver", "Kernel", "Sys. Soft.", "Total"]);
+        for row in self.part_breakdown() {
+            table.push_row([
+                format!("{}-{}", row.a.short_name(), row.b.short_name()),
+                row.driver.to_string(),
+                row.kernel.to_string(),
+                row.system_software.to_string(),
+                row.total().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the Section IV-E summary findings. `valid_count` is the
+    /// number of distinct valid vulnerabilities of the study and
+    /// `driver_share` the driver-class percentage of Table II (both come
+    /// from sibling analyses — see [`summary_section`] for the composed
+    /// variant).
+    pub fn summary_table(&self, valid_count: usize, driver_share: f64) -> TextTable {
+        let summary = self.summary();
+        let mut table = TextTable::new(["Finding", "Value"]);
+        table.push_row([
+            "Distinct valid vulnerabilities".to_string(),
+            valid_count.to_string(),
+        ]);
+        table.push_row([
+            "OS pairs analysed".to_string(),
+            summary.pair_count.to_string(),
+        ]);
+        table.push_row([
+            "Average reduction Fat -> Isolated Thin (per pair)".to_string(),
+            format!("{:.0}%", summary.average_reduction * 100.0),
+        ]);
+        table.push_row([
+            "Total reduction Fat -> Isolated Thin (summed)".to_string(),
+            format!("{:.0}%", summary.total_reduction * 100.0),
+        ]);
+        table.push_row([
+            "Pairs with <= 1 common vuln (Isolated Thin)".to_string(),
+            summary.pairs_with_at_most_one_common.to_string(),
+        ]);
+        table.push_row([
+            "Pairs with no common vuln at all".to_string(),
+            summary.pairs_with_no_common_at_all.to_string(),
+        ]);
+        table.push_row([
+            "Driver share of all vulnerabilities".to_string(),
+            format!("{driver_share:.1}%"),
+        ]);
+        table
+    }
+}
+
+impl Analysis for PairwiseAnalysis {
+    type Config = PairwiseConfig;
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Pairwise
+    }
+
+    fn run(study: &Study, config: &PairwiseConfig) -> Result<Self, AnalysisError> {
+        Ok(Self::compute_impl(study.dataset(), &config.oses))
+    }
+}
+
+/// The Table III and Table IV sections (the analysis's report
+/// contribution).
+pub(crate) fn table_sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let analysis = study.get::<PairwiseAnalysis>()?;
+    Ok(vec![
+        Section::table(
+            "Table III: pairwise common vulnerabilities",
+            analysis.to_table3(),
+        ),
+        Section::table(
+            "Table IV: isolated thin server breakdown",
+            analysis.to_table4(),
+        ),
+    ])
+}
+
+/// The Section IV-E summary, composed from the memoized pairwise and class
+/// analyses plus the dataset's valid count.
+pub(crate) fn summary_section(study: &Study) -> Result<Section, AnalysisError> {
+    let pairwise = study.get::<PairwiseAnalysis>()?;
+    let classes = study.get::<ClassDistribution>()?;
+    let table = pairwise.summary_table(
+        study.dataset().valid_count(),
+        classes.class_percentage(OsPart::Driver),
+    );
+    Ok(Section::table("Section IV-E: summary", table))
+}
+
+/// Every pairwise deliverable: Tables III and IV plus the summary.
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let mut sections = table_sections(study)?;
+    sections.push(summary_section(study)?);
+    Ok(sections)
 }
 
 fn per_profile_totals(study: &StudyDataset, group: OsSet) -> (usize, usize, usize) {
@@ -205,6 +370,8 @@ fn per_profile_totals(study: &StudyDataset, group: OsSet) -> (usize, usize, usiz
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use datagen::CalibratedGenerator;
     use nvd_model::{CveId, CvssV2, Date, OsPart, VulnerabilityEntry};

@@ -8,8 +8,36 @@
 //! paper either).
 
 use nvd_model::{OsDistribution, OsRelease};
+use tabular::TextTable;
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{ServerProfile, StudyDataset};
+use crate::study::Study;
+
+/// Configuration of the per-release analysis: the releases to pair up and
+/// the profile. The default reproduces Table VI (every studied Debian and
+/// RedHat release, Isolated Thin Server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseConfig {
+    /// The releases whose pairs are analysed.
+    pub releases: Vec<OsRelease>,
+    /// The server profile counts are taken under.
+    pub profile: ServerProfile,
+}
+
+impl Default for ReleaseConfig {
+    fn default() -> Self {
+        ReleaseConfig {
+            releases: OsDistribution::Debian
+                .releases()
+                .iter()
+                .chain(OsDistribution::RedHat.releases())
+                .copied()
+                .collect(),
+            profile: ServerProfile::IsolatedThinServer,
+        }
+    }
+}
 
 /// One row of the Table VI reproduction: a pair of `(OS, release)`
 /// combinations and the number of vulnerabilities affecting both.
@@ -41,22 +69,26 @@ pub struct ReleaseAnalysis {
 impl ReleaseAnalysis {
     /// Runs the Table VI analysis: every pair of the studied Debian and
     /// RedHat releases, under the Isolated Thin Server profile.
+    #[deprecated(since = "0.2.0", note = "use `Study::get::<ReleaseAnalysis>()`")]
     pub fn compute(study: &StudyDataset) -> Self {
-        let releases: Vec<OsRelease> = OsDistribution::Debian
-            .releases()
-            .iter()
-            .chain(OsDistribution::RedHat.releases())
-            .copied()
-            .collect();
-        Self::compute_for(study, &releases, ServerProfile::IsolatedThinServer)
+        let config = ReleaseConfig::default();
+        Self::compute_impl(study, &config.releases, config.profile)
     }
 
     /// Runs the analysis over an arbitrary release list and profile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Study::get_with::<ReleaseAnalysis>(&ReleaseConfig { .. })`"
+    )]
     pub fn compute_for(
         study: &StudyDataset,
         releases: &[OsRelease],
         profile: ServerProfile,
     ) -> Self {
+        Self::compute_impl(study, releases, profile)
+    }
+
+    fn compute_impl(study: &StudyDataset, releases: &[OsRelease], profile: ServerProfile) -> Self {
         let mut rows = Vec::new();
         for (i, &a) in releases.iter().enumerate() {
             for &b in releases.iter().skip(i + 1) {
@@ -97,6 +129,43 @@ impl ReleaseAnalysis {
     pub fn disjoint_pairs(&self) -> usize {
         self.rows.iter().filter(|row| row.common == 0).count()
     }
+
+    /// Renders Table VI (common vulnerabilities between OS releases).
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(["OS Versions", "Total"]);
+        for row in self.rows() {
+            table.push_row([
+                format!("{}-{}", row.a.label(), row.b.label()),
+                row.common.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+impl Analysis for ReleaseAnalysis {
+    type Config = ReleaseConfig;
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Releases
+    }
+
+    fn run(study: &Study, config: &ReleaseConfig) -> Result<Self, AnalysisError> {
+        Ok(Self::compute_impl(
+            study.dataset(),
+            &config.releases,
+            config.profile,
+        ))
+    }
+}
+
+/// The Table VI section of the combined report.
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    Ok(vec![Section::table(
+        "Table VI: OS releases",
+        study.get::<ReleaseAnalysis>()?.to_table(),
+    )])
 }
 
 /// Whether a vulnerability affects a given release *with explicit version
@@ -116,6 +185,8 @@ fn affects_release_explicitly(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use datagen::CalibratedGenerator;
     use nvd_model::{CveId, CvssV2, Date, OsPart, VulnerabilityEntry};

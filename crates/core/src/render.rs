@@ -1,0 +1,237 @@
+//! Pluggable output renderers: every table and figure of the study can be
+//! emitted as aligned text, CSV or JSON through one [`Render`] sink trait.
+//!
+//! The renderers consume the [`Section`]/[`Artifact`] values produced by the
+//! analysis registry, so a new analysis (or a new output format) plugs in
+//! without touching the other side:
+//!
+//! * [`TextRenderer`] — the paper-style layout of the historical
+//!   `report::full_report` (`== title ==` headings, aligned tables, CSV
+//!   series);
+//! * [`CsvRenderer`] — machine-readable CSV; a single section renders as a
+//!   pure CSV document, multi-section documents separate the blocks with
+//!   `# title` comment lines;
+//! * [`JsonRenderer`] — one JSON document,
+//!   `{"sections": [{"title": …, "data": …}, …]}`, built on the
+//!   [`tabular::json`] helpers (the vendored `serde` is a marker stub).
+
+use std::fmt;
+use std::str::FromStr;
+
+use tabular::json_string;
+
+use crate::analysis::{AnalysisError, Artifact, Section};
+
+/// The supported output formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Format {
+    /// Paper-style aligned text (the default).
+    #[default]
+    Text,
+    /// Comma-separated values.
+    Csv,
+    /// A single JSON document.
+    Json,
+}
+
+impl Format {
+    /// Every supported format.
+    pub const ALL: [Format; 3] = [Format::Text, Format::Csv, Format::Json];
+
+    /// The CLI token of the format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Csv => "csv",
+            Format::Json => "json",
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Format {
+    type Err = AnalysisError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" | "txt" => Ok(Format::Text),
+            "csv" => Ok(Format::Csv),
+            "json" => Ok(Format::Json),
+            other => Err(AnalysisError::UnknownFormat(other.to_string())),
+        }
+    }
+}
+
+/// A rendering sink: turns artifacts and titled sections into one output
+/// document.
+pub trait Render {
+    /// Renders a bare artifact (no title).
+    fn artifact(&self, artifact: &Artifact) -> String;
+
+    /// Renders one titled section.
+    fn section(&self, section: &Section) -> String;
+
+    /// Renders a sequence of sections as one document.
+    fn document(&self, sections: &[Section]) -> String;
+}
+
+/// The paper-style text sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextRenderer;
+
+impl Render for TextRenderer {
+    fn artifact(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Table(table) => table.render(),
+            Artifact::Series(series) => series.to_csv(),
+        }
+    }
+
+    fn section(&self, section: &Section) -> String {
+        format!(
+            "== {} ==\n{}\n",
+            section.title,
+            self.artifact(&section.artifact)
+        )
+    }
+
+    fn document(&self, sections: &[Section]) -> String {
+        sections.iter().map(|s| self.section(s)).collect()
+    }
+}
+
+/// The CSV sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvRenderer;
+
+impl Render for CsvRenderer {
+    fn artifact(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Table(table) => table.to_csv(),
+            Artifact::Series(series) => series.to_csv(),
+        }
+    }
+
+    fn section(&self, section: &Section) -> String {
+        format!("# {}\n{}", section.title, self.artifact(&section.artifact))
+    }
+
+    fn document(&self, sections: &[Section]) -> String {
+        match sections {
+            [single] => self.artifact(&single.artifact),
+            many => {
+                let blocks: Vec<String> = many.iter().map(|s| self.section(s)).collect();
+                blocks.join("\n")
+            }
+        }
+    }
+}
+
+/// The JSON sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonRenderer;
+
+impl Render for JsonRenderer {
+    fn artifact(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Table(table) => table.to_json(),
+            Artifact::Series(series) => series.to_json(),
+        }
+    }
+
+    fn section(&self, section: &Section) -> String {
+        format!(
+            "{{\"title\":{},\"data\":{}}}",
+            json_string(&section.title),
+            self.artifact(&section.artifact)
+        )
+    }
+
+    fn document(&self, sections: &[Section]) -> String {
+        let inner: Vec<String> = sections.iter().map(|s| self.section(s)).collect();
+        format!("{{\"sections\":[{}]}}\n", inner.join(","))
+    }
+}
+
+/// The renderer for a format, behind one trait object.
+pub fn renderer(format: Format) -> Box<dyn Render> {
+    match format {
+        Format::Text => Box::new(TextRenderer),
+        Format::Csv => Box::new(CsvRenderer),
+        Format::Json => Box::new(JsonRenderer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::{Series, SeriesSet, TextTable};
+
+    fn table_section() -> Section {
+        let mut table = TextTable::new(["OS", "Valid"]);
+        table.push_row(["OpenBSD", "142"]);
+        Section::table("Table I: validity distribution", table)
+    }
+
+    fn series_section() -> Section {
+        let mut set = SeriesSet::new("BSD family");
+        let mut series = Series::new("OpenBSD");
+        series.push(2002, 12.0);
+        set.push(series);
+        Section::series("Figure 2 (BSD family)", set)
+    }
+
+    #[test]
+    fn format_parsing_round_trips() {
+        for format in Format::ALL {
+            assert_eq!(format.name().parse::<Format>().unwrap(), format);
+            assert_eq!(format!("{format}"), format.name());
+        }
+        assert_eq!(
+            "yaml".parse::<Format>(),
+            Err(AnalysisError::UnknownFormat("yaml".to_string()))
+        );
+        assert_eq!(Format::default(), Format::Text);
+    }
+
+    #[test]
+    fn text_renderer_uses_report_headings() {
+        let out = TextRenderer.document(&[table_section(), series_section()]);
+        assert!(out.starts_with("== Table I: validity distribution ==\n"));
+        assert!(out.contains("== Figure 2 (BSD family) ==\n"));
+        assert!(out.contains("OpenBSD"));
+    }
+
+    #[test]
+    fn csv_renderer_is_pure_csv_for_a_single_section() {
+        let out = CsvRenderer.document(&[table_section()]);
+        assert!(out.starts_with("OS,Valid\n"));
+        assert!(!out.contains('#'));
+        let multi = CsvRenderer.document(&[table_section(), series_section()]);
+        assert!(multi.contains("# Table I: validity distribution\n"));
+        assert!(multi.contains("# Figure 2 (BSD family)\n"));
+    }
+
+    #[test]
+    fn json_renderer_emits_one_document() {
+        let out = JsonRenderer.document(&[table_section(), series_section()]);
+        assert!(out.starts_with("{\"sections\":["));
+        assert!(out.contains("\"title\":\"Table I: validity distribution\""));
+        assert!(out.contains("\"header\":[\"OS\",\"Valid\"]"));
+        assert!(out.contains("\"label\":\"OpenBSD\""));
+        assert!(out.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn renderer_factory_dispatches_every_format() {
+        for format in Format::ALL {
+            let out = renderer(format).document(&[table_section()]);
+            assert!(out.contains("OpenBSD") || out.contains("142"));
+        }
+    }
+}

@@ -1,314 +1,103 @@
-//! Rendering the analyses as text tables and CSV series, in the layout of
-//! the paper's tables and figures.
+//! Deprecated compatibility layer over the renderer-based API.
+//!
+//! The free functions of this module predate the [`Study`](crate::Study)
+//! session and the [`Render`](crate::render::Render) sinks; each one now
+//! delegates to the table builder that moved into its analysis's module
+//! (`ValidityDistribution::to_table`, `PairwiseAnalysis::to_table3`, …).
+//! They are kept for one release so downstream code can migrate — see
+//! `MIGRATION.md` at the repository root for the old → new mapping.
+
+#![allow(deprecated)]
 
 use nvd_model::{OsDistribution, OsFamily, OsPart};
 use tabular::{SeriesSet, TextTable};
 
 use crate::classes::{ClassDistribution, ValidityDistribution};
-use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::dataset::StudyDataset;
 use crate::kway::KWayAnalysis;
 use crate::pairwise::PairwiseAnalysis;
 use crate::releases::ReleaseAnalysis;
+use crate::render::Format;
 use crate::selection::ConfigurationOutcome;
 use crate::split::SplitMatrix;
+use crate::study::Study;
 use crate::temporal::TemporalAnalysis;
 
 /// Renders Table I (distribution of OS vulnerabilities by validity).
+#[deprecated(since = "0.2.0", note = "use `ValidityDistribution::to_table`")]
 pub fn table1(distribution: &ValidityDistribution) -> TextTable {
-    let mut table = TextTable::new(["OS", "Valid", "Unknown", "Unspecified", "Disputed"]);
-    for (os, counts) in distribution.per_os() {
-        table.push_row([
-            os.short_name().to_string(),
-            counts[0].to_string(),
-            counts[1].to_string(),
-            counts[2].to_string(),
-            counts[3].to_string(),
-        ]);
-    }
-    let distinct = distribution.distinct();
-    table.push_row([
-        "# distinct vuln.".to_string(),
-        distinct[0].to_string(),
-        distinct[1].to_string(),
-        distinct[2].to_string(),
-        distinct[3].to_string(),
-    ]);
-    table
+    distribution.to_table()
 }
 
 /// Renders Table II (vulnerabilities per OS component class).
+#[deprecated(since = "0.2.0", note = "use `ClassDistribution::to_table`")]
 pub fn table2(distribution: &ClassDistribution) -> TextTable {
-    let mut table = TextTable::new(["OS", "Driver", "Kernel", "Sys. Soft.", "App.", "Total"]);
-    for (os, counts) in distribution.per_os() {
-        let total: usize = counts.iter().sum();
-        table.push_row([
-            os.short_name().to_string(),
-            counts[0].to_string(),
-            counts[1].to_string(),
-            counts[2].to_string(),
-            counts[3].to_string(),
-            total.to_string(),
-        ]);
-    }
-    let percentages = distribution.class_percentages();
-    table.push_row([
-        "% Total".to_string(),
-        format!("{:.1}%", percentages[0]),
-        format!("{:.1}%", percentages[1]),
-        format!("{:.1}%", percentages[2]),
-        format!("{:.1}%", percentages[3]),
-        String::new(),
-    ]);
-    table
+    distribution.to_table()
 }
 
 /// Renders Table III (pairwise common vulnerabilities under the three
 /// filters).
+#[deprecated(since = "0.2.0", note = "use `PairwiseAnalysis::to_table3`")]
 pub fn table3(analysis: &PairwiseAnalysis) -> TextTable {
-    let mut table = TextTable::new([
-        "Pair (A-B)",
-        "v(A) all",
-        "v(B) all",
-        "v(AB) all",
-        "v(A) noapp",
-        "v(B) noapp",
-        "v(AB) noapp",
-        "v(A) its",
-        "v(B) its",
-        "v(AB) its",
-    ]);
-    for row in analysis.rows() {
-        table.push_row([
-            format!("{}-{}", row.a.short_name(), row.b.short_name()),
-            row.v_a.0.to_string(),
-            row.v_b.0.to_string(),
-            row.v_ab.0.to_string(),
-            row.v_a.1.to_string(),
-            row.v_b.1.to_string(),
-            row.v_ab.1.to_string(),
-            row.v_a.2.to_string(),
-            row.v_b.2.to_string(),
-            row.v_ab.2.to_string(),
-        ]);
-    }
-    table
+    analysis.to_table3()
 }
 
 /// Renders Table IV (common vulnerabilities on Isolated Thin Servers,
 /// broken down by OS part).
+#[deprecated(since = "0.2.0", note = "use `PairwiseAnalysis::to_table4`")]
 pub fn table4(analysis: &PairwiseAnalysis) -> TextTable {
-    let mut table = TextTable::new(["OS Pairs", "Driver", "Kernel", "Sys. Soft.", "Total"]);
-    for row in analysis.part_breakdown() {
-        table.push_row([
-            format!("{}-{}", row.a.short_name(), row.b.short_name()),
-            row.driver.to_string(),
-            row.kernel.to_string(),
-            row.system_software.to_string(),
-            row.total().to_string(),
-        ]);
-    }
-    table
+    analysis.to_table4()
 }
 
-/// Renders Table V (history vs observed common vulnerabilities): history
-/// counts above the diagonal, observed counts below, `###` on the diagonal.
+/// Renders Table V (history vs observed common vulnerabilities).
+#[deprecated(since = "0.2.0", note = "use `SplitMatrix::to_table`")]
 pub fn table5(matrix: &SplitMatrix) -> TextTable {
-    let oses = matrix.oses();
-    let mut header: Vec<String> = vec!["".to_string()];
-    header.extend(oses.iter().map(|os| os.short_name().to_string()));
-    let mut table = TextTable::new(header);
-    for (i, &row_os) in oses.iter().enumerate() {
-        let mut cells = vec![row_os.short_name().to_string()];
-        for (j, &col_os) in oses.iter().enumerate() {
-            let cell = if i == j {
-                "###".to_string()
-            } else if j > i {
-                matrix
-                    .count(row_os, col_os, Period::History)
-                    .expect("matrix covers its own OSes")
-                    .to_string()
-            } else {
-                matrix
-                    .count(row_os, col_os, Period::Observed)
-                    .expect("matrix covers its own OSes")
-                    .to_string()
-            };
-            cells.push(cell);
-        }
-        table.push_row(cells);
-    }
-    table
+    matrix.to_table()
 }
 
 /// Renders Table VI (common vulnerabilities between OS releases).
+#[deprecated(since = "0.2.0", note = "use `ReleaseAnalysis::to_table`")]
 pub fn table6(analysis: &ReleaseAnalysis) -> TextTable {
-    let mut table = TextTable::new(["OS Versions", "Total"]);
-    for row in analysis.rows() {
-        table.push_row([
-            format!("{}-{}", row.a.label(), row.b.label()),
-            row.common.to_string(),
-        ]);
-    }
-    table
+    analysis.to_table()
 }
 
 /// Renders one family sub-plot of Figure 2 as a CSV series set.
+#[deprecated(since = "0.2.0", note = "use `TemporalAnalysis::family_series`")]
 pub fn figure2(temporal: &TemporalAnalysis, family: OsFamily) -> SeriesSet {
     temporal.family_series(family)
 }
 
 /// Renders Figure 3 (replica configurations, history vs observed counts).
+#[deprecated(since = "0.2.0", note = "use `selection::figure3_table`")]
 pub fn figure3(outcomes: &[ConfigurationOutcome]) -> TextTable {
-    let mut table = TextTable::new(["Configuration", "OSes", "History", "Observed"]);
-    for outcome in outcomes {
-        let oses = if outcome.oses.len() == 1 {
-            format!("{} x4 (homogeneous)", outcome.oses)
-        } else {
-            outcome.oses.to_string()
-        };
-        table.push_row([
-            outcome.label.clone(),
-            oses,
-            outcome.history.to_string(),
-            outcome.observed.to_string(),
-        ]);
-    }
-    table
+    crate::selection::figure3_table(outcomes)
 }
 
 /// Renders the k-OS combination analysis (Section IV-B).
+#[deprecated(since = "0.2.0", note = "use `KWayAnalysis::to_table`")]
 pub fn kway_table(analysis: &KWayAnalysis) -> TextTable {
-    let mut table = TextTable::new([
-        "k",
-        "vulns affecting >= k OSes",
-        "best group",
-        "best count",
-        "worst group",
-        "worst count",
-    ]);
-    for row in analysis.rows() {
-        let (best_group, best_count) = row
-            .best_group
-            .map(|(set, count)| (set.to_string(), count.to_string()))
-            .unwrap_or_default();
-        let (worst_group, worst_count) = row
-            .worst_group
-            .map(|(set, count)| (set.to_string(), count.to_string()))
-            .unwrap_or_default();
-        table.push_row([
-            row.k.to_string(),
-            row.vulnerabilities_at_least_k.to_string(),
-            best_group,
-            best_count,
-            worst_group,
-            worst_count,
-        ]);
-    }
-    table
+    analysis.to_table()
 }
 
 /// Renders the Section IV-E summary findings.
+#[deprecated(since = "0.2.0", note = "use `PairwiseAnalysis::summary_table`")]
 pub fn summary_table(study: &StudyDataset, analysis: &PairwiseAnalysis) -> TextTable {
-    let summary = analysis.summary();
-    let mut table = TextTable::new(["Finding", "Value"]);
-    table.push_row([
-        "Distinct valid vulnerabilities".to_string(),
-        study.valid_count().to_string(),
-    ]);
-    table.push_row([
-        "OS pairs analysed".to_string(),
-        summary.pair_count.to_string(),
-    ]);
-    table.push_row([
-        "Average reduction Fat -> Isolated Thin (per pair)".to_string(),
-        format!("{:.0}%", summary.average_reduction * 100.0),
-    ]);
-    table.push_row([
-        "Total reduction Fat -> Isolated Thin (summed)".to_string(),
-        format!("{:.0}%", summary.total_reduction * 100.0),
-    ]);
-    table.push_row([
-        "Pairs with <= 1 common vuln (Isolated Thin)".to_string(),
-        summary.pairs_with_at_most_one_common.to_string(),
-    ]);
-    table.push_row([
-        "Pairs with no common vuln at all".to_string(),
-        summary.pairs_with_no_common_at_all.to_string(),
-    ]);
-    let driver_share = ClassDistribution::compute(study).class_percentages()[OsPart::ALL
-        .iter()
-        .position(|p| *p == OsPart::Driver)
-        .expect("driver class exists")];
-    table.push_row([
-        "Driver share of all vulnerabilities".to_string(),
-        format!("{driver_share:.1}%"),
-    ]);
-    table
+    let driver_share = ClassDistribution::compute(study).class_percentage(OsPart::Driver);
+    analysis.summary_table(study.valid_count(), driver_share)
 }
 
-/// Renders the whole study as one multi-section plain-text report
-/// (convenient for the example binaries and for snapshotting in tests).
+/// Renders the whole study as one multi-section plain-text report.
+///
+/// The output is byte-identical to `Study::report(Format::Text)`; prefer
+/// that method — it memoizes the analyses and runs them in parallel via
+/// `Study::run_all`, while this shim clones the dataset into a throwaway
+/// session.
+#[deprecated(since = "0.2.0", note = "use `Study::report(Format::Text)`")]
 pub fn full_report(study: &StudyDataset) -> String {
-    let mut out = String::new();
-    let validity = ValidityDistribution::compute(study);
-    let classes = ClassDistribution::compute(study);
-    let pairwise = PairwiseAnalysis::compute(study);
-    let temporal = TemporalAnalysis::compute(study);
-    let matrix = SplitMatrix::compute(study);
-    let kway = KWayAnalysis::compute(study, ServerProfile::FatServer, 9);
-    let releases = ReleaseAnalysis::compute(study);
-
-    let section = |title: &str, body: String, out: &mut String| {
-        out.push_str(&format!("== {title} ==\n{body}\n"));
-    };
-    section(
-        "Table I: validity distribution",
-        table1(&validity).render(),
-        &mut out,
-    );
-    section(
-        "Table II: component classes",
-        table2(&classes).render(),
-        &mut out,
-    );
-    section(
-        "Table III: pairwise common vulnerabilities",
-        table3(&pairwise).render(),
-        &mut out,
-    );
-    section(
-        "Table IV: isolated thin server breakdown",
-        table4(&pairwise).render(),
-        &mut out,
-    );
-    section(
-        "Table V: history vs observed",
-        table5(&matrix).render(),
-        &mut out,
-    );
-    section(
-        "Table VI: OS releases",
-        table6(&releases).render(),
-        &mut out,
-    );
-    for family in OsFamily::ALL {
-        section(
-            &format!("Figure 2 ({family} family)"),
-            figure2(&temporal, family).to_csv(),
-            &mut out,
-        );
-    }
-    section(
-        "Section IV-B: k-OS combinations",
-        kway_table(&kway).render(),
-        &mut out,
-    );
-    section(
-        "Section IV-E: summary",
-        summary_table(study, &pairwise).render(),
-        &mut out,
-    );
-    out
+    let session = Study::new(study.clone());
+    session
+        .report(Format::Text)
+        .expect("default analysis configurations are valid")
 }
 
 /// Convenience: the number of OSes in the study (used by callers that size
@@ -320,6 +109,7 @@ pub fn os_count() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::ServerProfile;
     use crate::selection::ReplicaSelection;
     use datagen::CalibratedGenerator;
 
@@ -395,5 +185,12 @@ mod tests {
             assert!(report.contains(section), "missing section {section}");
         }
         assert_eq!(os_count(), 11);
+    }
+
+    #[test]
+    fn full_report_matches_the_session_report() {
+        let study = calibrated_study();
+        let session = Study::new(study.clone());
+        assert_eq!(full_report(&study), session.report(Format::Text).unwrap());
     }
 }

@@ -8,9 +8,12 @@
 //! Figure 3 evaluation of specific configurations.
 
 use nvd_model::{OsDistribution, OsSet};
+use tabular::TextTable;
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{Period, ServerProfile, StudyDataset};
 use crate::split::TABLE5_OSES;
+use crate::study::Study;
 
 /// How candidate replica groups are scored during selection (lower is
 /// better in both cases).
@@ -163,6 +166,123 @@ impl<'a> ReplicaSelection<'a> {
         }
         outcomes
     }
+}
+
+/// Configuration of the selection analysis. The default reproduces the
+/// paper's Section IV-C methodology: the eight history-rich OSes, the
+/// Isolated Thin Server profile, the distinct-shared criterion, and a
+/// ranking of the five best four-OS groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionConfig {
+    /// The server profile groups are scored under.
+    pub profile: ServerProfile,
+    /// How candidate groups are scored.
+    pub criterion: SelectionCriterion,
+    /// The candidate OS pool.
+    pub candidates: Vec<OsDistribution>,
+    /// The replica-group size to rank.
+    pub group_size: usize,
+    /// How many top groups to keep in the ranking.
+    pub top: usize,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            profile: ServerProfile::IsolatedThinServer,
+            criterion: SelectionCriterion::DistinctShared,
+            candidates: TABLE5_OSES.to_vec(),
+            group_size: 4,
+            top: 5,
+        }
+    }
+}
+
+/// The owned output of the selection analysis: the Figure 3 configuration
+/// outcomes plus the history-ranked best groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionAnalysis {
+    outcomes: Vec<ConfigurationOutcome>,
+    ranked_groups: Vec<(OsSet, usize)>,
+}
+
+impl SelectionAnalysis {
+    /// The Figure 3 outcomes: the homogeneous baseline followed by the four
+    /// diverse configurations.
+    pub fn outcomes(&self) -> &[ConfigurationOutcome] {
+        &self.outcomes
+    }
+
+    /// The best groups of the configured size, ranked by ascending
+    /// history-period score.
+    pub fn ranked_groups(&self) -> &[(OsSet, usize)] {
+        &self.ranked_groups
+    }
+
+    /// Renders the Figure 3 table.
+    pub fn to_table(&self) -> TextTable {
+        figure3_table(&self.outcomes)
+    }
+
+    /// Renders the group ranking as a table.
+    pub fn ranking_table(&self) -> TextTable {
+        let mut table = TextTable::new(["Group", "History score"]);
+        for (group, score) in &self.ranked_groups {
+            table.push_row([group.to_string(), score.to_string()]);
+        }
+        table
+    }
+}
+
+impl Analysis for SelectionAnalysis {
+    type Config = SelectionConfig;
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Selection
+    }
+
+    fn run(study: &Study, config: &SelectionConfig) -> Result<Self, AnalysisError> {
+        let selection = ReplicaSelection::new(study.dataset())
+            .with_candidates(&config.candidates)
+            .with_profile(config.profile)
+            .with_criterion(config.criterion);
+        Ok(SelectionAnalysis {
+            outcomes: selection.figure3(),
+            ranked_groups: selection.best_groups(config.group_size, config.top),
+        })
+    }
+}
+
+/// Renders Figure 3 (replica configurations, history vs observed counts).
+pub fn figure3_table(outcomes: &[ConfigurationOutcome]) -> TextTable {
+    let mut table = TextTable::new(["Configuration", "OSes", "History", "Observed"]);
+    for outcome in outcomes {
+        let oses = if outcome.oses.len() == 1 {
+            format!("{} x4 (homogeneous)", outcome.oses)
+        } else {
+            outcome.oses.to_string()
+        };
+        table.push_row([
+            outcome.label.clone(),
+            oses,
+            outcome.history.to_string(),
+            outcome.observed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The Figure 3 sections (configuration outcomes plus the group ranking).
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let analysis = study.get::<SelectionAnalysis>()?;
+    Ok(vec![
+        Section::table("Figure 3: replica configurations", analysis.to_table()),
+        Section::table(
+            "Best four-OS groups ranked from history data",
+            analysis.ranking_table(),
+        ),
+    ])
 }
 
 /// The four diverse replica configurations of Figure 3 of the paper

@@ -7,8 +7,11 @@
 //! common Isolated Thin Server vulnerabilities in each period.
 
 use nvd_model::{OsDistribution, OsSet};
+use tabular::TextTable;
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::study::Study;
 
 /// The eight OSes of Table V (Ubuntu, OpenSolaris and Windows 2008 are
 /// excluded for lack of meaningful history-period data).
@@ -35,19 +38,47 @@ pub struct SplitMatrix {
     observed: Vec<Vec<usize>>,
 }
 
+/// Configuration of the history/observed split: which OSes the matrix
+/// covers and under which profile. The default reproduces Table V.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitConfig {
+    /// The OSes of the matrix, in row/column order.
+    pub oses: Vec<OsDistribution>,
+    /// The server profile counts are taken under.
+    pub profile: ServerProfile,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            oses: TABLE5_OSES.to_vec(),
+            profile: ServerProfile::IsolatedThinServer,
+        }
+    }
+}
+
 impl SplitMatrix {
     /// Computes the matrix for the paper's eight OSes and the Isolated Thin
     /// Server profile.
+    #[deprecated(since = "0.2.0", note = "use `Study::get::<SplitMatrix>()`")]
     pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_for(study, &TABLE5_OSES, ServerProfile::IsolatedThinServer)
+        Self::compute_impl(study, &TABLE5_OSES, ServerProfile::IsolatedThinServer)
     }
 
     /// Computes the matrix for an arbitrary OS list and profile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Study::get_with::<SplitMatrix>(&SplitConfig { .. })`"
+    )]
     pub fn compute_for(
         study: &StudyDataset,
         oses: &[OsDistribution],
         profile: ServerProfile,
     ) -> Self {
+        Self::compute_impl(study, oses, profile)
+    }
+
+    fn compute_impl(study: &StudyDataset, oses: &[OsDistribution], profile: ServerProfile) -> Self {
         let n = oses.len();
         let mut history = vec![vec![0usize; n]; n];
         let mut observed = vec![vec![0usize; n]; n];
@@ -116,10 +147,66 @@ impl SplitMatrix {
         }
         best.map(|(a, b, h, _)| (a, b, h))
     }
+
+    /// Renders Table V (history vs observed common vulnerabilities): history
+    /// counts above the diagonal, observed counts below, `###` on the
+    /// diagonal.
+    pub fn to_table(&self) -> TextTable {
+        let oses = self.oses();
+        let mut header: Vec<String> = vec!["".to_string()];
+        header.extend(oses.iter().map(|os| os.short_name().to_string()));
+        let mut table = TextTable::new(header);
+        for (i, &row_os) in oses.iter().enumerate() {
+            let mut cells = vec![row_os.short_name().to_string()];
+            for (j, &col_os) in oses.iter().enumerate() {
+                let cell = if i == j {
+                    "###".to_string()
+                } else if j > i {
+                    self.count(row_os, col_os, Period::History)
+                        .expect("matrix covers its own OSes")
+                        .to_string()
+                } else {
+                    self.count(row_os, col_os, Period::Observed)
+                        .expect("matrix covers its own OSes")
+                        .to_string()
+                };
+                cells.push(cell);
+            }
+            table.push_row(cells);
+        }
+        table
+    }
+}
+
+impl Analysis for SplitMatrix {
+    type Config = SplitConfig;
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Split
+    }
+
+    fn run(study: &Study, config: &SplitConfig) -> Result<Self, AnalysisError> {
+        Ok(Self::compute_impl(
+            study.dataset(),
+            &config.oses,
+            config.profile,
+        ))
+    }
+}
+
+/// The Table V section of the combined report.
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    Ok(vec![Section::table(
+        "Table V: history vs observed",
+        study.get::<SplitMatrix>()?.to_table(),
+    )])
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use datagen::calibration::table5_cell;
     use datagen::CalibratedGenerator;

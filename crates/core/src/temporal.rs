@@ -3,7 +3,45 @@
 use nvd_model::{OsDistribution, OsFamily};
 use tabular::{Series, SeriesSet, YearHistogram};
 
+use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::StudyDataset;
+use crate::study::Study;
+
+/// Configuration of the temporal analysis: the inclusive year range of the
+/// histograms. The default matches the x axis of Figure 2 (1993–2010).
+///
+/// The range is validated when the analysis runs: `first_year` after
+/// `last_year` is an [`AnalysisError::InvalidYearRange`] instead of the
+/// silent empty series the old `compute_over` produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalConfig {
+    /// First year of the histograms (inclusive).
+    pub first_year: u16,
+    /// Last year of the histograms (inclusive).
+    pub last_year: u16,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            first_year: 1993,
+            last_year: 2010,
+        }
+    }
+}
+
+impl TemporalConfig {
+    /// Checks `first_year <= last_year`.
+    pub fn validate(&self) -> Result<(), AnalysisError> {
+        if self.first_year > self.last_year {
+            return Err(AnalysisError::InvalidYearRange {
+                first: self.first_year,
+                last: self.last_year,
+            });
+        }
+        Ok(())
+    }
+}
 
 /// The Figure 2 reproduction: per-OS, per-year publication counts, grouped
 /// by OS family.
@@ -17,12 +55,25 @@ pub struct TemporalAnalysis {
 impl TemporalAnalysis {
     /// Computes the per-year histograms over the study period (1993–2010,
     /// matching the x axis of Figure 2).
+    #[deprecated(since = "0.2.0", note = "use `Study::get::<TemporalAnalysis>()`")]
     pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_over(study, 1993, 2010)
+        Self::compute_impl(study, 1993, 2010)
     }
 
     /// Computes the per-year histograms over a custom year range.
+    ///
+    /// An inverted range silently produces empty histograms; the
+    /// [`Analysis`] path validates it instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Study::get_with::<TemporalAnalysis>(&TemporalConfig { .. })`, which \
+                validates the year range"
+    )]
     pub fn compute_over(study: &StudyDataset, first_year: u16, last_year: u16) -> Self {
+        Self::compute_impl(study, first_year, last_year)
+    }
+
+    fn compute_impl(study: &StudyDataset, first_year: u16, last_year: u16) -> Self {
         let mut histograms = Vec::with_capacity(OsDistribution::COUNT);
         for os in OsDistribution::ALL {
             let mut histogram = YearHistogram::new(first_year, last_year);
@@ -95,6 +146,38 @@ impl TemporalAnalysis {
     }
 }
 
+impl Analysis for TemporalAnalysis {
+    type Config = TemporalConfig;
+    type Output = Self;
+
+    fn id() -> AnalysisId {
+        AnalysisId::Temporal
+    }
+
+    fn run(study: &Study, config: &TemporalConfig) -> Result<Self, AnalysisError> {
+        config.validate()?;
+        Ok(Self::compute_impl(
+            study.dataset(),
+            config.first_year,
+            config.last_year,
+        ))
+    }
+}
+
+/// The four Figure 2 sections (one per OS family, in the paper's order).
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let temporal = study.get::<TemporalAnalysis>()?;
+    Ok(OsFamily::ALL
+        .into_iter()
+        .map(|family| {
+            Section::series(
+                format!("Figure 2 ({family} family)"),
+                temporal.family_series(family),
+            )
+        })
+        .collect())
+}
+
 /// Pearson correlation coefficient of two equally long samples.
 fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
     if xs.len() != ys.len() || xs.is_empty() {
@@ -119,6 +202,8 @@ fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use datagen::CalibratedGenerator;
 

@@ -1,20 +1,31 @@
 //! Facade over the OS-diversity reproduction workspace.
 //!
 //! Depend on this crate to get the whole pipeline — data generation, NVD
-//! feed round-trip, relational store, classification, pairwise/k-way
-//! analysis and the BFT simulator — through one import. Each member crate is
+//! feed round-trip, relational store, classification, the typed analysis
+//! session and the BFT simulator — through one import. Each member crate is
 //! re-exported under its own name, and the headline types of the analysis
 //! pipeline are lifted to the crate root.
+//!
+//! The entry point is the [`Study`] session: build it from entries, ask for
+//! analyses by type (results are memoized), and render any deliverable as
+//! text, CSV or JSON.
 //!
 //! # Example
 //!
 //! ```
-//! use osdiv::{CalibratedGenerator, PairwiseAnalysis, StudyDataset};
+//! use osdiv::{CalibratedGenerator, Format, PairwiseAnalysis, Study};
 //!
 //! let dataset = CalibratedGenerator::new(1).generate();
-//! let study = StudyDataset::from_entries(dataset.entries());
-//! let pairwise = PairwiseAnalysis::compute(&study);
+//! let study = Study::from_entries(dataset.entries());
+//!
+//! // Typed, memoized analysis lookup.
+//! let pairwise = study.get::<PairwiseAnalysis>().unwrap();
 //! assert_eq!(pairwise.rows().len(), 55);
+//!
+//! // Run the whole registry in parallel, then render the combined report.
+//! study.run_all().unwrap();
+//! let report = study.report(Format::Text).unwrap();
+//! assert!(report.contains("== Table III: pairwise common vulnerabilities =="));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -36,8 +47,9 @@ pub use datagen::{CalibratedGenerator, ParametricConfig, ParametricGenerator};
 pub use nvd_feed::{FeedReader, FeedWriter};
 pub use nvd_model::{CveId, OsDistribution, OsFamily, OsPart, OsSet, VulnerabilityEntry};
 pub use osdiv_core::{
-    ClassDistribution, KWayAnalysis, PairwiseAnalysis, ReleaseAnalysis, ReplicaSelection,
-    ServerProfile, SplitMatrix, StudyDataset, TemporalAnalysis, ValidityDistribution,
+    Analysis, AnalysisError, AnalysisId, ClassDistribution, Format, KWayAnalysis, PairwiseAnalysis,
+    ReleaseAnalysis, Render, ReplicaSelection, SelectionAnalysis, ServerProfile, SplitMatrix,
+    Study, StudyDataset, TemporalAnalysis, ValidityDistribution,
 };
 pub use tabular::TextTable;
 pub use vulnstore::VulnStore;

@@ -6,10 +6,14 @@
 //! ecosystem's dataframe tooling is outside the allowed dependency set, so
 //! this crate provides the few primitives the report generators need:
 //!
-//! * [`TextTable`] — column-aligned text tables with optional CSV export;
+//! * [`TextTable`] — column-aligned text tables with CSV and JSON export
+//!   (and a CSV parser for round-tripping exported tables);
 //! * [`Series`] — labelled `(x, y)` series for figure-style output;
 //! * [`agg`] — counting and grouping helpers (frequency counters, per-year
-//!   histograms, ratio helpers).
+//!   histograms, ratio helpers);
+//! * [`json`] — the hand-rolled JSON encoding helpers behind the `to_json`
+//!   exporters (the vendored `serde` is a marker stub, so JSON is written
+//!   directly).
 //!
 //! # Example
 //!
@@ -28,9 +32,11 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod json;
 pub mod series;
 pub mod table;
 
 pub use agg::{Counter, YearHistogram};
+pub use json::{json_array, json_number, json_string};
 pub use series::{Series, SeriesSet};
 pub use table::TextTable;

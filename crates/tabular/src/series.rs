@@ -143,6 +143,44 @@ impl SeriesSet {
         out
     }
 
+    /// Renders the set as a JSON object
+    /// `{"title": ..., "series": [{"label": ..., "points": [[x, y], ...]}]}`.
+    /// Integral y values are emitted without a fractional part.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tabular::{Series, SeriesSet};
+    ///
+    /// let mut set = SeriesSet::new("BSD family");
+    /// let mut s = Series::new("OpenBSD");
+    /// s.push(2002, 12.0);
+    /// set.push(s);
+    /// assert_eq!(
+    ///     set.to_json(),
+    ///     r#"{"title":"BSD family","series":[{"label":"OpenBSD","points":[[2002,12]]}]}"#
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        let series = crate::json::json_array(self.series.iter().map(|s| {
+            let points = crate::json::json_array(
+                s.points()
+                    .iter()
+                    .map(|(x, y)| format!("[{x},{}]", crate::json::json_number(*y))),
+            );
+            format!(
+                "{{\"label\":{},\"points\":{}}}",
+                crate::json::json_string(s.label()),
+                points
+            )
+        }));
+        format!(
+            "{{\"title\":{},\"series\":{}}}",
+            crate::json::json_string(&self.title),
+            series
+        )
+    }
+
     /// Renders the set as a crude ASCII chart (one row per series, one `#`
     /// per `scale` units of y summed over the series), useful for eyeballing
     /// figure shapes in the terminal.

@@ -1,6 +1,8 @@
-//! Column-aligned text tables with CSV export.
+//! Column-aligned text tables with CSV and JSON export.
 
 use std::fmt;
+
+use crate::json::json_string;
 
 /// A simple text table: a header row plus data rows, rendered with columns
 /// padded to their widest cell.
@@ -110,7 +112,7 @@ impl TextTable {
     /// quotes or newlines are quoted.
     pub fn to_csv(&self) -> String {
         fn csv_cell(cell: &str) -> String {
-            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            if cell.contains([',', '"', '\n', '\r']) {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_string()
@@ -127,6 +129,93 @@ impl TextTable {
             write_row(row);
         }
         out
+    }
+
+    /// Renders the table as a JSON object `{"header": [...], "rows": [[...]]}`.
+    /// Every cell is emitted as a JSON string, mirroring the internal
+    /// representation, so the document round-trips losslessly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tabular::TextTable;
+    ///
+    /// let mut t = TextTable::new(["pair", "v(AB)"]);
+    /// t.push_row(["OpenBSD-NetBSD", "40"]);
+    /// assert_eq!(
+    ///     t.to_json(),
+    ///     r#"{"header":["pair","v(AB)"],"rows":[["OpenBSD-NetBSD","40"]]}"#
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        let encode_row =
+            |cells: &[String]| crate::json::json_array(cells.iter().map(|c| json_string(c)));
+        format!(
+            "{{\"header\":{},\"rows\":{}}}",
+            encode_row(&self.header),
+            crate::json::json_array(self.rows.iter().map(|row| encode_row(row)))
+        )
+    }
+
+    /// Parses a CSV document previously produced by [`TextTable::to_csv`]
+    /// (first record is the header). Quoted cells — including embedded
+    /// commas, doubled quotes and newlines — are decoded. Returns `None` on
+    /// malformed input (an unterminated quoted cell or an empty document).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tabular::TextTable;
+    ///
+    /// let mut t = TextTable::new(["name", "note"]);
+    /// t.push_row(["a,b", "say \"hi\""]);
+    /// let parsed = TextTable::from_csv(&t.to_csv()).unwrap();
+    /// assert_eq!(parsed, t);
+    /// ```
+    pub fn from_csv(text: &str) -> Option<TextTable> {
+        let mut records: Vec<Vec<String>> = Vec::new();
+        let mut record: Vec<String> = Vec::new();
+        let mut cell = String::new();
+        let mut chars = text.chars().peekable();
+        let mut in_quotes = false;
+        let mut saw_any = false;
+        while let Some(c) = chars.next() {
+            saw_any = true;
+            if in_quotes {
+                match c {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        cell.push('"');
+                    }
+                    '"' => in_quotes = false,
+                    c => cell.push(c),
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    ',' => record.push(std::mem::take(&mut cell)),
+                    '\n' => {
+                        record.push(std::mem::take(&mut cell));
+                        records.push(std::mem::take(&mut record));
+                    }
+                    '\r' => {}
+                    c => cell.push(c),
+                }
+            }
+        }
+        if in_quotes || !saw_any {
+            return None;
+        }
+        if !cell.is_empty() || !record.is_empty() {
+            record.push(cell);
+            records.push(record);
+        }
+        let mut iter = records.into_iter();
+        let mut table = TextTable::new(iter.next()?);
+        for record in iter {
+            table.push_row(record);
+        }
+        Some(table)
     }
 }
 
@@ -172,6 +261,31 @@ mod tests {
         t.push_row(["y"]);
         assert_eq!(format!("{t}"), t.render());
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_export_escapes_and_structures_cells() {
+        let mut t = TextTable::new(["name", "note"]);
+        t.push_row(["a\"b", "x"]);
+        let json = t.to_json();
+        assert!(json.starts_with("{\"header\":[\"name\",\"note\"]"));
+        assert!(json.contains("\"a\\\"b\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn csv_round_trips_through_from_csv() {
+        let mut t = TextTable::new(["pair", "note"]);
+        t.push_row(["a,b", "say \"hi\""]);
+        t.push_row(["plain", "multi\nline"]);
+        t.push_row(["bare\rreturn", "crlf\r\npair"]);
+        assert_eq!(TextTable::from_csv(&t.to_csv()).unwrap(), t);
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_input() {
+        assert_eq!(TextTable::from_csv(""), None);
+        assert_eq!(TextTable::from_csv("a,\"unterminated"), None);
     }
 
     #[test]

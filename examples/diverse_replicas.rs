@@ -10,11 +10,11 @@
 //! ```
 
 use datagen::CalibratedGenerator;
-use osdiv_core::{report, ReplicaSelection, StudyDataset};
+use osdiv_core::{figure3_table, ReplicaSelection, Study};
 
 fn main() {
     let dataset = CalibratedGenerator::new(2011).generate();
-    let study = StudyDataset::from_entries(dataset.entries());
+    let study = Study::from_entries(dataset.entries());
     let selection = ReplicaSelection::new(&study);
 
     // The homogeneous baseline: four replicas of the OS with the fewest
@@ -26,7 +26,7 @@ fn main() {
     );
 
     // The paper's Figure 3: the baseline and the four diverse sets.
-    println!("{}", report::figure3(&selection.figure3()).render());
+    println!("{}", figure3_table(&selection.figure3()).render());
 
     // Exhaustive search: the best four-OS and six-OS groups according to the
     // history period.

@@ -12,7 +12,7 @@
 use classify::{ClassificationReport, Classifier};
 use datagen::CalibratedGenerator;
 use nvd_feed::{FeedReader, FeedWriter};
-use osdiv_core::{ClassDistribution, StudyDataset};
+use osdiv_core::{ClassDistribution, Study};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Materialize the synthetic dataset as yearly NVD 2.0-style feeds,
@@ -64,9 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Load the entries into the study and classify the ones without an
     //    OS-part class using the rule engine.
-    let mut study = StudyDataset::from_entries(&merged);
+    let mut study = Study::from_entries(&merged);
     let classifier = Classifier::with_default_rules();
-    let classified = study.classify_unlabelled(&classifier);
+    let classified = study.dataset_mut().classify_unlabelled(&classifier);
     println!("Rule-classified {classified} entries without a class");
 
     // 4. Evaluate the classifier against the generator's ground truth.
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{report}");
 
     // 5. The resulting Table II-style distribution.
-    let distribution = ClassDistribution::compute(&study);
+    let distribution = study.get::<ClassDistribution>().unwrap();
     println!("Per-class share of the classified dataset:");
     let [driver, kernel, syssoft, app] = distribution.class_percentages();
     println!(

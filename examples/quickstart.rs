@@ -10,13 +10,14 @@
 
 use datagen::CalibratedGenerator;
 use nvd_model::{OsDistribution, OsSet};
-use osdiv_core::{PairwiseAnalysis, ServerProfile, StudyDataset};
+use osdiv_core::{PairwiseAnalysis, ServerProfile, Study};
 
 fn main() {
     // 1. Generate the synthetic NVD dataset calibrated to the paper's
-    //    published statistics (Tables I-VI), and load it into the study.
+    //    published statistics (Tables I-VI), and load it into a study
+    //    session (analysis results are computed once and memoized).
     let dataset = CalibratedGenerator::new(2011).generate();
-    let study = StudyDataset::from_entries(dataset.entries());
+    let study = Study::from_entries(dataset.entries());
     println!(
         "Loaded {} vulnerabilities ({} valid) affecting {} operating systems.\n",
         study.store().vulnerability_count(),
@@ -40,7 +41,7 @@ fn main() {
     // 3. The headline numbers of the paper: average reduction when moving to
     //    an Isolated Thin Server and the share of pairs with at most one
     //    common vulnerability.
-    let summary = PairwiseAnalysis::compute(&study).summary();
+    let summary = study.get::<PairwiseAnalysis>().unwrap().summary();
     println!(
         "Across all {} OS pairs: filtering applications and local-only \
          vulnerabilities removes {:.0}% of the common vulnerabilities on \

@@ -6,8 +6,8 @@ use datagen::calibration::{self, table1_row, table3_row, table5_cell};
 use datagen::CalibratedGenerator;
 use nvd_model::{OsDistribution, OsFamily, OsPart};
 use osdiv_core::{
-    report, ClassDistribution, KWayAnalysis, PairwiseAnalysis, Period, ReleaseAnalysis,
-    ReplicaSelection, ServerProfile, SplitMatrix, StudyDataset, TemporalAnalysis,
+    figure3_table, ClassDistribution, Format, KWayAnalysis, PairwiseAnalysis, Period,
+    ReleaseAnalysis, ReplicaSelection, ServerProfile, SplitMatrix, Study, TemporalAnalysis,
     ValidityDistribution,
 };
 
@@ -16,15 +16,15 @@ use osdiv_core::{
 /// DESIGN.md §5), so a small deviation is accepted on the pairs they touch.
 const SLACK: usize = 3;
 
-fn study() -> StudyDataset {
+fn study() -> Study {
     let dataset = CalibratedGenerator::new(2011).generate();
-    StudyDataset::from_entries(dataset.entries())
+    Study::from_entries(dataset.entries())
 }
 
 #[test]
 fn e1_table1_validity_distribution_matches_the_paper() {
     let study = study();
-    let table1 = ValidityDistribution::compute(&study);
+    let table1 = study.get::<ValidityDistribution>().unwrap();
     for os in OsDistribution::ALL {
         let expected = table1_row(os);
         let [valid, unknown, unspecified, disputed] = table1.for_os(os);
@@ -41,7 +41,7 @@ fn e1_table1_validity_distribution_matches_the_paper() {
 #[test]
 fn e2_table2_class_shares_match_the_paper_shape() {
     let study = study();
-    let table2 = ClassDistribution::compute(&study);
+    let table2 = study.get::<ClassDistribution>().unwrap();
     let [driver, kernel, syssoft, app] = table2.class_percentages();
     // Paper: 1.4% / 35.5% / 23.2% / 39.9%.
     assert!(driver < 4.0, "driver {driver:.1}%");
@@ -56,7 +56,7 @@ fn e2_table2_class_shares_match_the_paper_shape() {
 #[test]
 fn e3_figure2_temporal_shape_matches_the_paper() {
     let study = study();
-    let temporal = TemporalAnalysis::compute(&study);
+    let temporal = study.get::<TemporalAnalysis>().unwrap();
     // Recent OSes only receive reports after their first release.
     assert_eq!(temporal.count(OsDistribution::Windows2008, 2005), 0);
     assert_eq!(temporal.count(OsDistribution::OpenSolaris, 2006), 0);
@@ -78,7 +78,7 @@ fn e3_figure2_temporal_shape_matches_the_paper() {
 #[test]
 fn e4_table3_pairwise_counts_match_the_paper() {
     let study = study();
-    let analysis = PairwiseAnalysis::compute(&study);
+    let analysis = study.get::<PairwiseAnalysis>().unwrap();
     let mut exact_pairs = 0;
     for row in analysis.rows() {
         let expected = table3_row(row.a, row.b).unwrap();
@@ -132,7 +132,7 @@ fn e4_table3_pairwise_counts_match_the_paper() {
 #[test]
 fn e5_table4_part_breakdown_matches_the_paper() {
     let study = study();
-    let analysis = PairwiseAnalysis::compute(&study);
+    let analysis = study.get::<PairwiseAnalysis>().unwrap();
     for expected in &calibration::TABLE4 {
         let row = analysis
             .part_breakdown()
@@ -164,7 +164,7 @@ fn e5_table4_part_breakdown_matches_the_paper() {
 #[test]
 fn e6_kway_combinations_match_the_papers_named_findings() {
     let study = study();
-    let analysis = KWayAnalysis::compute(&study, ServerProfile::FatServer, 9);
+    let analysis = study.get::<KWayAnalysis>().unwrap();
     // "There are only two vulnerabilities shared by six OSes … and one
     // vulnerability that appears in nine OSes."
     assert_eq!(analysis.row(9).unwrap().vulnerabilities_at_least_k, 1);
@@ -180,7 +180,7 @@ fn e6_kway_combinations_match_the_papers_named_findings() {
 #[test]
 fn e7_table5_history_observed_split_matches_the_paper() {
     let study = study();
-    let matrix = SplitMatrix::compute(&study);
+    let matrix = study.get::<SplitMatrix>().unwrap();
     for cell in &calibration::TABLE5 {
         let history = matrix.count(cell.a, cell.b, Period::History).unwrap();
         let observed = matrix.count(cell.a, cell.b, Period::Observed).unwrap();
@@ -210,7 +210,7 @@ fn e8_figure3_diverse_sets_beat_the_homogeneous_baseline() {
     let study = study();
     let selection = ReplicaSelection::new(&study);
     let outcomes = selection.figure3();
-    let rendered = report::figure3(&outcomes).render();
+    let rendered = figure3_table(&outcomes).render();
     assert!(rendered.contains("Set1"));
     let baseline = &outcomes[0];
     // The paper's baseline: Debian with 16 history / 9 observed.
@@ -238,7 +238,7 @@ fn e8_figure3_diverse_sets_beat_the_homogeneous_baseline() {
 #[test]
 fn e9_table6_release_level_diversity_matches_the_paper() {
     let study = study();
-    let analysis = ReleaseAnalysis::compute(&study);
+    let analysis = study.get::<ReleaseAnalysis>().unwrap();
     assert_eq!(analysis.rows().len(), 15);
     assert_eq!(analysis.disjoint_pairs(), 11);
     let non_zero: usize = analysis.rows().iter().filter(|r| r.common > 0).count();
@@ -257,7 +257,7 @@ fn e9_table6_release_level_diversity_matches_the_paper() {
 #[test]
 fn e11_summary_findings_match_section_4e() {
     let study = study();
-    let analysis = PairwiseAnalysis::compute(&study);
+    let analysis = study.get::<PairwiseAnalysis>().unwrap();
     let summary = analysis.summary();
     // Finding 1: ~56% average reduction.
     assert!(
@@ -270,17 +270,17 @@ fn e11_summary_findings_match_section_4e() {
     assert!(summary.pairs_with_at_most_one_common * 2 > summary.pair_count);
     // Finding 6: drivers account for a very small share of the
     // vulnerabilities.
-    let driver_share = ClassDistribution::compute(&study).class_percentages()[OsPart::ALL
-        .iter()
-        .position(|p| *p == OsPart::Driver)
-        .unwrap()];
+    let driver_share = study
+        .get::<ClassDistribution>()
+        .unwrap()
+        .class_percentage(OsPart::Driver);
     assert!(driver_share < 4.0, "driver share {driver_share:.1}%");
 }
 
 #[test]
 fn full_report_renders_every_family_and_table() {
     let study = study();
-    let rendered = report::full_report(&study);
+    let rendered = study.report(Format::Text).unwrap();
     for family in OsFamily::ALL {
         assert!(rendered.contains(&format!("Figure 2 ({family} family)")));
     }

@@ -6,7 +6,7 @@ use classify::{ClassificationReport, Classifier};
 use datagen::CalibratedGenerator;
 use nvd_feed::{merge_duplicate_entries, FeedReader, FeedWriter};
 use nvd_model::{OsDistribution, OsSet};
-use osdiv_core::{PairwiseAnalysis, ServerProfile, StudyDataset};
+use osdiv_core::{PairwiseAnalysis, ServerProfile, Study, StudyDataset};
 
 #[test]
 fn feed_roundtrip_preserves_the_analysis_results() {
@@ -15,14 +15,14 @@ fn feed_roundtrip_preserves_the_analysis_results() {
         .generate();
 
     // Direct ingestion.
-    let direct = StudyDataset::from_entries(dataset.entries());
+    let direct = Study::from_entries(dataset.entries());
 
     // Ingestion through the XML feed format.
     let xml = FeedWriter::new()
         .write_to_string(dataset.entries())
         .unwrap();
     let parsed = FeedReader::new().strict().read_from_str(&xml).unwrap();
-    let roundtripped = StudyDataset::from_entries(&parsed);
+    let roundtripped = Study::from_entries(&parsed);
 
     assert_eq!(
         direct.store().vulnerability_count(),
@@ -31,8 +31,8 @@ fn feed_roundtrip_preserves_the_analysis_results() {
     // The pairwise counts are insensitive to the serialization except for
     // the OS-part classification, which travels outside the feed format (the
     // real NVD does not carry it either); compare the Fat Server counts.
-    let direct_pairs = PairwiseAnalysis::compute(&direct);
-    let roundtrip_pairs = PairwiseAnalysis::compute(&roundtripped);
+    let direct_pairs = direct.get::<PairwiseAnalysis>().unwrap();
+    let roundtrip_pairs = roundtripped.get::<PairwiseAnalysis>().unwrap();
     for (a, b) in [
         (OsDistribution::OpenBsd, OsDistribution::NetBsd),
         (OsDistribution::Debian, OsDistribution::RedHat),

@@ -7,15 +7,15 @@ use osdiv::classify::Classifier;
 use osdiv::datagen::CalibratedGenerator;
 use osdiv::nvd_feed::{FeedReader, FeedWriter};
 use osdiv::nvd_model::{OsDistribution, OsSet};
-use osdiv::osdiv_core::{PairwiseAnalysis, ServerProfile, StudyDataset};
+use osdiv::osdiv_core::{PairwiseAnalysis, ServerProfile, Study};
 use osdiv::tabular::TextTable;
 use osdiv::vulnstore::VulnStore;
 
 #[test]
 fn facade_reexports_compose_into_a_pipeline() {
-    // datagen → vulnstore/core ingestion.
+    // datagen → vulnstore/core ingestion, behind the session API.
     let dataset = CalibratedGenerator::new(99).generate();
-    let study = StudyDataset::from_entries(dataset.entries());
+    let study = Study::from_entries(dataset.entries());
     assert!(
         study.valid_count() > 0,
         "calibrated dataset must not be empty"
@@ -40,8 +40,8 @@ fn facade_reexports_compose_into_a_pipeline() {
     let classifier = Classifier::with_default_rules();
     let _part = classifier.classify_summary(slice[0].summary());
 
-    // Pairwise analysis headline query.
-    let pairwise = PairwiseAnalysis::compute(&study);
+    // Pairwise analysis headline query, memoized by the session.
+    let pairwise = study.get::<PairwiseAnalysis>().expect("default config");
     assert_eq!(pairwise.rows().len(), 55, "11 OSes give C(11,2) = 55 pairs");
     let pair = OsSet::pair(OsDistribution::Debian, OsDistribution::OpenBsd);
     let _common = study.count_common(pair, ServerProfile::FatServer);
@@ -62,7 +62,8 @@ fn facade_reexports_compose_into_a_pipeline() {
 fn facade_root_reexports_are_usable_directly() {
     // The crate root lifts the headline types; spot-check a few.
     let dataset = osdiv::CalibratedGenerator::new(7).generate();
-    let study = osdiv::StudyDataset::from_entries(dataset.entries());
-    let _ = osdiv::ClassDistribution::compute(&study);
-    let _ = osdiv::ValidityDistribution::compute(&study);
+    let study = osdiv::Study::from_entries(dataset.entries());
+    let _ = study.get::<osdiv::ClassDistribution>().unwrap();
+    let _ = study.get::<osdiv::ValidityDistribution>().unwrap();
+    assert_eq!(study.cached_ids().len(), 2);
 }

@@ -1,0 +1,137 @@
+//! Integration tests of the `Study` session API: memoization semantics,
+//! `run_all` equivalence with individual analysis runs, and the CSV / JSON
+//! renderers round-tripping the deliverables.
+
+use std::sync::Arc;
+
+use osdiv::datagen::CalibratedGenerator;
+use osdiv::osdiv_core::render::{CsvRenderer, JsonRenderer, Render};
+use osdiv::osdiv_core::{
+    ClassDistribution, KWayAnalysis, PairwiseAnalysis, ReleaseAnalysis, Section, SelectionAnalysis,
+    SplitMatrix, TemporalAnalysis, ValidityDistribution,
+};
+use osdiv::tabular::TextTable;
+use osdiv::{AnalysisId, Study};
+
+fn session(seed: u64) -> Study {
+    let dataset = CalibratedGenerator::new(seed).generate();
+    Study::from_entries(dataset.entries())
+}
+
+#[test]
+fn second_get_returns_the_cached_value() {
+    let study = session(2011);
+    assert!(!study.is_cached(AnalysisId::Pairwise));
+    let first = study.get::<PairwiseAnalysis>().unwrap();
+    let second = study.get::<PairwiseAnalysis>().unwrap();
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "the second lookup must return the memoized allocation"
+    );
+    assert_eq!(study.cached_ids(), vec![AnalysisId::Pairwise]);
+}
+
+#[test]
+fn run_all_output_equals_individual_runs() {
+    let parallel = session(2011);
+    parallel.run_all().unwrap();
+    assert_eq!(parallel.cached_ids(), AnalysisId::ALL.to_vec());
+
+    let sequential = session(2011);
+    assert_eq!(
+        *parallel.get::<ValidityDistribution>().unwrap(),
+        *sequential.get::<ValidityDistribution>().unwrap()
+    );
+    assert_eq!(
+        *parallel.get::<ClassDistribution>().unwrap(),
+        *sequential.get::<ClassDistribution>().unwrap()
+    );
+    assert_eq!(
+        parallel.get::<PairwiseAnalysis>().unwrap().rows(),
+        sequential.get::<PairwiseAnalysis>().unwrap().rows()
+    );
+    assert_eq!(
+        parallel.get::<SplitMatrix>().unwrap().oses(),
+        sequential.get::<SplitMatrix>().unwrap().oses()
+    );
+    assert_eq!(
+        parallel.get::<ReleaseAnalysis>().unwrap().rows(),
+        sequential.get::<ReleaseAnalysis>().unwrap().rows()
+    );
+    assert_eq!(
+        parallel.get::<KWayAnalysis>().unwrap().rows(),
+        sequential.get::<KWayAnalysis>().unwrap().rows()
+    );
+    assert_eq!(
+        *parallel.get::<SelectionAnalysis>().unwrap(),
+        *sequential.get::<SelectionAnalysis>().unwrap()
+    );
+    let temporal_parallel = parallel.get::<TemporalAnalysis>().unwrap();
+    let temporal_sequential = sequential.get::<TemporalAnalysis>().unwrap();
+    for family in osdiv::OsFamily::ALL {
+        assert_eq!(
+            temporal_parallel.family_series(family),
+            temporal_sequential.family_series(family)
+        );
+    }
+    // And the rendered reports agree wholesale.
+    assert_eq!(
+        parallel.report(osdiv::Format::Text).unwrap(),
+        sequential.report(osdiv::Format::Text).unwrap()
+    );
+}
+
+#[test]
+fn table3_csv_round_trips_the_row_values() {
+    let study = session(2011);
+    let analysis = study.get::<PairwiseAnalysis>().unwrap();
+    let table = analysis.to_table3();
+    let parsed = TextTable::from_csv(&table.to_csv()).expect("exported CSV parses");
+    assert_eq!(parsed, table);
+    // Spot-check the parsed cells against the analysis values themselves.
+    for (i, row) in analysis.rows().iter().enumerate() {
+        assert_eq!(
+            parsed.cell(i, 0).unwrap(),
+            format!("{}-{}", row.a.short_name(), row.b.short_name())
+        );
+        assert_eq!(parsed.cell(i, 3).unwrap(), row.v_ab.0.to_string());
+        assert_eq!(parsed.cell(i, 9).unwrap(), row.v_ab.2.to_string());
+    }
+}
+
+#[test]
+fn table3_json_round_trips_the_row_values() {
+    let study = session(2011);
+    let analysis = study.get::<PairwiseAnalysis>().unwrap();
+    let table = analysis.to_table3();
+    let json = JsonRenderer.document(&[Section::table("Table III", table)]);
+    assert!(json.starts_with("{\"sections\":["));
+    // Every row of the analysis appears as its exact JSON array encoding.
+    for row in analysis.rows() {
+        let expected = format!(
+            "[\"{}-{}\",\"{}\",\"{}\",\"{}\",\"{}\",\"{}\",\"{}\",\"{}\",\"{}\",\"{}\"]",
+            row.a.short_name(),
+            row.b.short_name(),
+            row.v_a.0,
+            row.v_b.0,
+            row.v_ab.0,
+            row.v_a.1,
+            row.v_b.1,
+            row.v_ab.1,
+            row.v_a.2,
+            row.v_b.2,
+            row.v_ab.2,
+        );
+        assert!(json.contains(&expected), "row {expected} missing from JSON");
+    }
+}
+
+#[test]
+fn csv_renderer_separates_multi_section_documents() {
+    let study = session(2011);
+    let sections = study.report_sections().unwrap();
+    assert!(sections.len() >= 10);
+    let csv = CsvRenderer.document(&sections);
+    assert!(csv.contains("# Table III: pairwise common vulnerabilities\n"));
+    assert!(csv.contains("# Section IV-E: summary\n"));
+}
