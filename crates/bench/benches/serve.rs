@@ -1,0 +1,110 @@
+//! Serving-layer benches: the latency of one cached request over a real
+//! socket, ETag revalidation, and a multi-client loadgen throughput number
+//! (requests/sec) for `/v1/report` served from the memoized `Study` — the
+//! serving datapoint of the perf trajectory in CHANGES.md.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::CalibratedGenerator;
+use osdiv_core::Study;
+use osdiv_serve::loadgen::{read_response, run_loadgen, write_request};
+use osdiv_serve::{Router, RouterOptions, Server, ServerHandle, ServerOptions};
+
+fn start_server() -> ServerHandle {
+    let dataset = CalibratedGenerator::new(2011).generate();
+    let study = Study::from_entries(dataset.entries());
+    study.run_all().expect("default configurations are valid");
+    let router = Arc::new(Router::new(Arc::new(study), RouterOptions::default()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router,
+        ServerOptions {
+            threads: 4,
+            read_timeout: Duration::from_secs(10),
+            // The latency benches pump far more than the production
+            // default of 1000 requests through one connection.
+            max_keep_alive_requests: usize::MAX,
+        },
+    )
+    .expect("an ephemeral loop-back port is bindable");
+    server.spawn()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    // Single keep-alive request against the rendered-body cache.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream);
+    c.bench_function("serve/cached_report_json_roundtrip", |b| {
+        b.iter(|| {
+            write_request(reader.get_mut(), "GET", "/v1/report?format=json", &[]).unwrap();
+            read_response(&mut reader).unwrap().status
+        })
+    });
+
+    // ETag revalidation: the 304 path renders and transfers nothing.
+    write_request(reader.get_mut(), "GET", "/v1/report?format=json", &[]).unwrap();
+    let etag = read_response(&mut reader)
+        .unwrap()
+        .header("etag")
+        .expect("the report carries an ETag")
+        .to_string();
+    c.bench_function("serve/etag_revalidation_304", |b| {
+        b.iter(|| {
+            write_request(
+                reader.get_mut(),
+                "GET",
+                "/v1/report?format=json",
+                &[("If-None-Match", &etag)],
+            )
+            .unwrap();
+            read_response(&mut reader).unwrap().status
+        })
+    });
+
+    // A non-default configuration served through the LRU cache.
+    c.bench_function("serve/cached_parameterized_kway_csv", |b| {
+        b.iter(|| {
+            write_request(
+                reader.get_mut(),
+                "GET",
+                "/v1/analyses/kway?profile=isolated&max_k=4&format=csv",
+                &[],
+            )
+            .unwrap();
+            read_response(&mut reader).unwrap().status
+        })
+    });
+    drop(reader);
+
+    // Multi-client throughput: the requests/sec figure of the suite.
+    for clients in [1, 4, 8] {
+        let report = run_loadgen(addr, clients, 500, "/v1/report?format=json");
+        println!(
+            "serve/loadgen_report_json/{clients}_clients: {:.0} req/s \
+             ({} ok, {} errors, {:.2?} elapsed)",
+            report.requests_per_sec(),
+            report.ok,
+            report.errors,
+            report.elapsed,
+        );
+        assert_eq!(report.errors, 0, "loadgen must not drop requests");
+    }
+
+    handle
+        .shutdown()
+        .expect("the bench server shuts down cleanly");
+}
+
+criterion_group!(
+    name = serve;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+);
+criterion_main!(serve);

@@ -6,23 +6,29 @@
 //!                 [--first-year Y] [--last-year Y] [--trials N]
 //! ```
 //!
-//! The default invocation of each command reproduces the corresponding
-//! historical binary byte for byte (text format, seed 2011); `--format csv`
-//! and `--format json` export the same deliverables through the
-//! [`osdiv_core::render`] sinks. `osdiv list` prints the analysis registry,
-//! so newly registered analyses appear in `report` and the help text
-//! without touching the dispatcher.
+//! The default invocation of each table/figure command reproduces the
+//! corresponding historical binary byte for byte (text format, seed 2011);
+//! `--format csv` and `--format json` export the same deliverables through
+//! the [`osdiv_core::render`] sinks. Every **registry analysis id**
+//! (`validity`, `pairwise`, `kway`, …) is also a command, rendered through
+//! [`osdiv_core::analysis_sections`] — byte-identical to what
+//! `osdiv serve` answers at `GET /v1/analyses/{id}`. `osdiv list` prints
+//! the registry, so newly registered analyses appear in `report`, the help
+//! text and the HTTP API without touching the dispatcher.
 
+use std::io::Write as _;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use bft_sim::{ReplicaSet, SimulationConfig, Simulator};
 use nvd_model::{OsDistribution, OsFamily};
 use osdiv_bench::harness::{study_session_with_seed, EXPERIMENT_SEED};
 use osdiv_core::{
-    figure3_configurations, renderer, AnalysisError, AnalysisId, Format, KWayAnalysis, KWayConfig,
+    analysis_sections, figure3_configurations, renderer, AnalysisError, AnalysisId, Format, Params,
     ReleaseAnalysis, ReleaseConfig, Render, Section, SelectionAnalysis, SelectionConfig,
     ServerProfile, SplitConfig, SplitMatrix, Study, TemporalAnalysis, TemporalConfig, TextRenderer,
 };
+use osdiv_serve::{Router, RouterOptions, Server, ServerOptions};
 use tabular::TextTable;
 
 /// The dispatcher's command table: `(name, summary)`. The per-analysis
@@ -51,13 +57,13 @@ const COMMANDS: &[(&str, &str)] = &[
         "figure3",
         "Figure 3: replica selection validated on the observed period",
     ),
-    (
-        "kway",
-        "Section IV-B: vulnerabilities shared by k or more OSes",
-    ),
     ("summary", "Section IV-E: summary of the findings"),
     ("survival", "Monte-Carlo survival of replica configurations"),
     ("report", "every table and figure in one document"),
+    (
+        "serve",
+        "serve the study as an HTTP API (see --addr/--threads)",
+    ),
     ("list", "print the analysis registry"),
     ("help", "show this help"),
 ];
@@ -70,6 +76,11 @@ struct Options {
     first_year: Option<u16>,
     last_year: Option<u16>,
     trials: usize,
+    oses: Option<String>,
+    max_k: Option<usize>,
+    addr: String,
+    threads: usize,
+    enable_shutdown: bool,
 }
 
 impl Default for Options {
@@ -81,7 +92,44 @@ impl Default for Options {
             first_year: None,
             last_year: None,
             trials: 400,
+            oses: None,
+            max_k: None,
+            addr: "127.0.0.1:8080".to_string(),
+            threads: osdiv_serve::default_threads(),
+            enable_shutdown: false,
         }
+    }
+}
+
+impl Options {
+    /// The analysis parameter list of the generic `osdiv <analysis>`
+    /// commands — the exact key/value pairs a `GET /v1/analyses/{id}`
+    /// query string would carry, so both paths render identical bytes.
+    fn params(&self) -> Params {
+        let mut params = Params::new();
+        if let Some(profile) = self.profile {
+            params.insert(
+                "profile",
+                match profile {
+                    ServerProfile::FatServer => "fat",
+                    ServerProfile::ThinServer => "thin",
+                    ServerProfile::IsolatedThinServer => "isolated",
+                },
+            );
+        }
+        if let Some(first_year) = self.first_year {
+            params.insert("first_year", first_year.to_string());
+        }
+        if let Some(last_year) = self.last_year {
+            params.insert("last_year", last_year.to_string());
+        }
+        if let Some(oses) = &self.oses {
+            params.insert("oses", oses.clone());
+        }
+        if let Some(max_k) = self.max_k {
+            params.insert("max_k", max_k.to_string());
+        }
+        params
     }
 }
 
@@ -90,11 +138,19 @@ enum CliError {
     Usage(String),
     /// A (configuration) error from the analysis layer: exit code 1.
     Analysis(AnalysisError),
+    /// An I/O error from the serving layer: exit code 1.
+    Io(std::io::Error),
 }
 
 impl From<AnalysisError> for CliError {
     fn from(error: AnalysisError) -> Self {
         CliError::Analysis(error)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(error: std::io::Error) -> Self {
+        CliError::Io(error)
     }
 }
 
@@ -110,6 +166,10 @@ fn main() {
             eprintln!("error: {error}");
             std::process::exit(1);
         }
+        Err(CliError::Io(error)) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -120,7 +180,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
     if command == "help" || command == "--help" || command == "-h" {
         return Ok(usage());
     }
-    if !COMMANDS.iter().any(|(name, _)| name == command) {
+    let is_analysis = AnalysisId::from_name(command).is_ok();
+    if !is_analysis && !COMMANDS.iter().any(|(name, _)| name == command) {
         return Err(CliError::Usage(format!(
             "unknown command {command:?}\n\n{}",
             usage()
@@ -131,7 +192,53 @@ fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(list_analyses(opts.format));
     }
     let study = study_session_with_seed(opts.seed);
+    if command == "serve" {
+        return serve(study, &opts);
+    }
+    if is_analysis {
+        // The generic registry path: `osdiv <analysis>` renders the same
+        // sections as `GET /v1/analyses/{id}`, byte for byte.
+        let id = AnalysisId::from_name(command)?;
+        let sections = analysis_sections(&study, id, &opts.params())?;
+        return Ok(renderer(opts.format).document(&sections));
+    }
     dispatch(command, &study, &opts).map_err(CliError::from)
+}
+
+/// `osdiv serve`: pre-warm the session, bind, and run until shutdown.
+fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
+    let study = Arc::new(study);
+    let warmup = std::time::Instant::now();
+    study.run_all()?;
+    let router = Arc::new(Router::new(
+        Arc::clone(&study),
+        RouterOptions {
+            seed: opts.seed,
+            cache_capacity: 128,
+            enable_shutdown: opts.enable_shutdown,
+        },
+    ));
+    let server = Server::bind(
+        opts.addr.as_str(),
+        router,
+        ServerOptions {
+            threads: opts.threads,
+            ..ServerOptions::default()
+        },
+    )?;
+    // Flushed eagerly so wrapper scripts watching a redirected stdout see
+    // the bound (possibly ephemeral) port immediately.
+    println!(
+        "osdiv-serve listening on {} (seed {}, {} threads, {} analyses pre-warmed in {:?})",
+        server.local_addr(),
+        opts.seed,
+        opts.threads,
+        AnalysisId::ALL.len(),
+        warmup.elapsed(),
+    );
+    std::io::stdout().flush()?;
+    server.run()?;
+    Ok("osdiv-serve: shutdown complete\n".to_string())
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -172,6 +279,24 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage(format!("invalid --trials {raw:?}")))?;
             }
+            "--oses" => opts.oses = Some(value("--oses")?),
+            "--max-k" => {
+                let raw = value("--max-k")?;
+                opts.max_k = Some(
+                    raw.parse()
+                        .map_err(|_| CliError::Usage(format!("invalid --max-k {raw:?}")))?,
+                );
+            }
+            "--addr" => opts.addr = value("--addr")?,
+            "--threads" => {
+                let raw = value("--threads")?;
+                opts.threads = raw
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| CliError::Usage(format!("invalid --threads {raw:?}")))?;
+            }
+            "--enable-shutdown" => opts.enable_shutdown = true,
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown option {other:?}\n\n{}",
@@ -198,8 +323,13 @@ fn usage() -> String {
          --profile <fat|thin|isolated>    server profile for kway/table5/table6/figure3\n  \
          --first-year <Y>                 figure2: first year of the series (default: 1993)\n  \
          --last-year <Y>                  figure2: last year of the series (default: 2010)\n  \
-         --trials <N>                     survival: Monte-Carlo trials (default: 400)\n\nAnalyses \
-         (osdiv list):\n",
+         --trials <N>                     survival: Monte-Carlo trials (default: 400)\n  \
+         --oses <a,b,..>                  analysis commands: restrict the OS pool\n  \
+         --max-k <N>                      kway: largest group size\n  \
+         --addr <host:port>               serve: bind address (default: 127.0.0.1:8080; port 0 = ephemeral)\n  \
+         --threads <N>                    serve: worker threads\n  \
+         --enable-shutdown                serve: honour POST /v1/shutdown\n\nAnalyses (also \
+         subcommands, mirrored at GET /v1/analyses/{id} by `osdiv serve`):\n",
     );
     for entry in osdiv_core::registry() {
         out.push_str(&format!(
@@ -411,42 +541,10 @@ fn dispatch(command: &str, study: &Study, opts: &Options) -> Result<String, Anal
                 out
             }))
         }
-        "kway" => {
-            let profiles: Vec<ServerProfile> = match opts.profile {
-                Some(profile) => vec![profile],
-                None => vec![ServerProfile::FatServer, ServerProfile::IsolatedThinServer],
-            };
-            let mut analyses = Vec::new();
-            for profile in profiles {
-                let analysis = if profile == KWayConfig::default().profile {
-                    study.get::<KWayAnalysis>()?
-                } else {
-                    std::sync::Arc::new(study.get_with::<KWayAnalysis>(&KWayConfig {
-                        profile,
-                        ..KWayConfig::default()
-                    })?)
-                };
-                analyses.push((profile, analysis));
-            }
-            let sections: Vec<Section> = analyses
-                .iter()
-                .map(|(profile, analysis)| {
-                    Section::table(
-                        format!("k-OS combinations ({profile})"),
-                        analysis.to_table(),
-                    )
-                })
-                .collect();
-            Ok(emit(opts.format, &sections, || {
-                let mut out = String::new();
-                for (profile, analysis) in &analyses {
-                    out.push_str(&header(&format!("k-OS combinations ({profile})")));
-                    out.push_str(&analysis.to_table().render());
-                    out.push('\n');
-                }
-                out
-            }))
-        }
+        // `kway` is dispatched through the generic registry path in `run`
+        // (like every analysis id), so its output is byte-identical to
+        // `GET /v1/analyses/kway`. The pre-0.3 dual-profile comparison is
+        // two invocations now: `--profile fat` and `--profile isolated`.
         "summary" => {
             let sections = vec![registry_sections(study, AnalysisId::Pairwise)?.swap_remove(2)];
             Ok(emit(opts.format, &sections, || {

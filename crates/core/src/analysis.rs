@@ -127,6 +127,26 @@ pub enum AnalysisError {
     UnknownFormat(String),
     /// A server-profile name that is not `fat`, `thin` or `isolated`.
     UnknownProfile(String),
+    /// A selection-criterion name that is not `pairwise-sum` or
+    /// `distinct-shared`.
+    UnknownCriterion(String),
+    /// A configuration key the analysis does not accept (see
+    /// [`crate::params::FromParams`]).
+    UnknownParam {
+        /// The rejected key.
+        name: String,
+        /// The keys the configuration accepts.
+        expected: &'static [&'static str],
+    },
+    /// A configuration value that failed to parse.
+    InvalidParam {
+        /// The key whose value is invalid.
+        name: String,
+        /// The rejected raw value.
+        value: String,
+        /// Why the value failed to parse.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -146,6 +166,26 @@ impl fmt::Display for AnalysisError {
                 f,
                 "unknown server profile {name:?} (expected fat, thin or isolated)"
             ),
+            AnalysisError::UnknownCriterion(name) => write!(
+                f,
+                "unknown selection criterion {name:?} (expected pairwise-sum or distinct-shared)"
+            ),
+            AnalysisError::UnknownParam { name, expected } => {
+                if expected.is_empty() {
+                    write!(f, "unknown parameter {name:?} (the analysis takes none)")
+                } else {
+                    write!(
+                        f,
+                        "unknown parameter {name:?} (expected one of: {})",
+                        expected.join(", ")
+                    )
+                }
+            }
+            AnalysisError::InvalidParam {
+                name,
+                value,
+                reason,
+            } => write!(f, "invalid value {value:?} for parameter {name}: {reason}"),
         }
     }
 }
@@ -218,6 +258,13 @@ pub type SectionsFn = fn(&Study) -> Result<Vec<Section>, AnalysisError>;
 /// A registry hook building a single epilogue section.
 pub type SectionFn = fn(&Study) -> Result<Section, AnalysisError>;
 
+/// A registry hook building the sections of one analysis under an untyped
+/// parameter list (see [`crate::params::FromParams`]). An empty list is the
+/// memoized default configuration; a non-empty list is parsed into the
+/// analysis's `Config` and run through [`Study::get_with`].
+pub type ParamSectionsFn =
+    fn(&Study, &crate::params::Params) -> Result<Vec<Section>, AnalysisError>;
+
 /// One registry row: an [`AnalysisId`] plus the type-erased hooks the
 /// dispatcher needs — forcing the memoized computation, building the
 /// analysis's own sections, and contributing to the combined report.
@@ -228,6 +275,9 @@ pub struct AnalysisEntry {
     pub prime: fn(&Study) -> Result<(), AnalysisError>,
     /// Builds every section of the analysis (used by per-analysis exports).
     pub sections: SectionsFn,
+    /// Builds the analysis's sections under an explicit parameter list
+    /// (the parameterized CLI commands and the HTTP query-string path).
+    pub sections_with: ParamSectionsFn,
     /// The sections the analysis contributes to the *body* of the combined
     /// report, or `None` to stay out of it (the selection analysis predates
     /// the combined report and keeps its own subcommand instead, preserving
@@ -251,6 +301,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Validity,
             prime: prime::<crate::classes::ValidityDistribution>,
             sections: crate::classes::validity_sections,
+            sections_with: crate::classes::validity_sections_with,
             report_sections: Some(crate::classes::validity_sections),
             epilogue: None,
         },
@@ -258,6 +309,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Classes,
             prime: prime::<crate::classes::ClassDistribution>,
             sections: crate::classes::class_sections,
+            sections_with: crate::classes::class_sections_with,
             report_sections: Some(crate::classes::class_sections),
             epilogue: None,
         },
@@ -265,6 +317,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Pairwise,
             prime: prime::<crate::pairwise::PairwiseAnalysis>,
             sections: crate::pairwise::sections,
+            sections_with: crate::pairwise::sections_with,
             report_sections: Some(crate::pairwise::table_sections),
             epilogue: Some(crate::pairwise::summary_section),
         },
@@ -272,6 +325,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Split,
             prime: prime::<crate::split::SplitMatrix>,
             sections: crate::split::sections,
+            sections_with: crate::split::sections_with,
             report_sections: Some(crate::split::sections),
             epilogue: None,
         },
@@ -279,6 +333,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Releases,
             prime: prime::<crate::releases::ReleaseAnalysis>,
             sections: crate::releases::sections,
+            sections_with: crate::releases::sections_with,
             report_sections: Some(crate::releases::sections),
             epilogue: None,
         },
@@ -286,6 +341,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Temporal,
             prime: prime::<crate::temporal::TemporalAnalysis>,
             sections: crate::temporal::sections,
+            sections_with: crate::temporal::sections_with,
             report_sections: Some(crate::temporal::sections),
             epilogue: None,
         },
@@ -293,6 +349,7 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::KWay,
             prime: prime::<crate::kway::KWayAnalysis>,
             sections: crate::kway::sections,
+            sections_with: crate::kway::sections_with,
             report_sections: Some(crate::kway::sections),
             epilogue: None,
         },
@@ -300,11 +357,43 @@ pub fn registry() -> &'static [AnalysisEntry] {
             id: AnalysisId::Selection,
             prime: prime::<crate::selection::SelectionAnalysis>,
             sections: crate::selection::sections,
+            sections_with: crate::selection::sections_with,
             report_sections: None,
             epilogue: None,
         },
     ];
     REGISTRY
+}
+
+/// Builds the sections of one analysis under an untyped parameter list: the
+/// entry point shared by the parameterized `osdiv <analysis>` CLI commands
+/// and the HTTP `GET /v1/analyses/{id}` route, so both emit byte-identical
+/// documents for the same id, parameters and format.
+pub fn analysis_sections(
+    study: &Study,
+    id: AnalysisId,
+    params: &crate::params::Params,
+) -> Result<Vec<Section>, AnalysisError> {
+    (registry_entry(id).sections_with)(study, params)
+}
+
+/// The registry rendered as a table (the CLI's `list` command and the
+/// server's `GET /v1/analyses` route).
+pub fn registry_table() -> TextTable {
+    let mut table = TextTable::new(["Analysis", "Deliverables", "Description"]);
+    for entry in registry() {
+        table.push_row([
+            entry.id.name().to_string(),
+            entry.id.deliverables().to_string(),
+            entry.id.describe().to_string(),
+        ]);
+    }
+    table
+}
+
+/// The registry table as a titled section.
+pub fn registry_section() -> Section {
+    Section::table("Analysis registry", registry_table())
 }
 
 /// Looks one registry entry up by id.

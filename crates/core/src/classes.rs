@@ -5,6 +5,7 @@ use tabular::TextTable;
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::StudyDataset;
+use crate::params::{FromParams, Params};
 use crate::study::Study;
 
 /// The Table I reproduction: per-OS counts by validity flag, plus the
@@ -16,12 +17,6 @@ pub struct ValidityDistribution {
 }
 
 impl ValidityDistribution {
-    /// Computes the distribution from a dataset.
-    #[deprecated(since = "0.2.0", note = "use `Study::get::<ValidityDistribution>()`")]
-    pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_impl(study)
-    }
-
     fn compute_impl(study: &StudyDataset) -> Self {
         let index_of = |validity: Validity| {
             Validity::ALL
@@ -114,6 +109,16 @@ pub(crate) fn validity_sections(study: &Study) -> Result<Vec<Section>, AnalysisE
     )])
 }
 
+/// Parameterized Table I sections (the analysis takes no parameters, so
+/// any key is rejected).
+pub(crate) fn validity_sections_with(
+    study: &Study,
+    params: &Params,
+) -> Result<Vec<Section>, AnalysisError> {
+    <() as FromParams>::from_params(params)?;
+    validity_sections(study)
+}
+
 /// The Table II reproduction: per-OS counts by component class, plus the
 /// percentage of each class over the whole data set.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,14 +129,9 @@ pub struct ClassDistribution {
 }
 
 impl ClassDistribution {
-    /// Computes the distribution from a dataset. Only valid vulnerabilities
-    /// are counted; unclassified rows are ignored (the paper classified
-    /// every valid entry, so run the classifier first for full coverage).
-    #[deprecated(since = "0.2.0", note = "use `Study::get::<ClassDistribution>()`")]
-    pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_impl(study)
-    }
-
+    /// Only valid vulnerabilities are counted; unclassified rows are
+    /// ignored (the paper classified every valid entry, so run the
+    /// classifier first for full coverage).
     fn compute_impl(study: &StudyDataset) -> Self {
         let index_of = |part: OsPart| {
             OsPart::ALL
@@ -259,23 +259,31 @@ pub(crate) fn class_sections(study: &Study) -> Result<Vec<Section>, AnalysisErro
     )])
 }
 
+/// Parameterized Table II sections (the analysis takes no parameters, so
+/// any key is rejected).
+pub(crate) fn class_sections_with(
+    study: &Study,
+    params: &Params,
+) -> Result<Vec<Section>, AnalysisError> {
+    <() as FromParams>::from_params(params)?;
+    class_sections(study)
+}
+
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use datagen::calibration::{table1_row, table2_row};
     use datagen::CalibratedGenerator;
 
-    fn calibrated_study() -> StudyDataset {
+    fn calibrated_study() -> Study {
         let dataset = CalibratedGenerator::new(5).generate();
-        StudyDataset::from_entries(dataset.entries())
+        Study::from_entries(dataset.entries())
     }
 
     #[test]
     fn validity_distribution_matches_table1() {
         let study = calibrated_study();
-        let table1 = ValidityDistribution::compute(&study);
+        let table1 = study.get::<ValidityDistribution>().unwrap();
         for os in OsDistribution::ALL {
             let expected = table1_row(os);
             let [valid, unknown, unspecified, disputed] = table1.for_os(os);
@@ -293,7 +301,7 @@ mod tests {
     #[test]
     fn class_distribution_is_close_to_table2() {
         let study = calibrated_study();
-        let table2 = ClassDistribution::compute(&study);
+        let table2 = study.get::<ClassDistribution>().unwrap();
         for os in OsDistribution::ALL {
             let expected = table2_row(os);
             let counts = table2.for_os(os);
@@ -312,7 +320,7 @@ mod tests {
     #[test]
     fn class_percentages_follow_the_paper_shape() {
         let study = calibrated_study();
-        let table2 = ClassDistribution::compute(&study);
+        let table2 = study.get::<ClassDistribution>().unwrap();
         let [driver, kernel, syssoft, app] = table2.class_percentages();
         // Paper: 1.4% / 35.5% / 23.2% / 39.9%.
         assert!(driver < 5.0, "driver share {driver:.1}%");
@@ -329,8 +337,8 @@ mod tests {
     #[test]
     fn per_os_class_totals_equal_valid_counts_when_fully_classified() {
         let study = calibrated_study();
-        let table1 = ValidityDistribution::compute(&study);
-        let table2 = ClassDistribution::compute(&study);
+        let table1 = study.get::<ValidityDistribution>().unwrap();
+        let table2 = study.get::<ClassDistribution>().unwrap();
         for os in OsDistribution::ALL {
             assert_eq!(table2.total_for_os(os), table1.for_os(os)[0], "{os}");
         }
@@ -338,11 +346,31 @@ mod tests {
 
     #[test]
     fn empty_dataset_is_all_zero() {
-        let study = StudyDataset::new();
-        let table1 = ValidityDistribution::compute(&study);
+        let study = Study::new(StudyDataset::new());
+        let table1 = study.get::<ValidityDistribution>().unwrap();
         assert_eq!(table1.distinct(), [0; 4]);
-        let table2 = ClassDistribution::compute(&study);
+        let table2 = study.get::<ClassDistribution>().unwrap();
         assert_eq!(table2.class_percentages(), [0.0; 4]);
         assert_eq!(table2.for_os(OsDistribution::Debian), [0; 4]);
+    }
+
+    #[test]
+    fn tables_have_one_row_per_os_plus_a_totals_row() {
+        let study = calibrated_study();
+        let table1 = study.get::<ValidityDistribution>().unwrap().to_table();
+        assert_eq!(table1.row_count(), OsDistribution::COUNT + 1);
+        let table2 = study.get::<ClassDistribution>().unwrap().to_table();
+        assert_eq!(table2.row_count(), OsDistribution::COUNT + 1);
+    }
+
+    #[test]
+    fn sections_with_reject_any_parameter() {
+        let study = calibrated_study();
+        let empty = Params::new();
+        assert_eq!(validity_sections_with(&study, &empty).unwrap().len(), 1);
+        assert_eq!(class_sections_with(&study, &empty).unwrap().len(), 1);
+        let params = Params::from_pairs([("profile", "fat")]);
+        assert!(validity_sections_with(&study, &params).is_err());
+        assert!(class_sections_with(&study, &params).is_err());
     }
 }

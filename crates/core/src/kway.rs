@@ -14,6 +14,7 @@ use tabular::TextTable;
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::params::{FromParams, Params};
 use crate::study::Study;
 
 /// Configuration of the combination analysis: the server profile and the
@@ -59,17 +60,8 @@ pub struct KWayAnalysis {
 }
 
 impl KWayAnalysis {
-    /// Runs the analysis for group sizes 2 through `max_k` under the given
-    /// profile. Group enumeration is exhaustive (there are at most
-    /// `C(11, 5) = 462` groups per size), matching the paper's methodology.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Study::get::<KWayAnalysis>()` or `Study::get_with::<KWayAnalysis>(&KWayConfig { .. })`"
-    )]
-    pub fn compute(study: &StudyDataset, profile: ServerProfile, max_k: usize) -> Self {
-        Self::compute_impl(study, profile, max_k)
-    }
-
+    /// Group enumeration is exhaustive (there are at most `C(11, 5) = 462`
+    /// groups per size), matching the paper's methodology.
     fn compute_impl(study: &StudyDataset, profile: ServerProfile, max_k: usize) -> Self {
         let mut rows = Vec::new();
         let universe = OsSet::all();
@@ -185,23 +177,40 @@ pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
     )])
 }
 
+/// Parameterized Section IV-B sections: `profile=` and `max_k=` select the
+/// enumeration.
+pub(crate) fn sections_with(study: &Study, params: &Params) -> Result<Vec<Section>, AnalysisError> {
+    if params.is_empty() {
+        return sections(study);
+    }
+    let config = KWayConfig::from_params(params)?;
+    Ok(vec![Section::table(
+        "Section IV-B: k-OS combinations",
+        study.get_with::<KWayAnalysis>(&config)?.to_table(),
+    )])
+}
+
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use datagen::CalibratedGenerator;
     use nvd_model::CveId;
 
-    fn calibrated_study() -> StudyDataset {
+    fn calibrated_study() -> Study {
         let dataset = CalibratedGenerator::new(7).generate();
-        StudyDataset::from_entries(dataset.entries())
+        Study::from_entries(dataset.entries())
+    }
+
+    fn kway(study: &Study, profile: ServerProfile, max_k: usize) -> KWayAnalysis {
+        study
+            .get_with::<KWayAnalysis>(&KWayConfig { profile, max_k })
+            .unwrap()
     }
 
     #[test]
     fn at_least_k_counts_are_monotonically_decreasing() {
         let study = calibrated_study();
-        let analysis = KWayAnalysis::compute(&study, ServerProfile::FatServer, 11);
+        let analysis = kway(&study, ServerProfile::FatServer, 11);
         let counts: Vec<usize> = analysis
             .rows()
             .iter()
@@ -216,7 +225,7 @@ mod tests {
     #[test]
     fn named_multi_os_vulnerabilities_show_up_in_the_tail() {
         let study = calibrated_study();
-        let analysis = KWayAnalysis::compute(&study, ServerProfile::FatServer, 11);
+        let analysis = kway(&study, ServerProfile::FatServer, 11);
         // Exactly one vulnerability (CVE-2008-4609) affects nine OSes, and
         // two more (DNS and DHCP) affect six.
         assert_eq!(analysis.row(9).unwrap().vulnerabilities_at_least_k, 1);
@@ -231,7 +240,7 @@ mod tests {
     #[test]
     fn best_groups_have_no_more_shared_vulnerabilities_than_worst() {
         let study = calibrated_study();
-        let analysis = KWayAnalysis::compute(&study, ServerProfile::IsolatedThinServer, 5);
+        let analysis = kway(&study, ServerProfile::IsolatedThinServer, 5);
         for row in analysis.rows() {
             let (best_set, best) = row.best_group.unwrap();
             let (worst_set, worst) = row.worst_group.unwrap();
@@ -244,7 +253,7 @@ mod tests {
     #[test]
     fn worst_pairs_are_intra_family() {
         let study = calibrated_study();
-        let analysis = KWayAnalysis::compute(&study, ServerProfile::FatServer, 2);
+        let analysis = kway(&study, ServerProfile::FatServer, 2);
         let (worst, _) = analysis.row(2).unwrap().worst_group.unwrap();
         // The worst pair is the Windows 2000 / Windows 2003 pair (253 shared
         // vulnerabilities in the paper).
@@ -257,7 +266,7 @@ mod tests {
     #[test]
     fn clean_groups_exist_under_the_isolated_profile() {
         let study = calibrated_study();
-        let analysis = KWayAnalysis::compute(&study, ServerProfile::IsolatedThinServer, 6);
+        let analysis = kway(&study, ServerProfile::IsolatedThinServer, 6);
         // The paper's Section IV-C finds four-OS groups with zero or one
         // common vulnerability; at least a clean pair must exist.
         let clean = analysis.largest_clean_group();
@@ -268,10 +277,29 @@ mod tests {
     #[test]
     fn k_larger_than_universe_has_no_groups() {
         let study = calibrated_study();
-        let analysis = KWayAnalysis::compute(&study, ServerProfile::FatServer, 12);
+        let analysis = kway(&study, ServerProfile::FatServer, 12);
         let row = analysis.row(12).unwrap();
         assert!(row.best_group.is_none());
         assert!(row.worst_group.is_none());
         assert_eq!(row.vulnerabilities_at_least_k, 0);
+    }
+
+    #[test]
+    fn rendered_table_names_best_and_worst_groups() {
+        let study = calibrated_study();
+        let rendered = study.get::<KWayAnalysis>().unwrap().to_table().render();
+        assert!(rendered.contains("worst group"));
+    }
+
+    #[test]
+    fn sections_with_parses_profile_and_max_k() {
+        let study = calibrated_study();
+        let params = Params::from_pairs([("profile", "isolated"), ("max_k", "3")]);
+        let sections = sections_with(&study, &params).unwrap();
+        match &sections[0].artifact {
+            crate::analysis::Artifact::Table(table) => assert_eq!(table.row_count(), 2),
+            other => panic!("expected a table, got {other:?}"),
+        }
+        assert!(sections_with(&study, &Params::from_pairs([("k", "3")])).is_err());
     }
 }

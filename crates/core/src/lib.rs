@@ -65,21 +65,23 @@ pub mod classes;
 pub mod dataset;
 pub mod kway;
 pub mod pairwise;
+pub mod params;
 pub mod releases;
 pub mod render;
-pub mod report;
 pub mod selection;
 pub mod split;
 pub mod study;
 pub mod temporal;
 
 pub use analysis::{
-    registry, registry_entry, Analysis, AnalysisEntry, AnalysisError, AnalysisId, Artifact, Section,
+    analysis_sections, registry, registry_entry, registry_section, registry_table, Analysis,
+    AnalysisEntry, AnalysisError, AnalysisId, Artifact, Section,
 };
 pub use classes::{ClassDistribution, ValidityDistribution};
 pub use dataset::{Period, ServerProfile, StudyDataset};
 pub use kway::{KWayAnalysis, KWayConfig, KWayRow};
 pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseConfig, PairwiseSummary, PartBreakdownRow};
+pub use params::{FromParams, Params};
 pub use releases::{ReleaseAnalysis, ReleaseConfig, ReleasePairRow};
 pub use render::{renderer, CsvRenderer, Format, JsonRenderer, Render, TextRenderer};
 pub use selection::{

@@ -7,6 +7,7 @@ use tabular::TextTable;
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::classes::ClassDistribution;
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::params::{FromParams, Params};
 use crate::study::Study;
 
 /// One row of the Table III reproduction: an OS pair with its per-OS totals
@@ -108,21 +109,6 @@ impl Default for PairwiseConfig {
 }
 
 impl PairwiseAnalysis {
-    /// Runs the analysis over every pair of the 11 studied OSes.
-    #[deprecated(since = "0.2.0", note = "use `Study::get::<PairwiseAnalysis>()`")]
-    pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_impl(study, &OsDistribution::ALL)
-    }
-
-    /// Runs the analysis over every pair of a chosen OS subset.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Study::get_with::<PairwiseAnalysis>(&PairwiseConfig { oses })`"
-    )]
-    pub fn compute_for(study: &StudyDataset, oses: &[OsDistribution]) -> Self {
-        Self::compute_impl(study, oses)
-    }
-
     fn compute_impl(study: &StudyDataset, oses: &[OsDistribution]) -> Self {
         let totals: Vec<(OsDistribution, (usize, usize, usize))> = oses
             .iter()
@@ -325,11 +311,9 @@ impl Analysis for PairwiseAnalysis {
     }
 }
 
-/// The Table III and Table IV sections (the analysis's report
-/// contribution).
-pub(crate) fn table_sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
-    let analysis = study.get::<PairwiseAnalysis>()?;
-    Ok(vec![
+/// The Table III and Table IV sections of one analysis value.
+fn tables_of(analysis: &PairwiseAnalysis) -> Vec<Section> {
+    vec![
         Section::table(
             "Table III: pairwise common vulnerabilities",
             analysis.to_table3(),
@@ -338,25 +322,50 @@ pub(crate) fn table_sections(study: &Study) -> Result<Vec<Section>, AnalysisErro
             "Table IV: isolated thin server breakdown",
             analysis.to_table4(),
         ),
-    ])
+    ]
 }
 
-/// The Section IV-E summary, composed from the memoized pairwise and class
-/// analyses plus the dataset's valid count.
-pub(crate) fn summary_section(study: &Study) -> Result<Section, AnalysisError> {
-    let pairwise = study.get::<PairwiseAnalysis>()?;
+/// The Section IV-E summary of one analysis value, composed with the
+/// memoized class distribution and the dataset's valid count.
+fn summary_of(study: &Study, analysis: &PairwiseAnalysis) -> Result<Section, AnalysisError> {
     let classes = study.get::<ClassDistribution>()?;
-    let table = pairwise.summary_table(
+    let table = analysis.summary_table(
         study.dataset().valid_count(),
         classes.class_percentage(OsPart::Driver),
     );
     Ok(Section::table("Section IV-E: summary", table))
 }
 
+/// The Table III and Table IV sections (the analysis's report
+/// contribution).
+pub(crate) fn table_sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let analysis = study.get::<PairwiseAnalysis>()?;
+    Ok(tables_of(&analysis))
+}
+
+/// The Section IV-E summary, composed from the memoized pairwise and class
+/// analyses plus the dataset's valid count.
+pub(crate) fn summary_section(study: &Study) -> Result<Section, AnalysisError> {
+    let pairwise = study.get::<PairwiseAnalysis>()?;
+    summary_of(study, &pairwise)
+}
+
 /// Every pairwise deliverable: Tables III and IV plus the summary.
 pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
     let mut sections = table_sections(study)?;
     sections.push(summary_section(study)?);
+    Ok(sections)
+}
+
+/// Parameterized pairwise sections: `oses=a,b,…` restricts the pairs.
+pub(crate) fn sections_with(study: &Study, params: &Params) -> Result<Vec<Section>, AnalysisError> {
+    if params.is_empty() {
+        return sections(study);
+    }
+    let config = PairwiseConfig::from_params(params)?;
+    let analysis = study.get_with::<PairwiseAnalysis>(&config)?;
+    let mut sections = tables_of(&analysis);
+    sections.push(summary_of(study, &analysis)?);
     Ok(sections)
 }
 
@@ -370,28 +379,26 @@ fn per_profile_totals(study: &StudyDataset, group: OsSet) -> (usize, usize, usiz
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use datagen::CalibratedGenerator;
     use nvd_model::{CveId, CvssV2, Date, OsPart, VulnerabilityEntry};
 
-    fn study_from_paper_calibration() -> StudyDataset {
+    fn study_from_paper_calibration() -> Study {
         let dataset = CalibratedGenerator::new(3).generate();
-        StudyDataset::from_entries(dataset.entries())
+        Study::from_entries(dataset.entries())
     }
 
     #[test]
     fn produces_55_pairs_for_the_full_study() {
         let study = study_from_paper_calibration();
-        let analysis = PairwiseAnalysis::compute(&study);
+        let analysis = study.get::<PairwiseAnalysis>().unwrap();
         assert_eq!(analysis.rows().len(), 55);
     }
 
     #[test]
     fn filters_are_monotone_for_every_pair() {
         let study = study_from_paper_calibration();
-        let analysis = PairwiseAnalysis::compute(&study);
+        let analysis = study.get::<PairwiseAnalysis>().unwrap();
         for row in analysis.rows() {
             assert!(row.v_ab.0 >= row.v_ab.1);
             assert!(row.v_ab.1 >= row.v_ab.2);
@@ -407,7 +414,7 @@ mod tests {
     #[test]
     fn reproduces_the_calibrated_pair_counts() {
         let study = study_from_paper_calibration();
-        let analysis = PairwiseAnalysis::compute(&study);
+        let analysis = study.get::<PairwiseAnalysis>().unwrap();
         // Spot-check a few pairs against the paper's Table III (the
         // generator can exceed them by at most the named-vulnerability
         // slack of 2).
@@ -443,7 +450,7 @@ mod tests {
     #[test]
     fn part_breakdown_totals_match_isolated_counts() {
         let study = study_from_paper_calibration();
-        let analysis = PairwiseAnalysis::compute(&study);
+        let analysis = study.get::<PairwiseAnalysis>().unwrap();
         for row in analysis.part_breakdown() {
             let pair = analysis.pair(row.a, row.b).unwrap();
             assert_eq!(row.total(), pair.v_ab.2, "{}-{}", row.a, row.b);
@@ -460,7 +467,7 @@ mod tests {
     #[test]
     fn summary_reproduces_the_papers_findings() {
         let study = study_from_paper_calibration();
-        let summary = PairwiseAnalysis::compute(&study).summary();
+        let summary = study.get::<PairwiseAnalysis>().unwrap().summary();
         assert_eq!(summary.pair_count, 55);
         // Finding 1: ~56% average reduction from Fat to Isolated Thin.
         assert!(
@@ -486,14 +493,15 @@ mod tests {
     #[test]
     fn compute_for_a_subset_only_produces_those_pairs() {
         let study = study_from_paper_calibration();
-        let analysis = PairwiseAnalysis::compute_for(
-            &study,
-            &[
-                OsDistribution::Debian,
-                OsDistribution::RedHat,
-                OsDistribution::Ubuntu,
-            ],
-        );
+        let analysis = study
+            .get_with::<PairwiseAnalysis>(&PairwiseConfig {
+                oses: vec![
+                    OsDistribution::Debian,
+                    OsDistribution::RedHat,
+                    OsDistribution::Ubuntu,
+                ],
+            })
+            .unwrap();
         assert_eq!(analysis.rows().len(), 3);
         assert!(analysis
             .pair(OsDistribution::Debian, OsDistribution::Windows2000)
@@ -502,8 +510,8 @@ mod tests {
 
     #[test]
     fn empty_dataset_yields_zero_summary() {
-        let study = StudyDataset::new();
-        let analysis = PairwiseAnalysis::compute(&study);
+        let study = Study::new(StudyDataset::new());
+        let analysis = study.get::<PairwiseAnalysis>().unwrap();
         let summary = analysis.summary();
         assert_eq!(summary.average_reduction, 0.0);
         assert_eq!(summary.total_reduction, 0.0);
@@ -531,8 +539,12 @@ mod tests {
                 .build()
                 .unwrap(),
         ];
-        let study = StudyDataset::from_entries(&entries);
-        let analysis = PairwiseAnalysis::compute_for(&study, &[OpenBsd, FreeBsd]);
+        let study = Study::from_entries(&entries);
+        let analysis = study
+            .get_with::<PairwiseAnalysis>(&PairwiseConfig {
+                oses: vec![OpenBsd, FreeBsd],
+            })
+            .unwrap();
         let row = analysis.pair(OpenBsd, FreeBsd).unwrap();
         assert_eq!(row.v_ab, (2, 1, 1));
         let breakdown = analysis.part_breakdown();

@@ -12,6 +12,7 @@ use tabular::TextTable;
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{ServerProfile, StudyDataset};
+use crate::params::{FromParams, Params};
 use crate::study::Study;
 
 /// Configuration of the per-release analysis: the releases to pair up and
@@ -67,27 +68,6 @@ pub struct ReleaseAnalysis {
 }
 
 impl ReleaseAnalysis {
-    /// Runs the Table VI analysis: every pair of the studied Debian and
-    /// RedHat releases, under the Isolated Thin Server profile.
-    #[deprecated(since = "0.2.0", note = "use `Study::get::<ReleaseAnalysis>()`")]
-    pub fn compute(study: &StudyDataset) -> Self {
-        let config = ReleaseConfig::default();
-        Self::compute_impl(study, &config.releases, config.profile)
-    }
-
-    /// Runs the analysis over an arbitrary release list and profile.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Study::get_with::<ReleaseAnalysis>(&ReleaseConfig { .. })`"
-    )]
-    pub fn compute_for(
-        study: &StudyDataset,
-        releases: &[OsRelease],
-        profile: ServerProfile,
-    ) -> Self {
-        Self::compute_impl(study, releases, profile)
-    }
-
     fn compute_impl(study: &StudyDataset, releases: &[OsRelease], profile: ServerProfile) -> Self {
         let mut rows = Vec::new();
         for (i, &a) in releases.iter().enumerate() {
@@ -168,6 +148,19 @@ pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
     )])
 }
 
+/// Parameterized Table VI sections: `oses=` selects whose studied releases
+/// are paired, `profile=` the filter.
+pub(crate) fn sections_with(study: &Study, params: &Params) -> Result<Vec<Section>, AnalysisError> {
+    if params.is_empty() {
+        return sections(study);
+    }
+    let config = ReleaseConfig::from_params(params)?;
+    Ok(vec![Section::table(
+        "Table VI: OS releases",
+        study.get_with::<ReleaseAnalysis>(&config)?.to_table(),
+    )])
+}
+
 /// Whether a vulnerability affects a given release *with explicit version
 /// information* (vulnerabilities without per-release data are skipped, like
 /// the entries the paper could not correlate with the security trackers).
@@ -185,15 +178,13 @@ fn affects_release_explicitly(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use datagen::CalibratedGenerator;
     use nvd_model::{CveId, CvssV2, Date, OsPart, VulnerabilityEntry};
 
-    fn calibrated_study() -> StudyDataset {
+    fn calibrated_study() -> Study {
         let dataset = CalibratedGenerator::new(11).generate();
-        StudyDataset::from_entries(dataset.entries())
+        Study::from_entries(dataset.entries())
     }
 
     fn release(os: OsDistribution, version: &str) -> OsRelease {
@@ -206,7 +197,7 @@ mod tests {
     #[test]
     fn reproduces_table6_on_the_calibrated_dataset() {
         let study = calibrated_study();
-        let analysis = ReleaseAnalysis::compute(&study);
+        let analysis = study.get::<ReleaseAnalysis>().unwrap();
         // 6 releases -> 15 pairs.
         assert_eq!(analysis.rows().len(), 15);
         // The non-zero cells of Table VI.
@@ -249,7 +240,7 @@ mod tests {
     #[test]
     fn same_distribution_flag_is_correct() {
         let study = calibrated_study();
-        let analysis = ReleaseAnalysis::compute(&study);
+        let analysis = study.get::<ReleaseAnalysis>().unwrap();
         for row in analysis.rows() {
             assert_eq!(
                 row.same_distribution(),
@@ -271,8 +262,8 @@ mod tests {
             .affects_os(OsDistribution::RedHat)
             .build()
             .unwrap();
-        let study = StudyDataset::from_entries(&[entry]);
-        let analysis = ReleaseAnalysis::compute(&study);
+        let study = Study::from_entries(&[entry]);
+        let analysis = study.get::<ReleaseAnalysis>().unwrap();
         assert_eq!(analysis.disjoint_pairs(), analysis.rows().len());
     }
 
@@ -286,8 +277,8 @@ mod tests {
             .affects_os_version(OsDistribution::RedHat, "5.0")
             .build()
             .unwrap();
-        let study = StudyDataset::from_entries(&[entry]);
-        let analysis = ReleaseAnalysis::compute(&study);
+        let study = Study::from_entries(&[entry]);
+        let analysis = study.get::<ReleaseAnalysis>().unwrap();
         let hit = analysis
             .pair(
                 &release(OsDistribution::Debian, "4.0"),
@@ -314,18 +305,32 @@ mod tests {
             .affects_os_version(OsDistribution::RedHat, "5.0")
             .build()
             .unwrap();
-        let study = StudyDataset::from_entries(&[entry]);
-        let isolated = ReleaseAnalysis::compute(&study);
+        let study = Study::from_entries(&[entry]);
+        let isolated = study.get::<ReleaseAnalysis>().unwrap();
         assert_eq!(isolated.disjoint_pairs(), isolated.rows().len());
         // Under the Thin Server profile (local attacks allowed) it counts.
-        let releases: Vec<OsRelease> = OsDistribution::Debian
-            .releases()
-            .iter()
-            .chain(OsDistribution::RedHat.releases())
-            .copied()
-            .collect();
-        let thin = ReleaseAnalysis::compute_for(&study, &releases, ServerProfile::ThinServer);
+        let thin = study
+            .get_with::<ReleaseAnalysis>(&ReleaseConfig {
+                profile: ServerProfile::ThinServer,
+                ..ReleaseConfig::default()
+            })
+            .unwrap();
         assert_eq!(thin.rows().len() - thin.disjoint_pairs(), 1);
         assert_eq!(thin.profile(), ServerProfile::ThinServer);
+    }
+
+    #[test]
+    fn sections_with_restricts_the_release_pool() {
+        let study = calibrated_study();
+        let params = Params::from_pairs([("oses", "debian")]);
+        let sections = sections_with(&study, &params).unwrap();
+        match &sections[0].artifact {
+            crate::analysis::Artifact::Table(table) => {
+                // 3 Debian releases -> 3 pairs.
+                assert_eq!(table.row_count(), 3);
+            }
+            other => panic!("expected a table, got {other:?}"),
+        }
+        assert!(sections_with(&study, &Params::from_pairs([("releases", "x")])).is_err());
     }
 }

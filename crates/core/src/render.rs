@@ -46,6 +46,33 @@ impl Format {
             Format::Json => "json",
         }
     }
+
+    /// The HTTP `Content-Type` of the format (see [`tabular::mime`]).
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            Format::Text => tabular::mime::TEXT_PLAIN,
+            Format::Csv => tabular::mime::TEXT_CSV,
+            Format::Json => tabular::mime::APPLICATION_JSON,
+        }
+    }
+
+    /// Resolves a media type (an `Accept` list member or a `Content-Type`)
+    /// back to a format. Parameters are stripped and matching is
+    /// case-insensitive; `*/*` and `text/*` resolve to the default
+    /// text format.
+    pub fn from_media_type(media_type: &str) -> Option<Format> {
+        let essence = tabular::mime::essence(media_type);
+        Format::ALL
+            .into_iter()
+            .find(|format| {
+                tabular::mime::essence(format.content_type()).eq_ignore_ascii_case(essence)
+            })
+            .or(match essence {
+                "*/*" | "text/*" => Some(Format::Text),
+                "application/*" => Some(Format::Json),
+                _ => None,
+            })
+    }
 }
 
 impl fmt::Display for Format {
@@ -225,6 +252,20 @@ mod tests {
         assert!(out.contains("\"header\":[\"OS\",\"Valid\"]"));
         assert!(out.contains("\"label\":\"OpenBSD\""));
         assert!(out.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn content_types_round_trip_through_media_type_lookup() {
+        for format in Format::ALL {
+            assert_eq!(Format::from_media_type(format.content_type()), Some(format));
+        }
+        assert_eq!(
+            Format::from_media_type("APPLICATION/JSON; q=0.8"),
+            Some(Format::Json)
+        );
+        assert_eq!(Format::from_media_type("*/*"), Some(Format::Text));
+        assert_eq!(Format::from_media_type("application/*"), Some(Format::Json));
+        assert_eq!(Format::from_media_type("image/png"), None);
     }
 
     #[test]

@@ -28,6 +28,25 @@ pub enum SelectionCriterion {
     DistinctShared,
 }
 
+impl std::str::FromStr for SelectionCriterion {
+    type Err = AnalysisError;
+
+    /// Parses the parameter spellings of the two criteria
+    /// (`pairwise-sum` / `distinct-shared`, separators optional).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match normalized.as_str() {
+            "pairwisesum" | "pairwise" => Ok(SelectionCriterion::PairwiseSum),
+            "distinctshared" | "distinct" => Ok(SelectionCriterion::DistinctShared),
+            _ => Err(AnalysisError::UnknownCriterion(s.to_string())),
+        }
+    }
+}
+
 /// The evaluation of one replica configuration over both periods.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigurationOutcome {
@@ -273,16 +292,35 @@ pub fn figure3_table(outcomes: &[ConfigurationOutcome]) -> TextTable {
     table
 }
 
-/// The Figure 3 sections (configuration outcomes plus the group ranking).
-pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
-    let analysis = study.get::<SelectionAnalysis>()?;
-    Ok(vec![
+/// The Figure 3 sections of one analysis value.
+fn sections_of(analysis: &SelectionAnalysis) -> Vec<Section> {
+    vec![
         Section::table("Figure 3: replica configurations", analysis.to_table()),
         Section::table(
             "Best four-OS groups ranked from history data",
             analysis.ranking_table(),
         ),
-    ])
+    ]
+}
+
+/// The Figure 3 sections (configuration outcomes plus the group ranking).
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let analysis = study.get::<SelectionAnalysis>()?;
+    Ok(sections_of(&analysis))
+}
+
+/// Parameterized Figure 3 sections: `profile=`, `criterion=`, `oses=`
+/// (candidate pool), `group_size=` and `top=` select the search.
+pub(crate) fn sections_with(
+    study: &Study,
+    params: &crate::params::Params,
+) -> Result<Vec<Section>, AnalysisError> {
+    use crate::params::FromParams;
+    if params.is_empty() {
+        return sections(study);
+    }
+    let config = SelectionConfig::from_params(params)?;
+    Ok(sections_of(&study.get_with::<SelectionAnalysis>(&config)?))
 }
 
 /// The four diverse replica configurations of Figure 3 of the paper

@@ -11,6 +11,7 @@ use tabular::TextTable;
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::params::{FromParams, Params};
 use crate::study::Study;
 
 /// The eight OSes of Table V (Ubuntu, OpenSolaris and Windows 2008 are
@@ -58,26 +59,6 @@ impl Default for SplitConfig {
 }
 
 impl SplitMatrix {
-    /// Computes the matrix for the paper's eight OSes and the Isolated Thin
-    /// Server profile.
-    #[deprecated(since = "0.2.0", note = "use `Study::get::<SplitMatrix>()`")]
-    pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_impl(study, &TABLE5_OSES, ServerProfile::IsolatedThinServer)
-    }
-
-    /// Computes the matrix for an arbitrary OS list and profile.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Study::get_with::<SplitMatrix>(&SplitConfig { .. })`"
-    )]
-    pub fn compute_for(
-        study: &StudyDataset,
-        oses: &[OsDistribution],
-        profile: ServerProfile,
-    ) -> Self {
-        Self::compute_impl(study, oses, profile)
-    }
-
     fn compute_impl(study: &StudyDataset, oses: &[OsDistribution], profile: ServerProfile) -> Self {
         let n = oses.len();
         let mut history = vec![vec![0usize; n]; n];
@@ -203,23 +184,34 @@ pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
     )])
 }
 
+/// Parameterized Table V sections: `oses=a,b,…` and `profile=` select the
+/// matrix.
+pub(crate) fn sections_with(study: &Study, params: &Params) -> Result<Vec<Section>, AnalysisError> {
+    if params.is_empty() {
+        return sections(study);
+    }
+    let config = SplitConfig::from_params(params)?;
+    Ok(vec![Section::table(
+        "Table V: history vs observed",
+        study.get_with::<SplitMatrix>(&config)?.to_table(),
+    )])
+}
+
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use datagen::calibration::table5_cell;
     use datagen::CalibratedGenerator;
 
-    fn calibrated_study() -> StudyDataset {
+    fn calibrated_study() -> Study {
         let dataset = CalibratedGenerator::new(8).generate();
-        StudyDataset::from_entries(dataset.entries())
+        Study::from_entries(dataset.entries())
     }
 
     #[test]
     fn matrix_reproduces_table5_within_the_calibration_slack() {
         let study = calibrated_study();
-        let matrix = SplitMatrix::compute(&study);
+        let matrix = study.get::<SplitMatrix>().unwrap();
         assert_eq!(matrix.oses().len(), 8);
         assert_eq!(matrix.profile(), ServerProfile::IsolatedThinServer);
         for (i, &a) in TABLE5_OSES.iter().enumerate() {
@@ -244,7 +236,7 @@ mod tests {
     #[test]
     fn matrix_is_symmetric() {
         let study = calibrated_study();
-        let matrix = SplitMatrix::compute(&study);
+        let matrix = study.get::<SplitMatrix>().unwrap();
         for &a in matrix.oses() {
             for &b in matrix.oses() {
                 for period in [Period::History, Period::Observed, Period::Whole] {
@@ -261,7 +253,7 @@ mod tests {
     #[test]
     fn whole_period_is_the_sum_of_both_halves() {
         let study = calibrated_study();
-        let matrix = SplitMatrix::compute(&study);
+        let matrix = study.get::<SplitMatrix>().unwrap();
         let a = OsDistribution::Windows2000;
         let b = OsDistribution::Windows2003;
         let whole = matrix.count(a, b, Period::Whole).unwrap();
@@ -273,7 +265,7 @@ mod tests {
     #[test]
     fn diagonal_holds_per_os_totals() {
         let study = calibrated_study();
-        let matrix = SplitMatrix::compute(&study);
+        let matrix = study.get::<SplitMatrix>().unwrap();
         let debian_history = matrix
             .count(
                 OsDistribution::Debian,
@@ -300,7 +292,7 @@ mod tests {
     #[test]
     fn unknown_os_returns_none() {
         let study = calibrated_study();
-        let matrix = SplitMatrix::compute(&study);
+        let matrix = study.get::<SplitMatrix>().unwrap();
         assert_eq!(
             matrix.count(
                 OsDistribution::Ubuntu,
@@ -314,12 +306,33 @@ mod tests {
     #[test]
     fn most_diverse_pair_has_a_small_history_count() {
         let study = calibrated_study();
-        let matrix = SplitMatrix::compute(&study);
+        let matrix = study.get::<SplitMatrix>().unwrap();
         let (a, b, history) = matrix.most_diverse_pair().unwrap();
         assert!(
             history <= 1,
             "most diverse pair {a}-{b} has {history} common"
         );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rendered_table_marks_the_diagonal() {
+        let study = calibrated_study();
+        let table = study.get::<SplitMatrix>().unwrap().to_table();
+        assert_eq!(table.row_count(), TABLE5_OSES.len());
+        assert_eq!(table.render().matches("###").count(), TABLE5_OSES.len());
+    }
+
+    #[test]
+    fn sections_with_parses_oses_and_profile() {
+        let study = calibrated_study();
+        let params = Params::from_pairs([("oses", "debian,redhat"), ("profile", "fat")]);
+        let sections = sections_with(&study, &params).unwrap();
+        assert_eq!(sections.len(), 1);
+        match &sections[0].artifact {
+            crate::analysis::Artifact::Table(table) => assert_eq!(table.row_count(), 2),
+            other => panic!("expected a table, got {other:?}"),
+        }
+        assert!(sections_with(&study, &Params::from_pairs([("nope", "1")])).is_err());
     }
 }

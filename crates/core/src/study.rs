@@ -161,6 +161,13 @@ impl Study {
     }
 }
 
+// The serving layer shares one pre-warmed session across worker threads
+// behind an `Arc<Study>`; keep that contract checked at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Study>();
+};
+
 impl Deref for Study {
     type Target = StudyDataset;
 
@@ -244,6 +251,26 @@ mod tests {
         let _ = study.dataset_mut();
         assert!(!study.is_cached(AnalysisId::Validity));
         assert!(study.cached_ids().is_empty());
+    }
+
+    #[test]
+    fn text_report_contains_every_section() {
+        let study = calibrated_session();
+        let report = study.report(crate::render::Format::Text).unwrap();
+        for section in [
+            "Table I",
+            "Table II",
+            "Table III",
+            "Table IV",
+            "Table V",
+            "Table VI",
+            "Figure 2 (BSD family)",
+            "Figure 2 (Windows family)",
+            "k-OS combinations",
+            "summary",
+        ] {
+            assert!(report.contains(section), "missing section {section}");
+        }
     }
 
     #[test]

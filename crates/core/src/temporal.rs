@@ -5,6 +5,7 @@ use tabular::{Series, SeriesSet, YearHistogram};
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::StudyDataset;
+use crate::params::{FromParams, Params};
 use crate::study::Study;
 
 /// Configuration of the temporal analysis: the inclusive year range of the
@@ -53,26 +54,6 @@ pub struct TemporalAnalysis {
 }
 
 impl TemporalAnalysis {
-    /// Computes the per-year histograms over the study period (1993–2010,
-    /// matching the x axis of Figure 2).
-    #[deprecated(since = "0.2.0", note = "use `Study::get::<TemporalAnalysis>()`")]
-    pub fn compute(study: &StudyDataset) -> Self {
-        Self::compute_impl(study, 1993, 2010)
-    }
-
-    /// Computes the per-year histograms over a custom year range.
-    ///
-    /// An inverted range silently produces empty histograms; the
-    /// [`Analysis`] path validates it instead.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Study::get_with::<TemporalAnalysis>(&TemporalConfig { .. })`, which \
-                validates the year range"
-    )]
-    pub fn compute_over(study: &StudyDataset, first_year: u16, last_year: u16) -> Self {
-        Self::compute_impl(study, first_year, last_year)
-    }
-
     fn compute_impl(study: &StudyDataset, first_year: u16, last_year: u16) -> Self {
         let mut histograms = Vec::with_capacity(OsDistribution::COUNT);
         for os in OsDistribution::ALL {
@@ -164,10 +145,9 @@ impl Analysis for TemporalAnalysis {
     }
 }
 
-/// The four Figure 2 sections (one per OS family, in the paper's order).
-pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
-    let temporal = study.get::<TemporalAnalysis>()?;
-    Ok(OsFamily::ALL
+/// The four Figure 2 sections of one analysis value.
+fn sections_of(temporal: &TemporalAnalysis) -> Vec<Section> {
+    OsFamily::ALL
         .into_iter()
         .map(|family| {
             Section::series(
@@ -175,7 +155,23 @@ pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
                 temporal.family_series(family),
             )
         })
-        .collect())
+        .collect()
+}
+
+/// The four Figure 2 sections (one per OS family, in the paper's order).
+pub(crate) fn sections(study: &Study) -> Result<Vec<Section>, AnalysisError> {
+    let temporal = study.get::<TemporalAnalysis>()?;
+    Ok(sections_of(&temporal))
+}
+
+/// Parameterized Figure 2 sections: `first_year=`/`last_year=` select the
+/// (validated) year range.
+pub(crate) fn sections_with(study: &Study, params: &Params) -> Result<Vec<Section>, AnalysisError> {
+    if params.is_empty() {
+        return sections(study);
+    }
+    let config = TemporalConfig::from_params(params)?;
+    Ok(sections_of(&study.get_with::<TemporalAnalysis>(&config)?))
 }
 
 /// Pearson correlation coefficient of two equally long samples.
@@ -202,20 +198,18 @@ fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use datagen::CalibratedGenerator;
 
-    fn calibrated_study() -> StudyDataset {
+    fn calibrated_study() -> Study {
         let dataset = CalibratedGenerator::new(6).generate();
-        StudyDataset::from_entries(dataset.entries())
+        Study::from_entries(dataset.entries())
     }
 
     #[test]
     fn per_os_totals_match_the_valid_counts() {
         let study = calibrated_study();
-        let temporal = TemporalAnalysis::compute(&study);
+        let temporal = study.get::<TemporalAnalysis>().unwrap();
         for os in OsDistribution::ALL {
             let total: u64 = temporal.histogram(os).total();
             let expected = study
@@ -231,7 +225,7 @@ mod tests {
     #[test]
     fn recent_oses_have_no_early_vulnerabilities() {
         let study = calibrated_study();
-        let temporal = TemporalAnalysis::compute(&study);
+        let temporal = study.get::<TemporalAnalysis>().unwrap();
         // Windows 2008 and OpenSolaris were released in 2008; the generator
         // assigns them no vulnerabilities before their first release.
         for year in 1993..2007 {
@@ -252,7 +246,7 @@ mod tests {
     #[test]
     fn family_series_contains_one_series_per_member() {
         let study = calibrated_study();
-        let temporal = TemporalAnalysis::compute(&study);
+        let temporal = study.get::<TemporalAnalysis>().unwrap();
         for family in OsFamily::ALL {
             let set = temporal.family_series(family);
             assert_eq!(set.series().len(), family.members().len());
@@ -264,7 +258,7 @@ mod tests {
     #[test]
     fn windows_family_peaks_are_correlated() {
         let study = calibrated_study();
-        let temporal = TemporalAnalysis::compute(&study);
+        let temporal = study.get::<TemporalAnalysis>().unwrap();
         let corr = temporal
             .correlation(OsDistribution::Windows2000, OsDistribution::Windows2003)
             .unwrap();
@@ -274,7 +268,7 @@ mod tests {
     #[test]
     fn correlation_is_symmetric_and_bounded() {
         let study = calibrated_study();
-        let temporal = TemporalAnalysis::compute(&study);
+        let temporal = study.get::<TemporalAnalysis>().unwrap();
         for a in OsDistribution::ALL {
             for b in OsDistribution::ALL {
                 if let Some(corr) = temporal.correlation(a, b) {
@@ -303,10 +297,26 @@ mod tests {
 
     #[test]
     fn empty_dataset_histograms_are_zero() {
-        let study = StudyDataset::new();
-        let temporal = TemporalAnalysis::compute(&study);
+        let study = Study::new(StudyDataset::new());
+        let temporal = study.get::<TemporalAnalysis>().unwrap();
         assert_eq!(temporal.histogram(OsDistribution::Debian).total(), 0);
         assert_eq!(temporal.first_year(), 1993);
         assert_eq!(temporal.last_year(), 2010);
+    }
+
+    #[test]
+    fn sections_with_selects_and_validates_the_year_range() {
+        let study = calibrated_study();
+        let params = Params::from_pairs([("first_year", "2000"), ("last_year", "2005")]);
+        let sections = sections_with(&study, &params).unwrap();
+        assert_eq!(sections.len(), OsFamily::ALL.len());
+        let inverted = Params::from_pairs([("first_year", "2010"), ("last_year", "1993")]);
+        assert_eq!(
+            sections_with(&study, &inverted).unwrap_err(),
+            AnalysisError::InvalidYearRange {
+                first: 2010,
+                last: 1993
+            }
+        );
     }
 }

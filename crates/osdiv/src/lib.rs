@@ -38,6 +38,7 @@ pub use nvd_feed;
 pub use nvd_model;
 pub use osdiv_bench;
 pub use osdiv_core;
+pub use osdiv_serve;
 pub use tabular;
 pub use vulnstore;
 
@@ -51,5 +52,6 @@ pub use osdiv_core::{
     ReleaseAnalysis, Render, ReplicaSelection, SelectionAnalysis, ServerProfile, SplitMatrix,
     Study, StudyDataset, TemporalAnalysis, ValidityDistribution,
 };
+pub use osdiv_serve::{Router, RouterOptions, Server, ServerHandle, ServerOptions};
 pub use tabular::TextTable;
 pub use vulnstore::VulnStore;

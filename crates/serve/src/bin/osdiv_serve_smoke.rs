@@ -1,0 +1,116 @@
+//! CI smoke client for a running `osdiv serve` instance.
+//!
+//! ```sh
+//! osdiv-serve-smoke 127.0.0.1:PORT
+//! ```
+//!
+//! Hits `/v1/healthz`, `/v1/report?format=json` (twice on one keep-alive
+//! connection, the second via `If-None-Match`), a parameterized analysis
+//! endpoint plus its error paths, then `POST /v1/shutdown`. Exits non-zero
+//! with a diagnostic on the first failed expectation; the workflow then
+//! waits on the server process to assert a clean exit.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use osdiv_serve::loadgen::{self, read_response, write_request};
+
+fn check(condition: bool, label: &str) -> Result<(), String> {
+    if condition {
+        println!("ok: {label}");
+        Ok(())
+    } else {
+        Err(format!("FAILED: {label}"))
+    }
+}
+
+fn run(addr: SocketAddr) -> Result<(), String> {
+    let io = |error: std::io::Error| format!("FAILED: io error: {error}");
+
+    // 1. Liveness.
+    let health = loadgen::get(addr, "/v1/healthz").map_err(io)?;
+    check(health.status == 200, "/v1/healthz answers 200")?;
+    check(
+        health.body_string().contains("\"status\":\"ok\""),
+        "/v1/healthz reports ok",
+    )?;
+
+    // 2. The cached report, twice on one keep-alive connection.
+    let stream = TcpStream::connect(addr).map_err(io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(io)?;
+    let mut reader = BufReader::new(stream);
+    write_request(reader.get_mut(), "GET", "/v1/report?format=json", &[]).map_err(io)?;
+    let report = read_response(&mut reader).map_err(io)?;
+    check(report.status == 200, "/v1/report?format=json answers 200")?;
+    check(
+        report.header("content-type") == Some("application/json"),
+        "report content type is application/json",
+    )?;
+    check(
+        report.body_string().starts_with("{\"sections\":["),
+        "report body is the sections document",
+    )?;
+    let etag = report
+        .header("etag")
+        .ok_or("FAILED: report has no ETag")?
+        .to_string();
+    write_request(
+        reader.get_mut(),
+        "GET",
+        "/v1/report?format=json",
+        &[("If-None-Match", &etag)],
+    )
+    .map_err(io)?;
+    let revalidated = read_response(&mut reader).map_err(io)?;
+    check(
+        revalidated.status == 304,
+        "keep-alive revalidation answers 304",
+    )?;
+    drop(reader);
+
+    // 3. A parameterized analysis endpoint and its error paths.
+    let temporal = loadgen::get(
+        addr,
+        "/v1/analyses/temporal?first_year=2000&last_year=2005&format=csv",
+    )
+    .map_err(io)?;
+    check(temporal.status == 200, "parameterized temporal answers 200")?;
+    check(
+        temporal.body_string().contains("2000") && !temporal.body_string().contains("1993"),
+        "temporal CSV covers the requested year range only",
+    )?;
+    let bad = loadgen::get(addr, "/v1/analyses/temporal?first_year=bogus").map_err(io)?;
+    check(bad.status == 400, "invalid parameter answers 400")?;
+    let missing = loadgen::get(addr, "/v1/analyses/nope").map_err(io)?;
+    check(missing.status == 404, "unknown analysis answers 404")?;
+
+    // 4. Graceful shutdown.
+    let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
+    check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: osdiv-serve-smoke <addr:port>");
+        return ExitCode::from(2);
+    };
+    let Ok(addr) = addr.parse::<SocketAddr>() else {
+        eprintln!("invalid address {addr:?}");
+        return ExitCode::from(2);
+    };
+    match run(addr) {
+        Ok(()) => {
+            println!("smoke test passed");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

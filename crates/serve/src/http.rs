@@ -1,0 +1,582 @@
+//! A from-scratch, incremental HTTP/1.1 message layer over `std` only.
+//!
+//! The [`RequestParser`] accumulates bytes as they arrive from the socket
+//! and yields a [`Request`] once a complete head (`…\r\n\r\n`) is
+//! buffered, so torn reads of any granularity — one byte at a time, split
+//! inside the request line, split inside a header value — parse exactly
+//! like a single contiguous read. Pipelined requests are supported: bytes
+//! past the first head stay buffered for the next `try_parse`.
+//!
+//! Malformed input never panics. Every violation maps to a client error:
+//! a broken request line, header or percent-encoding is a
+//! [`HttpViolation::BadRequest`] (400) and an oversized request line or
+//! header block is a [`HttpViolation::HeadTooLarge`] (431).
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Cap on the whole request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on the request line alone.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+
+/// Cap on a request body the server is willing to drain.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A protocol violation detected while parsing a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpViolation {
+    /// Malformed request line, header or encoding — answered with 400.
+    BadRequest(String),
+    /// Request line or header block over the configured caps — answered
+    /// with 431 (Request Header Fields Too Large).
+    HeadTooLarge,
+}
+
+impl HttpViolation {
+    /// The status code the violation is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpViolation::BadRequest(_) => 400,
+            HttpViolation::HeadTooLarge => 431,
+        }
+    }
+}
+
+impl fmt::Display for HttpViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpViolation::BadRequest(reason) => write!(f, "bad request: {reason}"),
+            HttpViolation::HeadTooLarge => f.write_str("request head too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpViolation {}
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, as sent (e.g. `GET`).
+    pub method: String,
+    /// The percent-decoded path component of the target.
+    pub path: String,
+    /// The percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Whether the request is HTTP/1.1 (`false` = HTTP/1.0).
+    pub http11: bool,
+    /// The header fields, in order of appearance (names lower-cased).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The last value of a header (case-insensitive name lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should be kept alive after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(value) if value.eq_ignore_ascii_case("close") => false,
+            Some(value) if value.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// The declared body length (0 when absent). A malformed
+    /// `Content-Length` is a 400.
+    pub fn content_length(&self) -> Result<usize, HttpViolation> {
+        match self.header("content-length") {
+            None => Ok(0),
+            Some(raw) => raw
+                .trim()
+                .parse()
+                .map_err(|_| HttpViolation::BadRequest(format!("invalid Content-Length {raw:?}"))),
+        }
+    }
+}
+
+/// Incremental request-head parser (see the module docs).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buffer: Vec<u8>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Appends a chunk and attempts to parse one request head.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Option<Request>, HttpViolation> {
+        self.buffer.extend_from_slice(chunk);
+        self.try_parse()
+    }
+
+    /// Attempts to parse one request head from the buffered bytes. Returns
+    /// `Ok(None)` while the head is still incomplete; consumed bytes are
+    /// removed from the buffer (pipelined data stays).
+    pub fn try_parse(&mut self) -> Result<Option<Request>, HttpViolation> {
+        match find(&self.buffer, b"\r\n\r\n") {
+            Some(end) => {
+                if end > MAX_HEAD_BYTES {
+                    return Err(HttpViolation::HeadTooLarge);
+                }
+                let request = parse_head(&self.buffer[..end])?;
+                self.buffer.drain(..end + 4);
+                Ok(Some(request))
+            }
+            None => {
+                if self.buffer.len() > MAX_HEAD_BYTES {
+                    return Err(HttpViolation::HeadTooLarge);
+                }
+                // No complete request line either: a line longer than the
+                // cap can never become valid.
+                if find(&self.buffer, b"\r\n").is_none()
+                    && self.buffer.len() > MAX_REQUEST_LINE_BYTES
+                {
+                    return Err(HttpViolation::HeadTooLarge);
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Drains up to `n` already-buffered body bytes (after a parsed head),
+    /// returning how many were removed. The caller reads any remainder
+    /// straight off the socket.
+    pub fn drain_body(&mut self, n: usize) -> usize {
+        let take = n.min(self.buffer.len());
+        self.buffer.drain(..take);
+        take
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+fn is_token_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || "!#$%&'*+-.^_`|~".contains(c)
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, HttpViolation> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| HttpViolation::BadRequest("head is not valid UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE_BYTES {
+        return Err(HttpViolation::HeadTooLarge);
+    }
+    let (method, target, version) = {
+        let mut parts = request_line.split(' ');
+        let method = parts.next().unwrap_or("");
+        let target = parts.next().unwrap_or("");
+        let version = parts.next().unwrap_or("");
+        if parts.next().is_some() || method.is_empty() || target.is_empty() || version.is_empty() {
+            return Err(HttpViolation::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )));
+        }
+        (method, target, version)
+    };
+    if !method.chars().all(is_token_char) {
+        return Err(HttpViolation::BadRequest(format!(
+            "invalid method {method:?}"
+        )));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpViolation::BadRequest(format!(
+                "unsupported version {other:?}"
+            )))
+        }
+    };
+    if !target.starts_with('/') {
+        return Err(HttpViolation::BadRequest(format!(
+            "target {target:?} is not an absolute path"
+        )));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path, false)?;
+    let query = match raw_query {
+        None => Vec::new(),
+        Some(raw) => parse_query(raw)?,
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            return Err(HttpViolation::BadRequest("empty header line".to_string()));
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(HttpViolation::BadRequest(
+                "obsolete header folding is not supported".to_string(),
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpViolation::BadRequest(format!(
+                "header line {line:?} has no colon"
+            )));
+        };
+        if name.is_empty() || !name.chars().all(is_token_char) {
+            return Err(HttpViolation::BadRequest(format!(
+                "invalid header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        http11,
+        headers,
+    })
+}
+
+fn parse_query(raw: &str) -> Result<Vec<(String, String)>, HttpViolation> {
+    let mut pairs = Vec::new();
+    for piece in raw.split('&') {
+        if piece.is_empty() {
+            continue;
+        }
+        let (key, value) = match piece.split_once('=') {
+            Some((key, value)) => (key, value),
+            None => (piece, ""),
+        };
+        let key = percent_decode(key, true)?;
+        if key.is_empty() {
+            return Err(HttpViolation::BadRequest(format!(
+                "query piece {piece:?} has an empty key"
+            )));
+        }
+        pairs.push((key, percent_decode(value, true)?));
+    }
+    Ok(pairs)
+}
+
+/// Percent-decodes a path or query component. In query components `+`
+/// decodes to a space.
+fn percent_decode(raw: &str, query: bool) -> Result<String, HttpViolation> {
+    let invalid = || HttpViolation::BadRequest(format!("invalid percent-encoding in {raw:?}"));
+    let mut bytes = Vec::with_capacity(raw.len());
+    let mut iter = raw.bytes();
+    while let Some(byte) = iter.next() {
+        match byte {
+            b'%' => {
+                let hi = iter.next().ok_or_else(invalid)?;
+                let lo = iter.next().ok_or_else(invalid)?;
+                let hex = |b: u8| (b as char).to_digit(16).ok_or_else(invalid);
+                bytes.push((hex(hi)? * 16 + hex(lo)?) as u8);
+            }
+            b'+' if query => bytes.push(b' '),
+            other => bytes.push(other),
+        }
+    }
+    String::from_utf8(bytes)
+        .map_err(|_| HttpViolation::BadRequest(format!("{raw:?} does not decode to UTF-8")))
+}
+
+/// A response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with a status code.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A plain-text response (errors, health messages).
+    pub fn text(status: u16, message: impl Into<String>) -> Self {
+        let mut message = message.into();
+        if !message.ends_with('\n') {
+            message.push('\n');
+        }
+        Response::new(status).with_body(tabular::mime::TEXT_PLAIN, message.into_bytes())
+    }
+
+    /// Sets the body and its `Content-Type`.
+    pub fn with_body(mut self, content_type: &str, body: Vec<u8>) -> Self {
+        self.headers
+            .push(("Content-Type".to_string(), content_type.to_string()));
+        self.body = body;
+        self
+    }
+
+    /// Appends a header field.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The last value of a header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .rev()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the response. `head_only` suppresses the body (HEAD
+    /// requests) while keeping the `Content-Length` of the full
+    /// representation; 304 responses never carry a body.
+    pub fn write_to(
+        &self,
+        writer: &mut impl Write,
+        keep_alive: bool,
+        head_only: bool,
+    ) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nServer: osdiv-serve/{}\r\n",
+            self.status,
+            reason(self.status),
+            env!("CARGO_PKG_VERSION"),
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        writer.write_all(head.as_bytes())?;
+        if !head_only && self.status != 304 && !self.body.is_empty() {
+            writer.write_all(&self.body)?;
+        }
+        writer.flush()
+    }
+}
+
+impl From<&HttpViolation> for Response {
+    fn from(violation: &HttpViolation) -> Self {
+        Response::text(violation.status(), violation.to_string())
+    }
+}
+
+/// The reason phrase of the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpViolation> {
+        RequestParser::new().feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let request = parse_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/v1/healthz");
+        assert!(request.query.is_empty());
+        assert!(request.http11);
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert!(request.keep_alive());
+        assert_eq!(request.content_length().unwrap(), 0);
+    }
+
+    #[test]
+    fn byte_by_byte_feeding_matches_one_shot_parsing() {
+        let raw = b"GET /v1/analyses/kway?profile=fat&max_k=5 HTTP/1.1\r\nAccept: text/csv\r\n\r\n";
+        let oneshot = parse_all(raw).unwrap().unwrap();
+        let mut parser = RequestParser::new();
+        let mut torn = None;
+        for byte in raw.iter() {
+            torn = parser.feed(std::slice::from_ref(byte)).unwrap();
+            if torn.is_some() {
+                break;
+            }
+        }
+        assert_eq!(torn.unwrap(), oneshot);
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let mut parser = RequestParser::new();
+        let first = parser
+            .feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.path, "/a");
+        let second = parser.try_parse().unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(parser.try_parse().unwrap(), None);
+    }
+
+    #[test]
+    fn query_decoding_handles_percent_and_plus() {
+        let request = parse_all(b"GET /x?a=1%202&b=c+d&flag HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            request.query,
+            vec![
+                ("a".to_string(), "1 2".to_string()),
+                ("b".to_string(), "c d".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_heads_are_400() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"G<T /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n: empty\r\n\r\n",
+            b"GET /x?%zz= HTTP/1.1\r\n\r\n",
+            b"GET /x%e0%80 HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",
+        ] {
+            let err = parse_all(raw).unwrap_err();
+            assert_eq!(
+                err.status(),
+                400,
+                "{:?} -> {err:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_431() {
+        let long_line = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE_BYTES)
+        );
+        assert_eq!(
+            parse_all(long_line.as_bytes()).unwrap_err(),
+            HttpViolation::HeadTooLarge
+        );
+        // Incomplete but already hopeless: no CRLF within the line cap.
+        let mut parser = RequestParser::new();
+        let partial = vec![b'a'; MAX_REQUEST_LINE_BYTES + 1];
+        assert_eq!(
+            parser.feed(&partial).unwrap_err(),
+            HttpViolation::HeadTooLarge
+        );
+        // A huge header block.
+        let huge = format!(
+            "GET / HTTP/1.1\r\nA: {}\r\n\r\n",
+            "b".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(
+            parse_all(huge.as_bytes()).unwrap_err(),
+            HttpViolation::HeadTooLarge
+        );
+    }
+
+    #[test]
+    fn keep_alive_follows_the_version_defaults() {
+        let http10 = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!http10.keep_alive());
+        let http10_ka = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(http10_ka.keep_alive());
+        let http11_close = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!http11_close.keep_alive());
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let response = Response::new(200)
+            .with_body(tabular::mime::APPLICATION_JSON, b"{}".to_vec())
+            .with_header("ETag", "\"abc\"");
+        let mut out = Vec::new();
+        response.write_to(&mut out, true, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("ETag: \"abc\"\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut head_only = Vec::new();
+        response.write_to(&mut head_only, false, true).unwrap();
+        let text = String::from_utf8(head_only).unwrap();
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn violations_convert_to_error_responses() {
+        let bad = HttpViolation::BadRequest("nope".to_string());
+        let response = Response::from(&bad);
+        assert_eq!(response.status(), 400);
+        assert!(String::from_utf8_lossy(response.body()).contains("nope"));
+        assert_eq!(Response::from(&HttpViolation::HeadTooLarge).status(), 431);
+    }
+}

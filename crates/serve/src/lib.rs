@@ -1,0 +1,66 @@
+//! `osdiv-serve` — a dependency-free HTTP/1.1 serving layer that turns the
+//! memoized [`Study`](osdiv_core::Study) session into a long-running,
+//! queryable diversity API.
+//!
+//! The repo's batch pipeline recomputes everything per invocation; this
+//! crate keeps one pre-warmed session resident and serves it over plain
+//! `std::net` (no external dependencies, matching the workspace
+//! constraint):
+//!
+//! * [`http`] — an incremental request parser (keep-alive, pipelining,
+//!   torn-read safe; malformed or oversized input answers 400/431, never
+//!   panics) and a response writer;
+//! * [`router`] — registry-driven routes (`/v1/healthz`, `/v1/analyses`,
+//!   `/v1/analyses/{id}`, `/v1/report`, `POST /v1/shutdown`) with
+//!   `?format=`/`Accept` content negotiation through the core `Render`
+//!   sinks, seed+config-keyed `ETag`/304 revalidation and a bounded LRU
+//!   over non-default configurations;
+//! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
+//!   thread pool, with graceful shutdown from inside (the shutdown route)
+//!   or outside ([`ServerHandle::shutdown`]);
+//! * [`loadgen`] — a std-`TcpStream` client and a multi-threaded load
+//!   generator (used by the criterion serving bench and CI smoke test).
+//!
+//! `GET /v1/analyses/{id}` responses are byte-identical to
+//! `osdiv {id} --format <f>` for the same seed, because both call
+//! [`osdiv_core::analysis_sections`] and the same renderer.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use datagen::CalibratedGenerator;
+//! use osdiv_core::Study;
+//! use osdiv_serve::{loadgen, Router, RouterOptions, Server, ServerOptions};
+//!
+//! // One shared session; `run_all` would pre-warm every analysis.
+//! let dataset = CalibratedGenerator::new(1).generate();
+//! let study = Arc::new(Study::from_entries(dataset.entries()));
+//!
+//! let router = Arc::new(Router::new(study, RouterOptions { seed: 1, ..Default::default() }));
+//! let server = Server::bind("127.0.0.1:0", router, ServerOptions::default()).unwrap();
+//! let handle = server.spawn();
+//!
+//! let health = loadgen::get(handle.addr(), "/v1/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//! assert!(health.body_string().contains("\"status\":\"ok\""));
+//!
+//! let table1 = loadgen::get(handle.addr(), "/v1/analyses/validity?format=csv").unwrap();
+//! assert!(table1.body_string().starts_with("OS,Valid"));
+//!
+//! handle.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod loadgen;
+pub mod router;
+pub mod server;
+
+pub use http::{Request, RequestParser, Response};
+pub use loadgen::{run_loadgen, ClientResponse, LoadReport};
+pub use router::{Router, RouterOptions};
+pub use server::{default_threads, Server, ServerHandle, ServerOptions};

@@ -1,0 +1,247 @@
+//! A minimal HTTP client and a multi-threaded load generator, both over
+//! std `TcpStream` only — used by the criterion serving bench, the CI
+//! smoke binary and the end-to-end tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header fields in order of appearance (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The last value of a header (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Writes a request with optional extra headers on an open connection.
+pub fn write_request(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: osdiv-serve\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response (status line, headers, `Content-Length` body) off a
+/// buffered connection.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+    let bad = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_string());
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.trim().parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed inside the header block"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length: usize = headers
+        .iter()
+        .rev()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    // A 304 advertises the representation's length but carries no body.
+    // (HEAD responses do the same, which is why `request` below does not
+    // support HEAD — the reader cannot tell from the response alone.)
+    if status != 304 && length > 0 {
+        reader.read_exact(&mut body)?;
+    } else {
+        body.clear();
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// One-shot convenience: connect, GET `path`, read the response.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    get_with_headers(addr, path, &[])
+}
+
+/// One-shot GET with extra request headers.
+pub fn get_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, extra_headers)
+}
+
+/// One-shot request. Not suitable for `HEAD`: the response parser would
+/// wait for the advertised `Content-Length` bytes a HEAD response never
+/// sends — issue HEADs with [`write_request`] and read the raw head
+/// instead.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream);
+    write_request(reader.get_mut(), method, path, extra_headers)?;
+    read_response(&mut reader)
+}
+
+/// The outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests attempted (`clients * requests_per_client`).
+    pub total: usize,
+    /// Responses with status 200.
+    pub ok: usize,
+    /// Requests that errored or returned a non-200 status.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Successful requests per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Hammers `path` with `clients` concurrent keep-alive connections, each
+/// sending `requests_per_client` sequential GETs, and reports throughput.
+pub fn run_loadgen(
+    addr: SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+    path: &str,
+) -> LoadReport {
+    let started = Instant::now();
+    let counts: Vec<(usize, usize)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ok = 0usize;
+                    let mut errors = 0usize;
+                    match TcpStream::connect(addr) {
+                        Err(_) => errors = requests_per_client,
+                        Ok(stream) => {
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                            let mut reader = BufReader::new(stream);
+                            for _ in 0..requests_per_client {
+                                let sent =
+                                    write_request(reader.get_mut(), "GET", path, &[]).is_ok();
+                                match sent.then(|| read_response(&mut reader)) {
+                                    Some(Ok(response)) if response.status == 200 => ok += 1,
+                                    _ => {
+                                        errors += 1;
+                                        // The connection is broken; fail the
+                                        // remaining quota and stop.
+                                        errors += requests_per_client - ok - errors;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (ok, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap_or((0, requests_per_client)))
+            .collect()
+    });
+    let ok = counts.iter().map(|(ok, _)| ok).sum();
+    let errors = counts.iter().map(|(_, errors)| errors).sum();
+    LoadReport {
+        total: clients * requests_per_client,
+        ok,
+        errors,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_throughput_is_ok_over_elapsed() {
+        let report = LoadReport {
+            total: 100,
+            ok: 50,
+            errors: 50,
+            elapsed: Duration::from_secs(2),
+        };
+        assert!((report.requests_per_sec() - 25.0).abs() < 1e-9);
+        let empty = LoadReport {
+            total: 0,
+            ok: 0,
+            errors: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.requests_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn read_response_parses_status_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let mut reader = std::io::BufReader::new(&raw[..]);
+        let response = read_response(&mut reader).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("Content-Type"), Some("application/json"));
+        assert_eq!(response.body_string(), "{}");
+    }
+}

@@ -1,0 +1,543 @@
+//! Registry-driven routing over a shared, pre-warmed [`Study`].
+//!
+//! Routes:
+//!
+//! | Route | Serves |
+//! |---|---|
+//! | `GET /v1/healthz` | liveness + cache statistics (JSON) |
+//! | `GET /v1/analyses` | the analysis registry |
+//! | `GET /v1/analyses/{id}` | one analysis; query params select its config |
+//! | `GET /v1/report` | the combined report |
+//! | `POST /v1/shutdown` | graceful shutdown (when enabled) |
+//!
+//! The routes are driven by the core analysis registry, so a newly
+//! registered analysis is immediately queryable without touching this
+//! module. Output format negotiation follows `?format=` first, then the
+//! `Accept` header, defaulting to the paper-style text rendering — the
+//! same default as the `osdiv` CLI, and the rendered bytes are identical
+//! to `osdiv <analysis> --format <f>` because both sides call
+//! [`osdiv_core::analysis_sections`].
+//!
+//! Responses carry a strong `ETag` keyed on the dataset seed and the
+//! requested configuration; `If-None-Match` revalidation answers 304
+//! without re-rendering. Non-default configurations are rendered through
+//! [`Study::get_with`] and kept in a bounded LRU cache.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use osdiv_core::{
+    analysis_sections, registry_section, renderer, AnalysisError, AnalysisId, Format, Params, Study,
+};
+use parking_lot::Mutex;
+
+use crate::http::{Request, Response};
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// The seed the served dataset was generated from (keys the ETags and
+    /// is reported by `/v1/healthz`).
+    pub seed: u64,
+    /// Capacity of the rendered-response LRU cache.
+    pub cache_capacity: usize,
+    /// Whether `POST /v1/shutdown` is honoured (403 otherwise).
+    pub enable_shutdown: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            seed: 2011,
+            cache_capacity: 128,
+            enable_shutdown: false,
+        }
+    }
+}
+
+/// A bounded LRU of rendered response bodies. Bounded twice: by entry
+/// count *and* by total body bytes — query parameters are attacker-
+/// controlled and some configurations (wide temporal year ranges) render
+/// multi-megabyte documents, so an entry-count bound alone would let a
+/// crafted request series pin unbounded memory.
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    byte_budget: usize,
+    bytes: usize,
+    map: HashMap<String, Arc<Vec<u8>>>,
+    order: VecDeque<String>,
+}
+
+impl LruCache {
+    /// Total body bytes the cache may hold.
+    const BYTE_BUDGET: usize = 32 * 1024 * 1024;
+
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            byte_budget: Self::BYTE_BUDGET,
+            bytes: 0,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let hit = self.map.get(key).cloned()?;
+        if let Some(position) = self.order.iter().position(|k| k == key) {
+            let key = self.order.remove(position).expect("position is in range");
+            self.order.push_back(key);
+        }
+        Some(hit)
+    }
+
+    fn insert(&mut self, key: String, value: Arc<Vec<u8>>) {
+        // A body that would monopolize the budget is served uncached.
+        if self.capacity == 0 || value.len() > self.byte_budget / 4 {
+            return;
+        }
+        if let Some(replaced) = self.map.insert(key.clone(), Arc::clone(&value)) {
+            self.bytes = self.bytes - replaced.len() + value.len();
+        } else {
+            self.bytes += value.len();
+            self.order.push_back(key);
+        }
+        while self.order.len() > self.capacity || self.bytes > self.byte_budget {
+            let Some(evicted) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(body) = self.map.remove(&evicted) {
+                self.bytes -= body.len();
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The request handler shared by every worker thread.
+#[derive(Debug)]
+pub struct Router {
+    study: Arc<Study>,
+    options: RouterOptions,
+    cache: Mutex<LruCache>,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Wraps a (preferably pre-warmed, see [`Study::run_all`]) session.
+    pub fn new(study: Arc<Study>, options: RouterOptions) -> Self {
+        let cache = Mutex::new(LruCache::new(options.cache_capacity));
+        Router {
+            study,
+            options,
+            cache,
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The flag `POST /v1/shutdown` raises; the server's accept loop (and
+    /// [`crate::server::ServerHandle::shutdown`]) watch the same flag.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Total requests handled.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Responses served straight from the rendered-body cache.
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Routes one parsed request to a response. Never panics on client
+    /// input; analysis configuration errors surface as 400s.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let path = request.path.as_str();
+        match path {
+            "/v1/shutdown" => {
+                if request.method != "POST" {
+                    return method_not_allowed("POST");
+                }
+                if !self.options.enable_shutdown {
+                    return Response::text(
+                        403,
+                        "shutdown over HTTP is disabled (start with --enable-shutdown)",
+                    );
+                }
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::new(200).with_body(
+                    tabular::mime::APPLICATION_JSON,
+                    b"{\"status\":\"shutting down\"}\n".to_vec(),
+                )
+            }
+            "/v1/healthz" => match self.check_get(request) {
+                Err(response) => response,
+                Ok(()) => self.healthz(),
+            },
+            "/v1/report" | "/v1/analyses" => match self.check_get(request) {
+                Err(response) => response,
+                Ok(()) => self.render_route(request),
+            },
+            _ => match path.strip_prefix("/v1/analyses/") {
+                Some(name) if !name.is_empty() && !name.contains('/') => {
+                    match self.check_get(request) {
+                        Err(response) => response,
+                        Ok(()) => match AnalysisId::from_name(name) {
+                            Ok(_) => self.render_route(request),
+                            Err(error) => Response::text(404, error.to_string()),
+                        },
+                    }
+                }
+                _ => Response::text(404, format!("no route for {path}")),
+            },
+        }
+    }
+
+    fn check_get(&self, request: &Request) -> Result<(), Response> {
+        if request.method == "GET" || request.method == "HEAD" {
+            Ok(())
+        } else {
+            Err(method_not_allowed("GET, HEAD"))
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let body = format!(
+            "{{\"status\":\"ok\",\"seed\":{},\"analyses\":{},\"memoized\":{},\"cached_responses\":{},\"requests\":{},\"cache_hits\":{}}}\n",
+            self.options.seed,
+            AnalysisId::ALL.len(),
+            self.study.cached_ids().len(),
+            self.cache.lock().len(),
+            self.request_count(),
+            self.cache_hit_count(),
+        );
+        Response::new(200).with_body(tabular::mime::APPLICATION_JSON, body.into_bytes())
+    }
+
+    /// Serves `/v1/report`, `/v1/analyses` and `/v1/analyses/{id}` —
+    /// everything that renders sections in a negotiated format with ETag
+    /// revalidation and the LRU body cache.
+    fn render_route(&self, request: &Request) -> Response {
+        let (format, params) = match negotiate(request) {
+            Ok(split) => split,
+            Err(response) => return response,
+        };
+        let key = format!("{}?{}#{}", request.path, params.canonical(), format.name());
+        let body = match self.cache.lock().get(&key) {
+            Some(hit) => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => None,
+        };
+        let body = match body {
+            Some(body) => body,
+            None => match self.build_body(&request.path, format, &params) {
+                Ok(body) => {
+                    let body = Arc::new(body);
+                    self.cache.lock().insert(key, Arc::clone(&body));
+                    body
+                }
+                Err(error) => return error_response(&error),
+            },
+        };
+        let etag = format!("\"{:x}-{:016x}\"", self.options.seed, fnv1a(&body));
+        if request
+            .header("if-none-match")
+            .map(|held| held == etag || held == "*")
+            .unwrap_or(false)
+        {
+            return Response::new(304).with_header("ETag", etag);
+        }
+        Response::new(200)
+            .with_body(format.content_type(), body.as_ref().clone())
+            .with_header("ETag", etag)
+            .with_header("Cache-Control", "no-cache")
+    }
+
+    fn build_body(
+        &self,
+        path: &str,
+        format: Format,
+        params: &Params,
+    ) -> Result<Vec<u8>, AnalysisError> {
+        let rendered = match path {
+            "/v1/report" => {
+                params.check_known(&[])?;
+                self.study.report(format)?
+            }
+            "/v1/analyses" => {
+                params.check_known(&[])?;
+                renderer(format).document(&[registry_section()])
+            }
+            _ => {
+                let name = path
+                    .strip_prefix("/v1/analyses/")
+                    .expect("render_route only sees analysis paths");
+                let id = AnalysisId::from_name(name)?;
+                let sections = analysis_sections(&self.study, id, params)?;
+                renderer(format).document(&sections)
+            }
+        };
+        Ok(rendered.into_bytes())
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::text(405, format!("method not allowed (allow: {allow})")).with_header("Allow", allow)
+}
+
+fn error_response(error: &AnalysisError) -> Response {
+    Response::text(400, format!("error: {error}"))
+}
+
+/// Splits a request into the negotiated output format and the analysis
+/// parameters: `?format=` wins, then the `Accept` header, then the text
+/// default. Every other query key is handed to the analysis configuration.
+fn negotiate(request: &Request) -> Result<(Format, Params), Response> {
+    let mut params = Params::new();
+    let mut format_value: Option<&str> = None;
+    for (key, value) in &request.query {
+        if key == "format" {
+            format_value = Some(value);
+        } else {
+            params.insert(key.clone(), value.clone());
+        }
+    }
+    if let Some(raw) = format_value {
+        return match raw.parse::<Format>() {
+            Ok(format) => Ok((format, params)),
+            Err(error) => Err(Response::text(400, format!("error: {error}"))),
+        };
+    }
+    match request.header("accept") {
+        None => Ok((Format::Text, params)),
+        Some(accept) => match accepted_format(accept) {
+            Some(format) => Ok((format, params)),
+            None => Err(Response::text(
+                406,
+                format!(
+                    "none of {accept:?} is supported (offered: text/plain, text/csv, application/json)"
+                ),
+            )),
+        },
+    }
+}
+
+/// Picks the supported media type with the highest quality value (ties:
+/// first listed). An unparsable `q=` counts as 1.
+fn accepted_format(accept: &str) -> Option<Format> {
+    let mut best: Option<(Format, f64)> = None;
+    for item in accept.split(',') {
+        let mut pieces = item.split(';');
+        let media_type = pieces.next().unwrap_or("").trim();
+        let mut quality = 1.0_f64;
+        for parameter in pieces {
+            if let Some((name, value)) = parameter.split_once('=') {
+                if name.trim().eq_ignore_ascii_case("q") {
+                    quality = value.trim().parse().unwrap_or(1.0);
+                }
+            }
+        }
+        if quality <= 0.0 {
+            continue;
+        }
+        if let Some(format) = Format::from_media_type(media_type) {
+            if best.map(|(_, held)| quality > held).unwrap_or(true) {
+                best = Some((format, quality));
+            }
+        }
+    }
+    best.map(|(format, _)| format)
+}
+
+/// FNV-1a over a byte slice (the ETag body hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::RequestParser;
+
+    fn request(raw: &str) -> Request {
+        RequestParser::new()
+            .feed(raw.as_bytes())
+            .unwrap()
+            .expect("complete request")
+    }
+
+    fn test_router() -> Router {
+        let dataset = datagen::CalibratedGenerator::new(1).generate();
+        let study = Arc::new(Study::from_entries(dataset.entries()));
+        Router::new(
+            study,
+            RouterOptions {
+                seed: 1,
+                cache_capacity: 4,
+                enable_shutdown: true,
+            },
+        )
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_body() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".to_string(), Arc::new(vec![1]));
+        lru.insert("b".to_string(), Arc::new(vec![2]));
+        assert!(lru.get("a").is_some()); // refresh a
+        lru.insert("c".to_string(), Arc::new(vec![3]));
+        assert!(lru.get("a").is_some());
+        assert!(lru.get("b").is_none(), "b was least recently used");
+        assert!(lru.get("c").is_some());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_enforces_the_byte_budget() {
+        let mut lru = LruCache::new(1000);
+        lru.byte_budget = 100;
+        // Oversized bodies (over a quarter of the budget) are never cached.
+        lru.insert("huge".to_string(), Arc::new(vec![0; 26]));
+        assert!(lru.get("huge").is_none());
+        assert_eq!(lru.bytes, 0);
+        // Within budget, old bodies are evicted to make room by bytes even
+        // though the entry-count cap is far away.
+        for i in 0..10 {
+            lru.insert(format!("k{i}"), Arc::new(vec![0; 20]));
+        }
+        assert!(lru.bytes <= 100);
+        assert_eq!(lru.len(), 5);
+        assert!(lru.get("k0").is_none());
+        assert!(lru.get("k9").is_some());
+        // Replacing a key adjusts the byte account instead of leaking it.
+        let before = lru.bytes;
+        lru.insert("k9".to_string(), Arc::new(vec![0; 10]));
+        assert_eq!(lru.bytes, before - 10);
+    }
+
+    #[test]
+    fn accept_header_quality_values_pick_the_best_supported_type() {
+        assert_eq!(accepted_format("application/json"), Some(Format::Json));
+        assert_eq!(
+            accepted_format("text/csv;q=0.5, application/json;q=0.9"),
+            Some(Format::Json)
+        );
+        assert_eq!(
+            accepted_format("image/png, text/csv;q=0.1"),
+            Some(Format::Csv)
+        );
+        assert_eq!(accepted_format("*/*"), Some(Format::Text));
+        assert_eq!(accepted_format("application/json;q=0"), None);
+        assert_eq!(accepted_format("image/png"), None);
+    }
+
+    #[test]
+    fn healthz_reports_ok_and_counters() {
+        let router = test_router();
+        let response = router.handle(&request("GET /v1/healthz HTTP/1.1\r\n\r\n"));
+        assert_eq!(response.status(), 200);
+        let body = String::from_utf8_lossy(response.body()).to_string();
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"seed\":1"));
+        assert_eq!(router.request_count(), 1);
+    }
+
+    #[test]
+    fn analysis_routes_render_and_revalidate() {
+        let router = test_router();
+        let first = router.handle(&request(
+            "GET /v1/analyses/validity?format=json HTTP/1.1\r\n\r\n",
+        ));
+        assert_eq!(first.status(), 200);
+        assert_eq!(
+            first.header("content-type"),
+            Some(tabular::mime::APPLICATION_JSON)
+        );
+        let etag = first.header("etag").unwrap().to_string();
+        let revalidation = router.handle(&request(&format!(
+            "GET /v1/analyses/validity?format=json HTTP/1.1\r\nIf-None-Match: {etag}\r\n\r\n"
+        )));
+        assert_eq!(revalidation.status(), 304);
+        assert!(revalidation.body().is_empty());
+        assert_eq!(revalidation.header("etag"), Some(etag.as_str()));
+        assert_eq!(router.cache_hit_count(), 1);
+    }
+
+    #[test]
+    fn unknown_routes_and_ids_are_404_and_bad_params_400() {
+        let router = test_router();
+        assert_eq!(
+            router
+                .handle(&request("GET /nope HTTP/1.1\r\n\r\n"))
+                .status(),
+            404
+        );
+        assert_eq!(
+            router
+                .handle(&request("GET /v1/analyses/nope HTTP/1.1\r\n\r\n"))
+                .status(),
+            404
+        );
+        assert_eq!(
+            router
+                .handle(&request("GET /v1/analyses/kway?k=3 HTTP/1.1\r\n\r\n"))
+                .status(),
+            400
+        );
+        assert_eq!(
+            router
+                .handle(&request("GET /v1/report?format=yaml HTTP/1.1\r\n\r\n"))
+                .status(),
+            400
+        );
+        assert_eq!(
+            router
+                .handle(&request("POST /v1/report HTTP/1.1\r\n\r\n"))
+                .status(),
+            405
+        );
+        assert_eq!(
+            router
+                .handle(&request(
+                    "GET /v1/report HTTP/1.1\r\nAccept: image/png\r\n\r\n"
+                ))
+                .status(),
+            406
+        );
+    }
+
+    #[test]
+    fn shutdown_route_raises_the_flag() {
+        let router = test_router();
+        assert!(!router.shutdown_flag().load(Ordering::SeqCst));
+        assert_eq!(
+            router
+                .handle(&request("GET /v1/shutdown HTTP/1.1\r\n\r\n"))
+                .status(),
+            405
+        );
+        let response = router.handle(&request("POST /v1/shutdown HTTP/1.1\r\n\r\n"));
+        assert_eq!(response.status(), 200);
+        assert!(router.shutdown_flag().load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,281 @@
+//! The TCP front end: a blocking accept loop feeding a fixed-size worker
+//! thread pool, keep-alive connection handling, and graceful shutdown.
+//!
+//! Shutdown can be triggered from inside ([`crate::Router`]'s
+//! `POST /v1/shutdown`) or outside ([`ServerHandle::shutdown`]); both raise
+//! the same flag. The accept loop is woken with a loop-back connection,
+//! stops accepting, closes the work queue and joins every worker — workers
+//! finish the connection they are serving first, so in-flight responses
+//! are never cut.
+
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::http::{RequestParser, Response, MAX_BODY_BYTES};
+use crate::router::Router;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads (each serves one connection at a time).
+    pub threads: usize,
+    /// Idle-read timeout of a keep-alive connection.
+    pub read_timeout: Duration,
+    /// Requests served on one connection before it is closed.
+    pub max_keep_alive_requests: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            threads: default_threads(),
+            read_timeout: Duration::from_secs(5),
+            max_keep_alive_requests: 1000,
+        }
+    }
+}
+
+/// The default worker count: the machine's parallelism, clamped to 2–8.
+pub fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+/// A bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    router: Arc<Router>,
+    options: ServerOptions,
+}
+
+impl Server {
+    /// Binds an address (`127.0.0.1:0` asks the OS for an ephemeral port —
+    /// read the result back with [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: Arc<Router>,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            router,
+            options,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("a bound listener has a local address")
+    }
+
+    /// Runs the accept loop on the calling thread until the shutdown flag
+    /// is raised, then drains the worker pool and returns.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr();
+        let shutdown = self.router.shutdown_flag();
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let workers: Vec<thread::JoinHandle<()>> = (0..self.options.threads.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let router = Arc::clone(&self.router);
+                let options = self.options.clone();
+                let shutdown = Arc::clone(&shutdown);
+                thread::spawn(move || loop {
+                    let stream = { receiver.lock().recv() };
+                    match stream {
+                        Err(_) => return, // queue closed: shutdown
+                        Ok(stream) => handle_connection(&router, stream, &options, &shutdown, addr),
+                    }
+                })
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // A send only fails after every worker exited, which
+                    // cannot happen before the queue is closed below.
+                    let _ = sender.send(stream);
+                }
+                Err(error) if error.kind() == ErrorKind::ConnectionAborted => continue,
+                Err(error) => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    drop(sender);
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(error);
+                }
+            }
+        }
+
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle for
+    /// the bound address and for shutting the server down.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shutdown = self.router.shutdown_flag();
+        let thread = thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        }
+    }
+}
+
+/// A handle to a [`Server::spawn`]ed server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the shutdown flag, wakes the accept loop and joins it (in-
+    /// flight connections finish first).
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept_loop(self.addr);
+        self.thread
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+    }
+}
+
+/// Unblocks a `TcpListener::accept` stuck with no incoming connections.
+fn wake_accept_loop(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// Serves one connection until it closes, errors, exhausts its keep-alive
+/// budget, or the server shuts down.
+fn handle_connection(
+    router: &Router,
+    mut stream: TcpStream,
+    options: &ServerOptions,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(options.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new();
+    let mut served = 0usize;
+    let mut chunk = [0u8; 4096];
+
+    'connection: loop {
+        // Parse the next request: buffered bytes first (pipelining), then
+        // reads off the socket.
+        let request = loop {
+            match parser.try_parse() {
+                Ok(Some(request)) => break request,
+                Ok(None) => {}
+                Err(violation) => {
+                    let _ = Response::from(&violation).write_to(&mut stream, false, false);
+                    break 'connection;
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break 'connection, // peer closed
+                Ok(n) => match parser.feed(&chunk[..n]) {
+                    Ok(Some(request)) => break request,
+                    Ok(None) => {}
+                    Err(violation) => {
+                        let _ = Response::from(&violation).write_to(&mut stream, false, false);
+                        break 'connection;
+                    }
+                },
+                Err(error)
+                    if error.kind() == ErrorKind::WouldBlock
+                        || error.kind() == ErrorKind::TimedOut =>
+                {
+                    break 'connection; // idle keep-alive connection
+                }
+                Err(_) => break 'connection,
+            }
+        };
+
+        // Drain (and bound) the request body before answering.
+        let body_length = match request.content_length() {
+            Ok(length) => length,
+            Err(violation) => {
+                let _ = Response::from(&violation).write_to(&mut stream, false, false);
+                break;
+            }
+        };
+        if body_length > MAX_BODY_BYTES {
+            let _ =
+                Response::text(413, "request body too large").write_to(&mut stream, false, false);
+            break;
+        }
+        let mut remaining = body_length - parser.drain_body(body_length);
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match stream.read(&mut chunk[..want]) {
+                Ok(0) => break 'connection,
+                Ok(n) => remaining -= n,
+                Err(_) => break 'connection,
+            }
+        }
+
+        let response = router.handle(&request);
+        served += 1;
+        let keep_alive = request.keep_alive()
+            && served < options.max_keep_alive_requests
+            && !shutdown.load(Ordering::SeqCst);
+        if response
+            .write_to(&mut stream, keep_alive, request.method == "HEAD")
+            .is_err()
+        {
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            // This worker may have just handled POST /v1/shutdown: wake the
+            // accept loop so the server can wind down.
+            wake_accept_loop(addr);
+            break;
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thread_count_is_clamped() {
+        let threads = default_threads();
+        assert!((2..=8).contains(&threads));
+    }
+}

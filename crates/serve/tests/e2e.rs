@@ -1,0 +1,275 @@
+//! End-to-end tests over real sockets: an in-process server on an
+//! ephemeral port, exercised by the std-`TcpStream` client in
+//! [`osdiv_serve::loadgen`].
+
+use std::io::{BufReader, Read};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use datagen::CalibratedGenerator;
+use osdiv_core::{analysis_sections, renderer, AnalysisId, Format, Params, Study};
+use osdiv_serve::loadgen::{self, read_response, write_request};
+use osdiv_serve::{Router, RouterOptions, Server, ServerHandle, ServerOptions};
+
+const SEED: u64 = 1;
+
+/// One pre-warmed session shared by every test server in this binary.
+fn study() -> Arc<Study> {
+    static STUDY: OnceLock<Arc<Study>> = OnceLock::new();
+    STUDY
+        .get_or_init(|| {
+            let dataset = CalibratedGenerator::new(SEED).generate();
+            let study = Study::from_entries(dataset.entries());
+            study.run_all().expect("default configurations are valid");
+            Arc::new(study)
+        })
+        .clone()
+}
+
+fn start_server(enable_shutdown: bool) -> (Arc<Router>, ServerHandle) {
+    let router = Arc::new(Router::new(
+        study(),
+        RouterOptions {
+            seed: SEED,
+            cache_capacity: 8,
+            enable_shutdown,
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        ServerOptions {
+            threads: 2,
+            read_timeout: Duration::from_secs(1),
+            max_keep_alive_requests: 100,
+        },
+    )
+    .expect("an ephemeral loop-back port is bindable");
+    let handle = server.spawn();
+    (router, handle)
+}
+
+#[test]
+fn endpoints_serve_the_registry_documents() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+
+    let health = loadgen::get(addr, "/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_string().contains("\"status\":\"ok\""));
+    assert!(health.body_string().contains("\"analyses\":8"));
+
+    // The registry list, default text format.
+    let list = loadgen::get(addr, "/v1/analyses").unwrap();
+    assert_eq!(list.status, 200);
+    assert_eq!(list.header("content-type"), Some(tabular::mime::TEXT_PLAIN));
+    for id in AnalysisId::ALL {
+        assert!(list.body_string().contains(id.name()), "missing {id}");
+    }
+
+    // Every analysis endpoint serves exactly the core-rendered document.
+    for id in AnalysisId::ALL {
+        for format in Format::ALL {
+            let response = loadgen::get(
+                addr,
+                &format!("/v1/analyses/{}?format={}", id.name(), format.name()),
+            )
+            .unwrap();
+            assert_eq!(response.status, 200, "{id} {format}");
+            assert_eq!(
+                response.header("content-type"),
+                Some(format.content_type()),
+                "{id} {format}"
+            );
+            let sections = analysis_sections(&study(), id, &Params::new()).unwrap();
+            let expected = renderer(format).document(&sections);
+            assert_eq!(response.body_string(), expected, "{id} {format}");
+        }
+    }
+
+    // The combined report matches the session renderer byte for byte.
+    let report = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_eq!(report.status, 200);
+    assert_eq!(report.body_string(), study().report(Format::Json).unwrap());
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn content_negotiation_and_error_paths() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+
+    let json = loadgen::get_with_headers(
+        addr,
+        "/v1/analyses/validity",
+        &[("Accept", "application/json")],
+    )
+    .unwrap();
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    let csv = loadgen::get_with_headers(
+        addr,
+        "/v1/analyses/validity",
+        &[("Accept", "text/csv;q=0.9, application/json;q=0.5")],
+    )
+    .unwrap();
+    assert!(csv.body_string().starts_with("OS,Valid"));
+    let unacceptable =
+        loadgen::get_with_headers(addr, "/v1/report", &[("Accept", "image/png")]).unwrap();
+    assert_eq!(unacceptable.status, 406);
+
+    assert_eq!(loadgen::get(addr, "/v1/nope").unwrap().status, 404);
+    assert_eq!(loadgen::get(addr, "/v1/analyses/nope").unwrap().status, 404);
+    assert_eq!(
+        loadgen::get(addr, "/v1/analyses/temporal?first_year=1800&last_year=1700")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        loadgen::get(addr, "/v1/analyses/validity?profile=fat")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        loadgen::get(addr, "/v1/report?format=yaml").unwrap().status,
+        400
+    );
+    assert_eq!(
+        loadgen::request(addr, "POST", "/v1/report", &[])
+            .unwrap()
+            .status,
+        405
+    );
+    // Shutdown is disabled on this server.
+    assert_eq!(
+        loadgen::request(addr, "POST", "/v1/shutdown", &[])
+            .unwrap()
+            .status,
+        403
+    );
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn keep_alive_etag_and_head_requests() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+
+    // Two GETs and a revalidation on one connection.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    write_request(reader.get_mut(), "GET", "/v1/report?format=csv", &[]).unwrap();
+    let first = read_response(&mut reader).unwrap();
+    assert_eq!(first.status, 200);
+    let etag = first
+        .header("etag")
+        .expect("report carries an ETag")
+        .to_string();
+    assert!(etag.starts_with('"') && etag.ends_with('"'));
+
+    write_request(reader.get_mut(), "GET", "/v1/report?format=csv", &[]).unwrap();
+    let second = read_response(&mut reader).unwrap();
+    assert_eq!(
+        second.body, first.body,
+        "keep-alive re-request is identical"
+    );
+
+    write_request(
+        reader.get_mut(),
+        "GET",
+        "/v1/report?format=csv",
+        &[("If-None-Match", &etag)],
+    )
+    .unwrap();
+    let revalidated = read_response(&mut reader).unwrap();
+    assert_eq!(revalidated.status, 304);
+    assert!(revalidated.body.is_empty());
+    drop(reader);
+
+    // The ETag depends on the format (and therefore the config key).
+    let json = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_ne!(json.header("etag"), Some(etag.as_str()));
+
+    // HEAD advertises the full length but sends no body.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    write_request(
+        reader.get_mut(),
+        "HEAD",
+        "/v1/report?format=csv",
+        &[("Connection", "close")],
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+    assert!(text.contains(&format!("Content-Length: {}\r\n", first.body.len())));
+    assert!(text.ends_with("\r\n\r\n"), "HEAD response carries no body");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn parameterized_requests_hit_the_lru_cache() {
+    let (router, handle) = start_server(false);
+    let addr = handle.addr();
+
+    let path = "/v1/analyses/kway?profile=isolated&max_k=4&format=csv";
+    let first = loadgen::get(addr, path).unwrap();
+    assert_eq!(first.status, 200);
+    let hits_before = router.cache_hit_count();
+    let second = loadgen::get(addr, path).unwrap();
+    assert_eq!(second.body, first.body);
+    assert_eq!(router.cache_hit_count(), hits_before + 1);
+
+    // Same parameters in a different order canonicalize to the same key.
+    let reordered = loadgen::get(
+        addr,
+        "/v1/analyses/kway?format=csv&max_k=4&profile=isolated",
+    )
+    .unwrap();
+    assert_eq!(reordered.body, first.body);
+    assert_eq!(router.cache_hit_count(), hits_before + 2);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn loadgen_drives_concurrent_clients_to_completion() {
+    let (_, handle) = start_server(false);
+    let report = loadgen::run_loadgen(handle.addr(), 4, 25, "/v1/report?format=json");
+    assert_eq!(report.total, 100);
+    assert_eq!(report.ok, 100, "errors: {}", report.errors);
+    assert!(report.requests_per_sec() > 0.0);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server_cleanly() {
+    let (router, handle) = start_server(true);
+    let addr = handle.addr();
+
+    let response = loadgen::request(addr, "POST", "/v1/shutdown", &[]).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(router
+        .shutdown_flag()
+        .load(std::sync::atomic::Ordering::SeqCst));
+    // The handle joins the (already winding down) accept loop.
+    handle.shutdown().unwrap();
+    // New connections are refused once the listener is gone.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the listener must be closed after shutdown"
+    );
+}

@@ -1,0 +1,98 @@
+//! Property tests of the incremental HTTP request parser: arbitrary header
+//! splits and torn reads across buffer boundaries must parse exactly like
+//! one contiguous read, and malformed or oversized input must map to
+//! 400/431 violations — never a panic.
+
+use osdiv_serve::http::{HttpViolation, Request, RequestParser, MAX_REQUEST_LINE_BYTES};
+use proptest::prelude::*;
+
+/// Parses a whole byte string in a single feed.
+fn oneshot(raw: &[u8]) -> Result<Option<Request>, HttpViolation> {
+    RequestParser::new().feed(raw)
+}
+
+/// Parses a byte string fed in `chunk`-sized pieces, returning the first
+/// completed request (or first violation).
+fn torn(raw: &[u8], chunk: usize) -> Result<Option<Request>, HttpViolation> {
+    let mut parser = RequestParser::new();
+    for piece in raw.chunks(chunk.max(1)) {
+        match parser.feed(piece) {
+            Ok(None) => {}
+            done => return done,
+        }
+    }
+    Ok(None)
+}
+
+proptest! {
+    #[test]
+    fn torn_reads_parse_exactly_like_contiguous_reads(
+        path in "[a-z0-9/]{1,24}",
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9 ]{0,16}",
+        header_count in 0usize..5,
+        chunk in 1usize..9,
+    ) {
+        let mut raw = format!("GET /{path}?{key}={} HTTP/1.1\r\n", value.replace(' ', "+"));
+        for i in 0..header_count {
+            raw.push_str(&format!("x-header-{i}: value {i}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let expected = oneshot(raw.as_bytes());
+        let got = torn(raw.as_bytes(), chunk);
+        prop_assert_eq!(&got, &expected);
+        let request = got.unwrap().expect("request is complete");
+        prop_assert_eq!(request.path, format!("/{path}"));
+        prop_assert_eq!(request.query[0].0.clone(), key);
+        prop_assert_eq!(request.query[0].1.clone(), value);
+        prop_assert_eq!(request.headers.len(), header_count);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_violations_are_400_or_431(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..400),
+        chunk in 1usize..17,
+    ) {
+        for result in [oneshot(&bytes), torn(&bytes, chunk)] {
+            if let Err(violation) = result {
+                prop_assert!(matches!(violation.status(), 400 | 431));
+            }
+        }
+    }
+
+    #[test]
+    fn torn_garbage_agrees_with_contiguous_garbage(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..200),
+        chunk in 1usize..9,
+    ) {
+        // A violation (or a completed parse) must not depend on how the
+        // bytes were split across reads, with one exception: the torn
+        // parser may detect an over-long request line before the full
+        // buffer arrives, which the oneshot parse resolves differently.
+        let a = oneshot(&bytes);
+        let b = torn(&bytes, chunk);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_request_lines_are_431(extra in 1usize..64, chunk in 1usize..2048) {
+        let line = vec![b'a'; MAX_REQUEST_LINE_BYTES + extra];
+        let result = torn(&line, chunk);
+        prop_assert_eq!(result, Err(HttpViolation::HeadTooLarge));
+    }
+
+    #[test]
+    fn malformed_request_lines_never_panic(line in "[ -~]{0,48}") {
+        let raw = format!("{line}\r\n\r\n");
+        match oneshot(raw.as_bytes()) {
+            Ok(_) => {}
+            Err(violation) => prop_assert!(matches!(violation.status(), 400 | 431)),
+        }
+        // Splitting a space into the request line always breaks it.
+        let broken = format!("GE T /{line} HTTP/1.1\r\n\r\n");
+        prop_assert!(matches!(
+            oneshot(broken.as_bytes()),
+            Err(HttpViolation::BadRequest(_))
+        ));
+    }
+}

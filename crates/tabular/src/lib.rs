@@ -33,6 +33,7 @@
 
 pub mod agg;
 pub mod json;
+pub mod mime;
 pub mod series;
 pub mod table;
 

@@ -1,0 +1,45 @@
+//! Media-type helpers for the table/series export formats.
+//!
+//! The serving layer negotiates between the three export formats of the
+//! study (aligned text, CSV, JSON); the constants and the [`essence`]
+//! helper live here so the renderers and the HTTP layer agree on the exact
+//! `Content-Type` strings without duplicating them.
+//!
+//! # Example
+//!
+//! ```
+//! use tabular::mime;
+//!
+//! assert_eq!(mime::essence("application/json; charset=utf-8"), "application/json");
+//! assert_eq!(mime::essence(" text/csv "), "text/csv");
+//! ```
+
+/// `Content-Type` of the aligned-text rendering.
+pub const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+
+/// `Content-Type` of the CSV rendering.
+pub const TEXT_CSV: &str = "text/csv; charset=utf-8";
+
+/// `Content-Type` of the JSON rendering.
+pub const APPLICATION_JSON: &str = "application/json";
+
+/// The essence of a media type: everything before the first `;` parameter,
+/// with surrounding whitespace trimmed. Comparison should be
+/// case-insensitive per RFC 9110 (`str::eq_ignore_ascii_case`).
+pub fn essence(content_type: &str) -> &str {
+    content_type.split(';').next().unwrap_or("").trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn essence_strips_parameters_and_whitespace() {
+        assert_eq!(essence(TEXT_PLAIN), "text/plain");
+        assert_eq!(essence(TEXT_CSV), "text/csv");
+        assert_eq!(essence(APPLICATION_JSON), "application/json");
+        assert_eq!(essence("Application/JSON ; q=0.9"), "Application/JSON");
+        assert_eq!(essence(""), "");
+    }
+}

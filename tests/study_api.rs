@@ -82,6 +82,50 @@ fn run_all_output_equals_individual_runs() {
 }
 
 #[test]
+fn concurrent_hammering_memoizes_one_value_without_deadlock() {
+    // The serving layer shares one `Study` across worker threads; 8 getter
+    // threads and 2 `run_all` threads racing must agree on a single
+    // memoized allocation per analysis and must not deadlock.
+    let study = session(7);
+    let (pairwise_results, classes_results) = std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| study.run_all().unwrap());
+        }
+        let getters: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut last = None;
+                    for _ in 0..50 {
+                        last = Some((
+                            study.get::<PairwiseAnalysis>().unwrap(),
+                            study.get::<ClassDistribution>().unwrap(),
+                        ));
+                    }
+                    last.unwrap()
+                })
+            })
+            .collect();
+        getters
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .unzip::<_, _, Vec<_>, Vec<_>>()
+    });
+    // Every thread ended up holding the same memoized allocations.
+    let canonical_pairwise = study.get::<PairwiseAnalysis>().unwrap();
+    let canonical_classes = study.get::<ClassDistribution>().unwrap();
+    for pairwise in &pairwise_results {
+        assert!(
+            Arc::ptr_eq(pairwise, &canonical_pairwise),
+            "a thread observed a non-memoized pairwise value"
+        );
+    }
+    for classes in &classes_results {
+        assert!(Arc::ptr_eq(classes, &canonical_classes));
+    }
+    assert_eq!(study.cached_ids(), AnalysisId::ALL.to_vec());
+}
+
+#[test]
 fn table3_csv_round_trips_the_row_values() {
     let study = session(2011);
     let analysis = study.get::<PairwiseAnalysis>().unwrap();
