@@ -18,7 +18,10 @@ fn start_server() -> ServerHandle {
     let dataset = CalibratedGenerator::new(2011).generate();
     let study = Study::from_entries(dataset.entries());
     study.run_all().expect("default configurations are valid");
-    let router = Arc::new(Router::new(Arc::new(study), RouterOptions::default()));
+    let router = Arc::new(Router::with_study(
+        Arc::new(study),
+        RouterOptions::default(),
+    ));
     let server = Server::bind(
         "127.0.0.1:0",
         router,

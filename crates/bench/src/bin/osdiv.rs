@@ -16,7 +16,7 @@
 //! the registry, so newly registered analyses appear in `report`, the help
 //! text and the HTTP API without touching the dispatcher.
 
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::str::FromStr;
 use std::sync::Arc;
 
@@ -28,6 +28,7 @@ use osdiv_core::{
     ReleaseAnalysis, ReleaseConfig, Render, Section, SelectionAnalysis, SelectionConfig,
     ServerProfile, SplitConfig, SplitMatrix, Study, TemporalAnalysis, TemporalConfig, TextRenderer,
 };
+use osdiv_registry::{FeedIngester, IngestBudget, RegistryOptions, StudyRegistry};
 use osdiv_serve::{Router, RouterOptions, Server, ServerOptions};
 use tabular::TextTable;
 
@@ -64,6 +65,10 @@ const COMMANDS: &[(&str, &str)] = &[
         "serve",
         "serve the study as an HTTP API (see --addr/--threads)",
     ),
+    (
+        "ingest",
+        "stream NVD XML feed files into a dataset summary (see --name)",
+    ),
     ("list", "print the analysis registry"),
     ("help", "show this help"),
 ];
@@ -81,6 +86,11 @@ struct Options {
     addr: String,
     threads: usize,
     enable_shutdown: bool,
+    enable_dataset_delete: bool,
+    max_datasets: usize,
+    max_dataset_bytes: usize,
+    name: Option<String>,
+    files: Vec<String>,
 }
 
 impl Default for Options {
@@ -97,6 +107,11 @@ impl Default for Options {
             addr: "127.0.0.1:8080".to_string(),
             threads: osdiv_serve::default_threads(),
             enable_shutdown: false,
+            enable_dataset_delete: false,
+            max_datasets: osdiv_registry::registry::DEFAULT_MAX_DATASETS,
+            max_dataset_bytes: osdiv_registry::registry::DEFAULT_MAX_TOTAL_BYTES,
+            name: None,
+            files: Vec::new(),
         }
     }
 }
@@ -191,6 +206,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
     if command == "list" {
         return Ok(list_analyses(opts.format));
     }
+    if command == "ingest" {
+        return ingest(&opts);
+    }
+    if !opts.files.is_empty() {
+        return Err(CliError::Usage(format!(
+            "{command} takes no file arguments\n\n{}",
+            usage()
+        )));
+    }
     let study = study_session_with_seed(opts.seed);
     if command == "serve" {
         return serve(study, &opts);
@@ -205,17 +229,88 @@ fn run(args: &[String]) -> Result<String, CliError> {
     dispatch(command, &study, &opts).map_err(CliError::from)
 }
 
+/// `osdiv ingest <file>...`: stream NVD XML feed files through the
+/// bounded feed ingester (64 KiB reads — the same no-full-buffering path
+/// the server's PUT route uses) and print a dataset summary.
+fn ingest(opts: &Options) -> Result<String, CliError> {
+    if opts.files.is_empty() {
+        return Err(CliError::Usage(format!(
+            "ingest expects at least one feed file\n\n{}",
+            usage()
+        )));
+    }
+    let name = opts.name.clone().unwrap_or_else(|| "ingested".to_string());
+    let mut ingester = FeedIngester::new(IngestBudget {
+        max_bytes: opts.max_dataset_bytes.max(1),
+        ..IngestBudget::default()
+    });
+    let mut chunk = vec![0u8; 64 * 1024];
+    for path in &opts.files {
+        let mut file = std::fs::File::open(path)?;
+        loop {
+            let n = file.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            ingester
+                .push(&chunk[..n])
+                .map_err(|error| CliError::Usage(format!("error ingesting {path}: {error}")))?;
+        }
+    }
+    let outcome = ingester
+        .finish()
+        .map_err(|error| CliError::Usage(format!("error: {error}")))?;
+    let (feed_bytes, entries, parsed, skipped) = (
+        outcome.feed_bytes,
+        outcome.entries,
+        outcome.parsed,
+        outcome.skipped,
+    );
+    let study = outcome.into_study();
+
+    let mut table = TextTable::new(["Metric", "Value"]);
+    table.push_row(["Dataset".to_string(), name]);
+    table.push_row(["Feed files".to_string(), opts.files.len().to_string()]);
+    table.push_row(["Feed bytes".to_string(), feed_bytes.to_string()]);
+    table.push_row(["Entries parsed".to_string(), parsed.to_string()]);
+    table.push_row(["Entries skipped".to_string(), skipped.to_string()]);
+    table.push_row(["Distinct vulnerabilities".to_string(), entries.to_string()]);
+    table.push_row(["Valid".to_string(), study.valid_count().to_string()]);
+    table.push_row([
+        "Estimated bytes".to_string(),
+        study.estimated_bytes().to_string(),
+    ]);
+    let title = "Feed ingestion summary";
+    let sections = [Section::table(title, table.clone())];
+    Ok(emit(opts.format, &sections, || {
+        format!("{}{}", header(title), table.render())
+    }))
+}
+
 /// `osdiv serve`: pre-warm the session, bind, and run until shutdown.
 fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
     let study = Arc::new(study);
     let warmup = std::time::Instant::now();
     study.run_all()?;
-    let router = Arc::new(Router::new(
+    let registry = Arc::new(StudyRegistry::with_default(
         Arc::clone(&study),
+        opts.seed,
+        RegistryOptions {
+            max_datasets: opts.max_datasets.max(1),
+            max_total_bytes: opts.max_dataset_bytes.max(1),
+        },
+    ));
+    let router = Arc::new(Router::new(
+        registry,
         RouterOptions {
             seed: opts.seed,
             cache_capacity: 128,
             enable_shutdown: opts.enable_shutdown,
+            enable_dataset_delete: opts.enable_dataset_delete,
+            ingest_budget: IngestBudget {
+                max_bytes: opts.max_dataset_bytes.max(1),
+                ..IngestBudget::default()
+            },
         },
     ));
     let server = Server::bind(
@@ -297,6 +392,22 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .ok_or_else(|| CliError::Usage(format!("invalid --threads {raw:?}")))?;
             }
             "--enable-shutdown" => opts.enable_shutdown = true,
+            "--enable-dataset-delete" => opts.enable_dataset_delete = true,
+            "--max-datasets" => {
+                let raw = value("--max-datasets")?;
+                opts.max_datasets =
+                    raw.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        CliError::Usage(format!("invalid --max-datasets {raw:?}"))
+                    })?;
+            }
+            "--max-dataset-bytes" => {
+                let raw = value("--max-dataset-bytes")?;
+                opts.max_dataset_bytes = raw.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                    CliError::Usage(format!("invalid --max-dataset-bytes {raw:?}"))
+                })?;
+            }
+            "--name" => opts.name = Some(value("--name")?),
+            other if !other.starts_with('-') => opts.files.push(other.to_string()),
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown option {other:?}\n\n{}",
@@ -328,7 +439,11 @@ fn usage() -> String {
          --max-k <N>                      kway: largest group size\n  \
          --addr <host:port>               serve: bind address (default: 127.0.0.1:8080; port 0 = ephemeral)\n  \
          --threads <N>                    serve: worker threads\n  \
-         --enable-shutdown                serve: honour POST /v1/shutdown\n\nAnalyses (also \
+         --enable-shutdown                serve: honour POST /v1/shutdown\n  \
+         --enable-dataset-delete          serve: honour DELETE /v1/datasets/{name}\n  \
+         --max-datasets <N>               serve: dataset registry name cap (default: 16)\n  \
+         --max-dataset-bytes <BYTES>      serve/ingest: dataset byte budget (default: 256 MiB)\n  \
+         --name <name>                    ingest: label of the summarized dataset\n\nAnalyses (also \
          subcommands, mirrored at GET /v1/analyses/{id} by `osdiv serve`):\n",
     );
     for entry in osdiv_core::registry() {

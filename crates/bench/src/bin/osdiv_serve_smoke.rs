@@ -6,15 +6,23 @@
 //!
 //! Hits `/v1/healthz`, `/v1/report?format=json` (twice on one keep-alive
 //! connection, the second via `If-None-Match`), a parameterized analysis
-//! endpoint plus its error paths, then `POST /v1/shutdown`. Exits non-zero
-//! with a diagnostic on the first failed expectation; the workflow then
-//! waits on the server process to assert a clean exit.
+//! endpoint plus its error paths, then exercises the dataset tenancy
+//! loop — generate a small feed with `datagen` + the `nvd-feed` writer,
+//! stream it up as a chunked `PUT /v1/datasets/smoke`, query an analysis
+//! with `?dataset=smoke` (asserting 200 and an ETag distinct from the
+//! default dataset's), `DELETE` it — and finally `POST /v1/shutdown`.
+//! Exits non-zero with a diagnostic on the first failed expectation; the
+//! workflow then waits on the server process to assert a clean exit.
+//!
+//! The serving side must run with `--enable-shutdown
+//! --enable-dataset-delete`.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::time::Duration;
 
+use datagen::{ParametricConfig, ParametricGenerator};
 use osdiv_serve::loadgen::{self, read_response, write_request};
 
 fn check(condition: bool, label: &str) -> Result<(), String> {
@@ -35,6 +43,10 @@ fn run(addr: SocketAddr) -> Result<(), String> {
     check(
         health.body_string().contains("\"status\":\"ok\""),
         "/v1/healthz reports ok",
+    )?;
+    check(
+        health.body_string().contains("\"datasets\":"),
+        "/v1/healthz reports the dataset registry",
     )?;
 
     // 2. The cached report, twice on one keep-alive connection.
@@ -88,7 +100,65 @@ fn run(addr: SocketAddr) -> Result<(), String> {
     let missing = loadgen::get(addr, "/v1/analyses/nope").map_err(io)?;
     check(missing.status == 404, "unknown analysis answers 404")?;
 
-    // 4. Graceful shutdown.
+    // 4. HEAD mirrors GET metadata without a body.
+    let head = loadgen::head(addr, "/v1/report?format=json").map_err(io)?;
+    check(head.status == 200, "HEAD /v1/report answers 200")?;
+    check(head.body.is_empty(), "HEAD response carries no body")?;
+    check(
+        head.header("etag") == Some(etag.as_str()),
+        "HEAD serves the representation's ETag",
+    )?;
+
+    // 5. Dataset tenancy: generate a small feed, stream it up chunked,
+    //    query it, compare ETags against the default dataset, delete it.
+    let feed = ParametricGenerator::new(ParametricConfig {
+        vulnerability_count: 150,
+        seed: 7,
+        ..ParametricConfig::default()
+    })
+    .generate()
+    .to_feed_xml()
+    .map_err(|error| format!("FAILED: feed generation: {error}"))?;
+    let chunks: Vec<&[u8]> = feed.as_bytes().chunks(1024).collect();
+    let created =
+        loadgen::request_chunked(addr, "PUT", "/v1/datasets/smoke", &[], &chunks).map_err(io)?;
+    check(
+        created.status == 201,
+        &format!(
+            "chunked PUT /v1/datasets/smoke answers 201 (got {}: {})",
+            created.status,
+            created.body_string().trim()
+        ),
+    )?;
+
+    let list = loadgen::get(addr, "/v1/datasets?format=json").map_err(io)?;
+    check(
+        list.status == 200 && list.body_string().contains("smoke"),
+        "/v1/datasets lists the ingested dataset",
+    )?;
+
+    let smoke_table =
+        loadgen::get(addr, "/v1/analyses/validity?dataset=smoke&format=json").map_err(io)?;
+    check(
+        smoke_table.status == 200,
+        "analysis over ?dataset=smoke answers 200",
+    )?;
+    let default_table = loadgen::get(addr, "/v1/analyses/validity?format=json").map_err(io)?;
+    check(
+        smoke_table.header("etag").is_some()
+            && smoke_table.header("etag") != default_table.header("etag"),
+        "ingested dataset serves a distinct ETag",
+    )?;
+
+    let deleted = loadgen::request(addr, "DELETE", "/v1/datasets/smoke", &[]).map_err(io)?;
+    check(
+        deleted.status == 200,
+        "DELETE /v1/datasets/smoke answers 200",
+    )?;
+    let gone = loadgen::get(addr, "/v1/analyses/validity?dataset=smoke").map_err(io)?;
+    check(gone.status == 404, "deleted dataset answers 404")?;
+
+    // 6. Graceful shutdown.
     let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
     check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;
     Ok(())

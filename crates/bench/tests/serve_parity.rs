@@ -34,7 +34,7 @@ fn server() -> &'static ServerHandle {
         let dataset = CalibratedGenerator::new(SEED).generate();
         let study = Study::from_entries(dataset.entries());
         study.run_all().expect("default configurations are valid");
-        let router = Arc::new(Router::new(
+        let router = Arc::new(Router::with_study(
             Arc::new(study),
             RouterOptions {
                 seed: SEED,
@@ -135,6 +135,30 @@ fn parameterized_requests_match_parameterized_cli_flags() {
     )
     .unwrap();
     assert_eq!(http.body_string(), cli);
+}
+
+#[test]
+fn default_dataset_urls_render_byte_identical_to_the_cli_with_and_without_the_param() {
+    // The multi-dataset registry must not perturb the single-dataset URLs:
+    // with or without `?dataset=default`, every route still serves exactly
+    // the CLI's bytes for the default seed (the PR 3 contract).
+    let addr = server().addr();
+    for (id, format) in [("validity", "json"), ("pairwise", "csv"), ("kway", "text")] {
+        let cli = osdiv(&[id, "--format", format]);
+        let implicit = loadgen::get(addr, &format!("/v1/analyses/{id}?format={format}")).unwrap();
+        let explicit = loadgen::get(
+            addr,
+            &format!("/v1/analyses/{id}?format={format}&dataset=default"),
+        )
+        .unwrap();
+        assert_eq!(implicit.body_string(), cli, "{id} {format} implicit");
+        assert_eq!(explicit.body_string(), cli, "{id} {format} explicit");
+        assert_eq!(
+            implicit.header("etag"),
+            explicit.header("etag"),
+            "{id} {format}: one cache entry, one ETag"
+        );
+    }
 }
 
 #[test]

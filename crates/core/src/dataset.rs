@@ -166,6 +166,13 @@ impl StudyDataset {
         self.store.valid_count()
     }
 
+    /// A rough estimate of the dataset's resident memory (see
+    /// [`VulnStore::estimated_bytes`]) — the unit of the serving registry's
+    /// byte budget.
+    pub fn estimated_bytes(&self) -> usize {
+        self.store.estimated_bytes()
+    }
+
     /// Whether a row survives the given server profile.
     pub fn retains(&self, row: &VulnerabilityRow, profile: ServerProfile) -> bool {
         if !row.is_valid() {

@@ -97,6 +97,23 @@ impl Params {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Removes every occurrence of a key, returning the last (effective)
+    /// value. Used by callers that peel routing-level keys (`format`,
+    /// `dataset`) off a query string before handing the rest to an
+    /// analysis configuration.
+    pub fn take(&mut self, key: &str) -> Option<String> {
+        let mut taken = None;
+        self.pairs.retain(|(k, v)| {
+            if k == key {
+                taken = Some(v.clone());
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
     /// A stable `key=value&…` form of the **effective** configuration: the
     /// last value of every key (matching [`Params::get`]), sorted by key.
     /// Two lists selecting the same configuration canonicalize
@@ -425,6 +442,21 @@ mod tests {
         assert_eq!(flipped.get("last_year"), Some("2008"));
         assert_ne!(flipped.canonical(), params.canonical());
         assert_eq!(Params::new().canonical(), "");
+    }
+
+    #[test]
+    fn take_removes_every_occurrence_and_returns_the_effective_value() {
+        let mut params = Params::from_pairs([
+            ("format", "csv"),
+            ("max_k", "4"),
+            ("format", "json"),
+            ("dataset", "alt"),
+        ]);
+        assert_eq!(params.take("format").as_deref(), Some("json"));
+        assert_eq!(params.get("format"), None);
+        assert_eq!(params.take("dataset").as_deref(), Some("alt"));
+        assert_eq!(params.take("missing"), None);
+        assert_eq!(params.canonical(), "max_k=4");
     }
 
     #[test]

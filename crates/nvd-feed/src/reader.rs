@@ -115,6 +115,54 @@ impl FeedReader {
         Ok(entries)
     }
 
+    /// Parses a **single** `<entry>…</entry>` (or self-closing `<entry/>`)
+    /// XML fragment into an entry — the incremental entry point used by
+    /// streaming feed ingestion, which carves complete entry elements out
+    /// of the byte stream as it arrives and hands them over one at a time.
+    ///
+    /// Any prologue before the entry (XML declaration, comments, enclosing
+    /// `<nvd>` open tag) is skipped. In lenient mode an entry with invalid
+    /// fields returns `Ok(None)` and is counted by [`FeedReader::skipped`]
+    /// (which, unlike the whole-document reads, accumulates across
+    /// fragments); strict mode returns the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedError::Xml`] for malformed XML, [`FeedError::Schema`]
+    /// if the fragment contains no `<entry>` element, and in strict mode
+    /// any field-validation error.
+    pub fn read_entry_str(
+        &mut self,
+        fragment: &str,
+    ) -> Result<Option<VulnerabilityEntry>, FeedError> {
+        let mut reader = XmlReader::new(fragment);
+        while let Some(event) = reader.next_event()? {
+            if let XmlEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+                ..
+            } = event
+            {
+                if name == "entry" {
+                    let raw = self.read_entry(&mut reader, &attributes, self_closing)?;
+                    return match raw.to_entry(&self.normalizer) {
+                        Ok(entry) => Ok(Some(entry)),
+                        Err(err) if self.strict => Err(err),
+                        Err(_) => {
+                            self.skipped += 1;
+                            Ok(None)
+                        }
+                    };
+                }
+            }
+        }
+        Err(FeedError::schema(
+            None,
+            "fragment contains no <entry> element",
+        ))
+    }
+
     /// Reads a feed and also returns document-level metadata.
     pub fn read_with_metadata(
         &mut self,
@@ -448,6 +496,46 @@ mod tests {
         let cvss = entry.cvss().unwrap();
         assert_eq!(cvss.base_score(), 10.0);
         assert!(entry.summary().contains("OpenSSH"));
+    }
+
+    #[test]
+    fn entry_fragments_parse_like_whole_documents() {
+        let fragment = r#"<entry id="CVE-2008-1447">
+            <vuln:vulnerable-software-list>
+              <vuln:product>cpe:/o:debian:debian_linux:4.0</vuln:product>
+            </vuln:vulnerable-software-list>
+            <vuln:published-datetime>2008-07-08T19:41:00.000-04:00</vuln:published-datetime>
+            <vuln:summary>DNS cache poisoning</vuln:summary>
+          </entry>"#;
+        let mut reader = FeedReader::new();
+        let entry = reader.read_entry_str(fragment).unwrap().unwrap();
+        assert_eq!(entry.id(), CveId::new(2008, 1447));
+        assert!(entry.affects(OsDistribution::Debian));
+
+        // Prologue before the entry is skipped; self-closing entries parse.
+        let mut strict = FeedReader::new().strict();
+        let fine = strict
+            .read_entry_str(
+                "<?xml version=\"1.0\"?><nvd>\
+                 <entry id=\"CVE-2005-0001\"><vuln:summary>fine</vuln:summary></entry>",
+            )
+            .unwrap();
+        assert_eq!(fine.unwrap().id(), CveId::new(2005, 1));
+        // Lenient skips accumulate across fragments.
+        assert_eq!(
+            reader.read_entry_str("<entry id=\"NOT-A-CVE\"/>").unwrap(),
+            None
+        );
+        assert_eq!(
+            reader.read_entry_str("<entry id=\"ALSO-BAD\"/>").unwrap(),
+            None
+        );
+        assert_eq!(reader.skipped(), 2);
+        // A fragment with no entry at all is a schema error.
+        assert!(matches!(
+            reader.read_entry_str("<nvd></nvd>").unwrap_err(),
+            FeedError::Schema { .. }
+        ));
     }
 
     #[test]

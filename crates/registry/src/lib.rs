@@ -1,0 +1,38 @@
+//! `osdiv-registry` — multi-dataset tenancy for the serving layer: a
+//! concurrent, bounded registry of named [`Study`](osdiv_core::Study)
+//! sessions plus push-based streaming ingestion of NVD XML feeds.
+//!
+//! The repo's batch pipeline and PR 3's server both assumed exactly one
+//! baked-in dataset. This crate removes that assumption:
+//!
+//! * [`registry`] — [`StudyRegistry`], a `parking_lot::RwLock`-guarded map
+//!   from dataset names to memoized `Arc<Study>` sessions. Synthetic
+//!   datasets register as a `seed=N` spec, build lazily and rebuild after
+//!   eviction; ingested datasets are resident-only and answer
+//!   [`RegistryError::Evicted`] once dropped. Capacity is bounded by name
+//!   count and by estimated resident bytes with LRU eviction of unpinned
+//!   datasets; every failure is a typed [`RegistryError`].
+//! * [`ingest`] — [`FeedIngester`], which accepts feed bytes chunk by
+//!   chunk (never buffering the whole body), carves out complete
+//!   `<entry>` elements, parses them through
+//!   [`nvd_feed::FeedReader::read_entry_str`], loads them into a
+//!   [`vulnstore::VulnStore`] and finishes into a ready-to-serve
+//!   [`StudyDataset`](osdiv_core::StudyDataset) — all under a configurable
+//!   [`IngestBudget`].
+//!
+//! The server (`osdiv-serve`), the CLI (`osdiv ingest`, `osdiv serve`) and
+//! the tests all share these two types, closing the paper's Section III
+//! loop — from NVD XML data feed to queryable diversity analysis — at
+//! request time instead of build time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod registry;
+
+pub use ingest::{FeedIngester, IngestBudget, IngestError, IngestOutcome};
+pub use registry::{
+    build_synthetic, validate_name, DatasetInfo, DatasetSource, RegistryError, RegistryOptions,
+    StudyRegistry, DEFAULT_DATASET,
+};

@@ -9,17 +9,23 @@
 //!
 //! * [`http`] — an incremental request parser (keep-alive, pipelining,
 //!   torn-read safe; malformed or oversized input answers 400/431, never
-//!   panics) and a response writer;
+//!   panics), streamed request bodies ([`http::Body`]) with both
+//!   `Content-Length` and `Transfer-Encoding: chunked` framing
+//!   ([`http::ChunkedDecoder`]), and a response writer;
 //! * [`router`] — registry-driven routes (`/v1/healthz`, `/v1/analyses`,
-//!   `/v1/analyses/{id}`, `/v1/report`, `POST /v1/shutdown`) with
-//!   `?format=`/`Accept` content negotiation through the core `Render`
-//!   sinks, seed+config-keyed `ETag`/304 revalidation and a bounded LRU
-//!   over non-default configurations;
+//!   `/v1/analyses/{id}`, `/v1/report`, the `/v1/datasets` tenancy
+//!   routes, `POST /v1/shutdown`) over a shared
+//!   [`osdiv_registry::StudyRegistry`]: every analysis route takes
+//!   `?dataset={name}`, feed bodies stream through
+//!   [`osdiv_registry::FeedIngester`] into new queryable datasets, and
+//!   rendered bodies live in a bounded LRU **with their precomputed
+//!   ETag** (dataset+seed+hash keyed, `If-None-Match` → 304);
 //! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
 //!   thread pool, with graceful shutdown from inside (the shutdown route)
 //!   or outside ([`ServerHandle::shutdown`]);
-//! * [`loadgen`] — a std-`TcpStream` client and a multi-threaded load
-//!   generator (used by the criterion serving bench and CI smoke test).
+//! * [`loadgen`] — a std-`TcpStream` client (GET/HEAD, bodies, chunked
+//!   uploads) and a multi-threaded load generator (used by the criterion
+//!   serving bench and CI smoke test).
 //!
 //! `GET /v1/analyses/{id}` responses are byte-identical to
 //! `osdiv {id} --format <f>` for the same seed, because both call
@@ -34,11 +40,13 @@
 //! use osdiv_core::Study;
 //! use osdiv_serve::{loadgen, Router, RouterOptions, Server, ServerOptions};
 //!
-//! // One shared session; `run_all` would pre-warm every analysis.
+//! // One shared session; `run_all` would pre-warm every analysis. It
+//! // becomes the pinned "default" dataset of the router's registry —
+//! // `Router::new` accepts a full multi-dataset `StudyRegistry` instead.
 //! let dataset = CalibratedGenerator::new(1).generate();
 //! let study = Arc::new(Study::from_entries(dataset.entries()));
 //!
-//! let router = Arc::new(Router::new(study, RouterOptions { seed: 1, ..Default::default() }));
+//! let router = Arc::new(Router::with_study(study, RouterOptions { seed: 1, ..Default::default() }));
 //! let server = Server::bind("127.0.0.1:0", router, ServerOptions::default()).unwrap();
 //! let handle = server.spawn();
 //!
@@ -60,7 +68,10 @@ pub mod loadgen;
 pub mod router;
 pub mod server;
 
-pub use http::{Request, RequestParser, Response};
+pub use http::{
+    Body, BodyError, BodyFraming, BufferedBody, ChunkedDecoder, EmptyBody, Request, RequestParser,
+    Response, StreamBody,
+};
 pub use loadgen::{run_loadgen, ClientResponse, LoadReport};
 pub use router::{Router, RouterOptions};
 pub use server::{default_threads, Server, ServerHandle, ServerOptions};

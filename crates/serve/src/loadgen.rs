@@ -51,9 +51,63 @@ pub fn write_request(
     stream.flush()
 }
 
+/// Writes a request carrying a `Content-Length` body.
+pub fn write_request_with_body(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: osdiv-serve\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a request whose body is sent as `Transfer-Encoding: chunked`,
+/// one wire chunk per element of `chunks` (empty slices are skipped — an
+/// empty chunk would terminate the body early).
+pub fn write_chunked_request(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    chunks: &[&[u8]],
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: osdiv-serve\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Transfer-Encoding: chunked\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    for chunk in chunks.iter().filter(|chunk| !chunk.is_empty()) {
+        stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+        stream.write_all(chunk)?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 /// Reads one response (status line, headers, `Content-Length` body) off a
-/// buffered connection.
+/// buffered connection. See [`read_response_for`] for HEAD responses.
 pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+    read_response_for(reader, false)
+}
+
+/// Reads one response; `head_response` must be true when the request was a
+/// HEAD — such a response advertises the representation's
+/// `Content-Length` but carries no body, which the reader cannot tell
+/// from the response alone.
+pub fn read_response_for(
+    reader: &mut impl BufRead,
+    head_response: bool,
+) -> io::Result<ClientResponse> {
     let bad = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_string());
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
@@ -88,10 +142,9 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
         .and_then(|(_, v)| v.parse().ok())
         .unwrap_or(0);
     let mut body = vec![0u8; length];
-    // A 304 advertises the representation's length but carries no body.
-    // (HEAD responses do the same, which is why `request` below does not
-    // support HEAD — the reader cannot tell from the response alone.)
-    if status != 304 && length > 0 {
+    // A 304 (like a HEAD response) advertises the representation's length
+    // but carries no body.
+    if status != 304 && !head_response && length > 0 {
         reader.read_exact(&mut body)?;
     } else {
         body.clear();
@@ -117,10 +170,14 @@ pub fn get_with_headers(
     request(addr, "GET", path, extra_headers)
 }
 
-/// One-shot request. Not suitable for `HEAD`: the response parser would
-/// wait for the advertised `Content-Length` bytes a HEAD response never
-/// sends — issue HEADs with [`write_request`] and read the raw head
-/// instead.
+/// One-shot HEAD: the returned response carries the representation's
+/// headers (`Content-Length`, `ETag`, …) and an empty body.
+pub fn head(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "HEAD", path, &[])
+}
+
+/// One-shot request without a body. HEAD is supported: the reader then
+/// treats the advertised `Content-Length` as metadata only.
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -131,7 +188,39 @@ pub fn request(
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut reader = BufReader::new(stream);
     write_request(reader.get_mut(), method, path, extra_headers)?;
-    read_response(&mut reader)
+    read_response_for(&mut reader, method == "HEAD")
+}
+
+/// One-shot request with a `Content-Length` body.
+pub fn request_with_body(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream);
+    write_request_with_body(reader.get_mut(), method, path, extra_headers, body)?;
+    read_response_for(&mut reader, method == "HEAD")
+}
+
+/// One-shot request streaming its body as `Transfer-Encoding: chunked` —
+/// how a feed is PUT to `/v1/datasets/{name}` without the client (or the
+/// server) ever holding it whole.
+pub fn request_chunked(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    chunks: &[&[u8]],
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream);
+    write_chunked_request(reader.get_mut(), method, path, extra_headers, chunks)?;
+    read_response_for(&mut reader, method == "HEAD")
 }
 
 /// The outcome of a load-generation run.

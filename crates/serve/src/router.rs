@@ -1,27 +1,34 @@
-//! Registry-driven routing over a shared, pre-warmed [`Study`].
+//! Registry-driven routing over a [`StudyRegistry`] of named datasets.
 //!
 //! Routes:
 //!
 //! | Route | Serves |
 //! |---|---|
-//! | `GET /v1/healthz` | liveness + cache statistics (JSON) |
+//! | `GET /v1/healthz` | liveness + registry/cache statistics (JSON) |
 //! | `GET /v1/analyses` | the analysis registry |
 //! | `GET /v1/analyses/{id}` | one analysis; query params select its config |
 //! | `GET /v1/report` | the combined report |
+//! | `GET /v1/datasets` | the dataset registry |
+//! | `PUT/POST /v1/datasets/{name}` | ingest an NVD XML feed body, or register `?seed=N` |
+//! | `DELETE /v1/datasets/{name}` | unregister a dataset (when enabled) |
 //! | `POST /v1/shutdown` | graceful shutdown (when enabled) |
 //!
-//! The routes are driven by the core analysis registry, so a newly
-//! registered analysis is immediately queryable without touching this
-//! module. Output format negotiation follows `?format=` first, then the
-//! `Accept` header, defaulting to the paper-style text rendering — the
-//! same default as the `osdiv` CLI, and the rendered bytes are identical
-//! to `osdiv <analysis> --format <f>` because both sides call
+//! Every analysis route accepts `?dataset={name}` to select which
+//! registered dataset it queries; omitting it serves the pinned default
+//! dataset, byte-for-byte identical to the single-dataset server of PR 3.
+//! Feed bodies stream through [`FeedIngester`] — chunked transfer bodies
+//! of any size are ingested without ever being buffered whole.
+//!
+//! Output format negotiation follows `?format=` first, then the `Accept`
+//! header, defaulting to the paper-style text rendering — the same default
+//! as the `osdiv` CLI, and the rendered bytes are identical to
+//! `osdiv <analysis> --format <f>` because both sides call
 //! [`osdiv_core::analysis_sections`].
 //!
-//! Responses carry a strong `ETag` keyed on the dataset seed and the
-//! requested configuration; `If-None-Match` revalidation answers 304
-//! without re-rendering. Non-default configurations are rendered through
-//! [`Study::get_with`] and kept in a bounded LRU cache.
+//! Responses carry a strong `ETag` keyed on the dataset **name**, the
+//! served seed and the body hash; `If-None-Match` revalidation answers 304
+//! without re-rendering. Rendered bodies live in a bounded LRU **with
+//! their precomputed ETag**, so cache hits hash nothing.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -29,22 +36,33 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use osdiv_core::{
-    analysis_sections, registry_section, renderer, AnalysisError, AnalysisId, Format, Params, Study,
+    analysis_sections, registry_section, renderer, AnalysisError, AnalysisId, Format, Params,
+    Section, Study,
+};
+use osdiv_registry::{
+    DatasetSource, FeedIngester, IngestBudget, IngestError, RegistryError, RegistryOptions,
+    StudyRegistry, DEFAULT_DATASET,
 };
 use parking_lot::Mutex;
+use tabular::TextTable;
 
-use crate::http::{Request, Response};
+use crate::http::{Body, BodyError, EmptyBody, Request, Response};
 
 /// Router configuration.
 #[derive(Debug, Clone)]
 pub struct RouterOptions {
-    /// The seed the served dataset was generated from (keys the ETags and
+    /// The seed the default dataset was generated from (keys the ETags and
     /// is reported by `/v1/healthz`).
     pub seed: u64,
     /// Capacity of the rendered-response LRU cache.
     pub cache_capacity: usize,
     /// Whether `POST /v1/shutdown` is honoured (403 otherwise).
     pub enable_shutdown: bool,
+    /// Whether `DELETE /v1/datasets/{name}` is honoured (403 otherwise —
+    /// gated like shutdown, since deletion is destructive).
+    pub enable_dataset_delete: bool,
+    /// Budget every feed ingestion runs under.
+    pub ingest_budget: IngestBudget,
 }
 
 impl Default for RouterOptions {
@@ -53,8 +71,19 @@ impl Default for RouterOptions {
             seed: 2011,
             cache_capacity: 128,
             enable_shutdown: false,
+            enable_dataset_delete: false,
+            ingest_budget: IngestBudget::default(),
         }
     }
+}
+
+/// A rendered body plus its precomputed strong ETag. Hashing happens once,
+/// at insert time — revalidations and cache hits reuse the stored tag
+/// instead of re-hashing multi-megabyte documents per request.
+#[derive(Debug)]
+struct CachedBody {
+    body: Vec<u8>,
+    etag: String,
 }
 
 /// A bounded LRU of rendered response bodies. Bounded twice: by entry
@@ -67,7 +96,7 @@ struct LruCache {
     capacity: usize,
     byte_budget: usize,
     bytes: usize,
-    map: HashMap<String, Arc<Vec<u8>>>,
+    map: HashMap<String, Arc<CachedBody>>,
     order: VecDeque<String>,
 }
 
@@ -85,7 +114,7 @@ impl LruCache {
         }
     }
 
-    fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+    fn get(&mut self, key: &str) -> Option<Arc<CachedBody>> {
         let hit = self.map.get(key).cloned()?;
         if let Some(position) = self.order.iter().position(|k| k == key) {
             let key = self.order.remove(position).expect("position is in range");
@@ -94,23 +123,23 @@ impl LruCache {
         Some(hit)
     }
 
-    fn insert(&mut self, key: String, value: Arc<Vec<u8>>) {
+    fn insert(&mut self, key: String, value: Arc<CachedBody>) {
         // A body that would monopolize the budget is served uncached.
-        if self.capacity == 0 || value.len() > self.byte_budget / 4 {
+        if self.capacity == 0 || value.body.len() > self.byte_budget / 4 {
             return;
         }
         if let Some(replaced) = self.map.insert(key.clone(), Arc::clone(&value)) {
-            self.bytes = self.bytes - replaced.len() + value.len();
+            self.bytes = self.bytes - replaced.body.len() + value.body.len();
         } else {
-            self.bytes += value.len();
+            self.bytes += value.body.len();
             self.order.push_back(key);
         }
         while self.order.len() > self.capacity || self.bytes > self.byte_budget {
             let Some(evicted) = self.order.pop_front() else {
                 break;
             };
-            if let Some(body) = self.map.remove(&evicted) {
-                self.bytes -= body.len();
+            if let Some(entry) = self.map.remove(&evicted) {
+                self.bytes -= entry.body.len();
             }
         }
     }
@@ -123,7 +152,7 @@ impl LruCache {
 /// The request handler shared by every worker thread.
 #[derive(Debug)]
 pub struct Router {
-    study: Arc<Study>,
+    registry: Arc<StudyRegistry>,
     options: RouterOptions,
     cache: Mutex<LruCache>,
     requests: AtomicU64,
@@ -132,17 +161,35 @@ pub struct Router {
 }
 
 impl Router {
-    /// Wraps a (preferably pre-warmed, see [`Study::run_all`]) session.
-    pub fn new(study: Arc<Study>, options: RouterOptions) -> Self {
+    /// Wraps a dataset registry (whose [`DEFAULT_DATASET`] should be
+    /// registered and pre-warmed).
+    pub fn new(registry: Arc<StudyRegistry>, options: RouterOptions) -> Self {
         let cache = Mutex::new(LruCache::new(options.cache_capacity));
         Router {
-            study,
+            registry,
             options,
             cache,
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             shutdown: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Convenience for the single-dataset shape of PR 3: wraps `study` in
+    /// a fresh registry as the pinned default dataset (with default
+    /// [`RegistryOptions`]).
+    pub fn with_study(study: Arc<Study>, options: RouterOptions) -> Self {
+        let registry = Arc::new(StudyRegistry::with_default(
+            study,
+            options.seed,
+            RegistryOptions::default(),
+        ));
+        Router::new(registry, options)
+    }
+
+    /// The dataset registry the router serves.
+    pub fn registry(&self) -> &Arc<StudyRegistry> {
+        &self.registry
     }
 
     /// The flag `POST /v1/shutdown` raises; the server's accept loop (and
@@ -161,9 +208,15 @@ impl Router {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
-    /// Routes one parsed request to a response. Never panics on client
-    /// input; analysis configuration errors surface as 400s.
+    /// Routes a body-less request (see [`Router::handle_with_body`]).
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_with_body(request, &mut EmptyBody)
+    }
+
+    /// Routes one parsed request to a response, streaming the request body
+    /// where the route consumes one (feed ingestion). Never panics on
+    /// client input; analysis configuration errors surface as 400s.
+    pub fn handle_with_body(&self, request: &Request, body: &mut dyn Body) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let path = request.path.as_str();
         match path {
@@ -187,22 +240,29 @@ impl Router {
                 Err(response) => response,
                 Ok(()) => self.healthz(),
             },
+            "/v1/datasets" => match self.check_get(request) {
+                Err(response) => response,
+                Ok(()) => self.list_datasets(request),
+            },
             "/v1/report" | "/v1/analyses" => match self.check_get(request) {
                 Err(response) => response,
                 Ok(()) => self.render_route(request),
             },
-            _ => match path.strip_prefix("/v1/analyses/") {
-                Some(name) if !name.is_empty() && !name.contains('/') => {
-                    match self.check_get(request) {
+            _ => {
+                if let Some(name) = single_segment(path, "/v1/datasets/") {
+                    return self.dataset_route(name, request, body);
+                }
+                match single_segment(path, "/v1/analyses/") {
+                    Some(name) => match self.check_get(request) {
                         Err(response) => response,
                         Ok(()) => match AnalysisId::from_name(name) {
                             Ok(_) => self.render_route(request),
                             Err(error) => Response::text(404, error.to_string()),
                         },
-                    }
+                    },
+                    None => Response::text(404, format!("no route for {path}")),
                 }
-                _ => Response::text(404, format!("no route for {path}")),
-            },
+            }
         }
     }
 
@@ -215,11 +275,18 @@ impl Router {
     }
 
     fn healthz(&self) -> Response {
+        let memoized = self
+            .registry
+            .resident(DEFAULT_DATASET)
+            .map(|study| study.cached_ids().len())
+            .unwrap_or(0);
         let body = format!(
-            "{{\"status\":\"ok\",\"seed\":{},\"analyses\":{},\"memoized\":{},\"cached_responses\":{},\"requests\":{},\"cache_hits\":{}}}\n",
+            "{{\"status\":\"ok\",\"seed\":{},\"analyses\":{},\"memoized\":{},\"datasets\":{},\"dataset_bytes\":{},\"cached_responses\":{},\"requests\":{},\"cache_hits\":{}}}\n",
             self.options.seed,
             AnalysisId::ALL.len(),
-            self.study.cached_ids().len(),
+            memoized,
+            self.registry.len(),
+            self.registry.resident_bytes(),
             self.cache.lock().len(),
             self.request_count(),
             self.cache_hit_count(),
@@ -227,49 +294,265 @@ impl Router {
         Response::new(200).with_body(tabular::mime::APPLICATION_JSON, body.into_bytes())
     }
 
-    /// Serves `/v1/report`, `/v1/analyses` and `/v1/analyses/{id}` —
-    /// everything that renders sections in a negotiated format with ETag
-    /// revalidation and the LRU body cache.
-    fn render_route(&self, request: &Request) -> Response {
-        let (format, params) = match negotiate(request) {
+    /// `GET /v1/datasets`: the dataset registry as a negotiated document
+    /// (uncached: the listing is tiny and changes with every mutation).
+    fn list_datasets(&self, request: &Request) -> Response {
+        let (format, _, params) = match negotiate(request) {
             Ok(split) => split,
             Err(response) => return response,
         };
-        let key = format!("{}?{}#{}", request.path, params.canonical(), format.name());
-        let body = match self.cache.lock().get(&key) {
+        if let Err(error) = params.check_known(&[]) {
+            return error_response(&error);
+        }
+        let mut table = TextTable::new(["Dataset", "Kind", "Detail", "Resident bytes", "Pinned"]);
+        for info in self.registry.list() {
+            let detail = match &info.source {
+                DatasetSource::Synthetic { seed } => format!("seed={seed}"),
+                DatasetSource::Ingested {
+                    entries,
+                    skipped,
+                    feed_bytes,
+                } => format!("entries={entries} skipped={skipped} feed_bytes={feed_bytes}"),
+            };
+            let kind = match (&info.source, info.resident) {
+                (_, true) => info.source.kind().to_string(),
+                // A non-resident synthetic spec rebuilds on demand; only a
+                // non-resident ingested dataset is irrecoverably evicted.
+                (DatasetSource::Synthetic { .. }, false) => {
+                    format!("{} (lazy)", info.source.kind())
+                }
+                (DatasetSource::Ingested { .. }, false) => {
+                    format!("{} (evicted)", info.source.kind())
+                }
+            };
+            table.push_row([
+                info.name.clone(),
+                kind,
+                detail,
+                info.resident_bytes.to_string(),
+                if info.pinned { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        let document = renderer(format).document(&[Section::table("Datasets", table)]);
+        Response::new(200)
+            .with_body(format.content_type(), document.into_bytes())
+            .with_header("Cache-Control", "no-cache")
+    }
+
+    /// `PUT`/`POST`/`DELETE`/`GET /v1/datasets/{name}`.
+    fn dataset_route(&self, name: &str, request: &Request, body: &mut dyn Body) -> Response {
+        match request.method.as_str() {
+            "PUT" | "POST" => self.create_dataset(name, request, body),
+            "DELETE" => self.delete_dataset(name),
+            "GET" | "HEAD" => self.dataset_info(name),
+            _ => method_not_allowed("GET, HEAD, PUT, POST, DELETE"),
+        }
+    }
+
+    /// Registers a dataset: `?seed=N` registers a lazily built synthetic
+    /// dataset; otherwise the request body is streamed through the feed
+    /// ingester. 201 on success.
+    fn create_dataset(&self, name: &str, request: &Request, body: &mut dyn Body) -> Response {
+        if let Err(error) = osdiv_registry::validate_name(name) {
+            return registry_error_response(&error);
+        }
+        let mut params = Params::new();
+        for (key, value) in &request.query {
+            params.insert(key.clone(), value.clone());
+        }
+        let seed = match params.take("seed") {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(seed) => Some(seed),
+                Err(_) => return Response::text(400, format!("error: invalid seed {raw:?}")),
+            },
+        };
+        if let Err(error) = params.check_known(&["seed"]) {
+            return error_response(&error);
+        }
+
+        if let Some(seed) = seed {
+            if let Err(error) = self.registry.register_synthetic(name, seed) {
+                return registry_error_response(&error);
+            }
+            return Response::new(201).with_body(
+                tabular::mime::APPLICATION_JSON,
+                format!("{{\"dataset\":{name:?},\"source\":\"synthetic\",\"seed\":{seed}}}\n")
+                    .into_bytes(),
+            );
+        }
+
+        // Reject a taken name before streaming: ingesting a multi-megabyte
+        // feed only to discover the 409 at the final insert would be a
+        // free CPU-amplification vector. The insert below still settles
+        // the race against a concurrent registration.
+        if self.registry.occupied(name) {
+            return registry_error_response(&RegistryError::AlreadyExists {
+                name: name.to_string(),
+            });
+        }
+
+        // Stream the feed body through the ingester, chunk by chunk.
+        let mut ingester = FeedIngester::new(self.options.ingest_budget.clone());
+        let mut chunk = Vec::new();
+        loop {
+            match body.next_chunk(&mut chunk) {
+                Ok(true) => {
+                    if let Err(error) = ingester.push(&chunk) {
+                        return ingest_error_response(&error);
+                    }
+                }
+                Ok(false) => break,
+                Err(BodyError::Violation(violation)) => return Response::from(&violation),
+                Err(BodyError::TooLarge { limit }) => {
+                    return Response::text(413, format!("request body exceeds {limit} bytes"))
+                }
+                Err(BodyError::Io(_)) => {
+                    return Response::text(400, "request body ended prematurely")
+                }
+            }
+        }
+        let outcome = match ingester.finish() {
+            Ok(outcome) => outcome,
+            Err(error) => return ingest_error_response(&error),
+        };
+        let (entries, skipped, feed_bytes) = (outcome.entries, outcome.skipped, outcome.feed_bytes);
+        let study = Arc::new(outcome.into_study());
+        let estimated_bytes = study.estimated_bytes();
+        let source = DatasetSource::Ingested {
+            entries,
+            skipped,
+            feed_bytes,
+        };
+        if let Err(error) = self.registry.insert(name, study, source) {
+            return registry_error_response(&error);
+        }
+        Response::new(201).with_body(
+            tabular::mime::APPLICATION_JSON,
+            format!(
+                "{{\"dataset\":{name:?},\"source\":\"ingested\",\"entries\":{entries},\"skipped\":{skipped},\"feed_bytes\":{feed_bytes},\"estimated_bytes\":{estimated_bytes}}}\n"
+            )
+            .into_bytes(),
+        )
+    }
+
+    fn delete_dataset(&self, name: &str) -> Response {
+        if !self.options.enable_dataset_delete {
+            return Response::text(
+                403,
+                "dataset deletion over HTTP is disabled (start with --enable-dataset-delete)",
+            );
+        }
+        if name == DEFAULT_DATASET {
+            return Response::text(403, "the default dataset cannot be deleted");
+        }
+        match self.registry.remove(name) {
+            Ok(()) => Response::new(200).with_body(
+                tabular::mime::APPLICATION_JSON,
+                format!("{{\"dataset\":{name:?},\"status\":\"deleted\"}}\n").into_bytes(),
+            ),
+            Err(error) => registry_error_response(&error),
+        }
+    }
+
+    fn dataset_info(&self, name: &str) -> Response {
+        match self.registry.list().into_iter().find(|i| i.name == name) {
+            None => registry_error_response(&RegistryError::NotFound {
+                name: name.to_string(),
+            }),
+            Some(info) => {
+                let detail = match &info.source {
+                    DatasetSource::Synthetic { seed } => format!("\"seed\":{seed}"),
+                    DatasetSource::Ingested {
+                        entries,
+                        skipped,
+                        feed_bytes,
+                    } => format!(
+                        "\"entries\":{entries},\"skipped\":{skipped},\"feed_bytes\":{feed_bytes}"
+                    ),
+                };
+                Response::new(200).with_body(
+                    tabular::mime::APPLICATION_JSON,
+                    format!(
+                        "{{\"dataset\":{:?},\"source\":{:?},{detail},\"resident\":{},\"resident_bytes\":{},\"pinned\":{}}}\n",
+                        info.name,
+                        info.source.kind(),
+                        info.resident,
+                        info.resident_bytes,
+                        info.pinned,
+                    )
+                    .into_bytes(),
+                )
+            }
+        }
+    }
+
+    /// Serves `/v1/report`, `/v1/analyses` and `/v1/analyses/{id}` —
+    /// everything that renders sections in a negotiated format with ETag
+    /// revalidation and the LRU body cache. `?dataset=` selects the
+    /// queried dataset (default: the pinned boot dataset).
+    fn render_route(&self, request: &Request) -> Response {
+        let (format, dataset, params) = match negotiate(request) {
+            Ok(split) => split,
+            Err(response) => return response,
+        };
+        // Resolve the dataset *before* consulting the cache: a deleted,
+        // evicted or re-registered name must answer its registry status
+        // (404/410) or fresh bytes — never a previous tenant's cached
+        // body. The registration generation in the key makes reused names
+        // miss stale entries, which then age out of the LRU.
+        let (study, generation) = match self.registry.get_tagged(&dataset) {
+            Ok(tagged) => tagged,
+            Err(error) => return registry_error_response(&error),
+        };
+        let key = format!(
+            "{}\u{1}{}\u{1}{}?{}#{}",
+            dataset,
+            generation,
+            request.path,
+            params.canonical(),
+            format.name()
+        );
+        let cached = match self.cache.lock().get(&key) {
             Some(hit) => {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 Some(hit)
             }
             None => None,
         };
-        let body = match body {
-            Some(body) => body,
-            None => match self.build_body(&request.path, format, &params) {
+        let cached = match cached {
+            Some(cached) => cached,
+            None => match self.build_body(&study, &request.path, format, &params) {
                 Ok(body) => {
-                    let body = Arc::new(body);
-                    self.cache.lock().insert(key, Arc::clone(&body));
-                    body
+                    let etag = format!(
+                        "\"{:x}-{}-{:016x}\"",
+                        self.options.seed,
+                        dataset,
+                        fnv1a(&body)
+                    );
+                    let cached = Arc::new(CachedBody { body, etag });
+                    self.cache.lock().insert(key, Arc::clone(&cached));
+                    cached
                 }
                 Err(error) => return error_response(&error),
             },
         };
-        let etag = format!("\"{:x}-{:016x}\"", self.options.seed, fnv1a(&body));
         if request
             .header("if-none-match")
-            .map(|held| held == etag || held == "*")
+            .map(|held| held == cached.etag || held == "*")
             .unwrap_or(false)
         {
-            return Response::new(304).with_header("ETag", etag);
+            return Response::new(304).with_header("ETag", cached.etag.clone());
         }
         Response::new(200)
-            .with_body(format.content_type(), body.as_ref().clone())
-            .with_header("ETag", etag)
+            .with_body(format.content_type(), cached.body.clone())
+            .with_header("ETag", cached.etag.clone())
             .with_header("Cache-Control", "no-cache")
     }
 
     fn build_body(
         &self,
+        study: &Study,
         path: &str,
         format: Format,
         params: &Params,
@@ -277,7 +560,7 @@ impl Router {
         let rendered = match path {
             "/v1/report" => {
                 params.check_known(&[])?;
-                self.study.report(format)?
+                study.report(format)?
             }
             "/v1/analyses" => {
                 params.check_known(&[])?;
@@ -288,12 +571,18 @@ impl Router {
                     .strip_prefix("/v1/analyses/")
                     .expect("render_route only sees analysis paths");
                 let id = AnalysisId::from_name(name)?;
-                let sections = analysis_sections(&self.study, id, params)?;
+                let sections = analysis_sections(study, id, params)?;
                 renderer(format).document(&sections)
             }
         };
         Ok(rendered.into_bytes())
     }
+}
+
+/// The single path segment after `prefix` (`None` for empty or nested).
+fn single_segment<'a>(path: &'a str, prefix: &str) -> Option<&'a str> {
+    let name = path.strip_prefix(prefix)?;
+    (!name.is_empty() && !name.contains('/')).then_some(name)
 }
 
 fn method_not_allowed(allow: &str) -> Response {
@@ -304,29 +593,48 @@ fn error_response(error: &AnalysisError) -> Response {
     Response::text(400, format!("error: {error}"))
 }
 
-/// Splits a request into the negotiated output format and the analysis
-/// parameters: `?format=` wins, then the `Accept` header, then the text
-/// default. Every other query key is handed to the analysis configuration.
-fn negotiate(request: &Request) -> Result<(Format, Params), Response> {
+/// Maps a registry failure to its HTTP status: 404 unknown, 409 taken,
+/// 410 evicted, 507 over capacity, 400 invalid name.
+fn registry_error_response(error: &RegistryError) -> Response {
+    let status = match error {
+        RegistryError::NotFound { .. } => 404,
+        RegistryError::AlreadyExists { .. } => 409,
+        RegistryError::Evicted { .. } => 410,
+        RegistryError::CapacityExceeded { .. } => 507,
+        RegistryError::InvalidName { .. } => 400,
+    };
+    Response::text(status, format!("error: {error}"))
+}
+
+/// Maps an ingestion failure: budget violations are 413, malformed feeds
+/// 400 (see [`IngestError::http_status`]).
+fn ingest_error_response(error: &IngestError) -> Response {
+    Response::text(error.http_status(), format!("error: {error}"))
+}
+
+/// Splits a request into the negotiated output format, the selected
+/// dataset and the analysis parameters: `?format=` wins over the `Accept`
+/// header, `?dataset=` defaults to [`DEFAULT_DATASET`]. Every other query
+/// key is handed to the analysis configuration.
+fn negotiate(request: &Request) -> Result<(Format, String, Params), Response> {
     let mut params = Params::new();
-    let mut format_value: Option<&str> = None;
     for (key, value) in &request.query {
-        if key == "format" {
-            format_value = Some(value);
-        } else {
-            params.insert(key.clone(), value.clone());
-        }
+        params.insert(key.clone(), value.clone());
     }
+    let dataset = params
+        .take("dataset")
+        .unwrap_or_else(|| DEFAULT_DATASET.to_string());
+    let format_value = params.take("format");
     if let Some(raw) = format_value {
         return match raw.parse::<Format>() {
-            Ok(format) => Ok((format, params)),
+            Ok(format) => Ok((format, dataset, params)),
             Err(error) => Err(Response::text(400, format!("error: {error}"))),
         };
     }
     match request.header("accept") {
-        None => Ok((Format::Text, params)),
+        None => Ok((Format::Text, dataset, params)),
         Some(accept) => match accepted_format(accept) {
-            Some(format) => Ok((format, params)),
+            Some(format) => Ok((format, dataset, params)),
             None => Err(Response::text(
                 406,
                 format!(
@@ -377,7 +685,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::RequestParser;
+    use crate::http::{BufferedBody, RequestParser};
+    use nvd_feed::FeedWriter;
+    use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
 
     fn request(raw: &str) -> Request {
         RequestParser::new()
@@ -389,23 +699,48 @@ mod tests {
     fn test_router() -> Router {
         let dataset = datagen::CalibratedGenerator::new(1).generate();
         let study = Arc::new(Study::from_entries(dataset.entries()));
-        Router::new(
+        Router::with_study(
             study,
             RouterOptions {
                 seed: 1,
                 cache_capacity: 4,
                 enable_shutdown: true,
+                enable_dataset_delete: true,
+                ..RouterOptions::default()
             },
         )
     }
 
+    fn small_feed() -> Vec<u8> {
+        let entries: Vec<_> = (0..6u32)
+            .map(|i| {
+                VulnerabilityEntry::builder(CveId::new(2006, i + 1))
+                    .summary(format!("Buffer overflow number {i} in the TCP/IP stack"))
+                    .affects_os(OsDistribution::Debian)
+                    .affects_os(OsDistribution::OpenBsd)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        FeedWriter::new()
+            .write_to_string(&entries)
+            .unwrap()
+            .into_bytes()
+    }
+
     #[test]
     fn lru_evicts_the_least_recently_used_body() {
+        let entry = |data: Vec<u8>| {
+            Arc::new(CachedBody {
+                etag: "\"x\"".to_string(),
+                body: data,
+            })
+        };
         let mut lru = LruCache::new(2);
-        lru.insert("a".to_string(), Arc::new(vec![1]));
-        lru.insert("b".to_string(), Arc::new(vec![2]));
+        lru.insert("a".to_string(), entry(vec![1]));
+        lru.insert("b".to_string(), entry(vec![2]));
         assert!(lru.get("a").is_some()); // refresh a
-        lru.insert("c".to_string(), Arc::new(vec![3]));
+        lru.insert("c".to_string(), entry(vec![3]));
         assert!(lru.get("a").is_some());
         assert!(lru.get("b").is_none(), "b was least recently used");
         assert!(lru.get("c").is_some());
@@ -414,16 +749,22 @@ mod tests {
 
     #[test]
     fn lru_enforces_the_byte_budget() {
+        let entry = |data: Vec<u8>| {
+            Arc::new(CachedBody {
+                etag: "\"x\"".to_string(),
+                body: data,
+            })
+        };
         let mut lru = LruCache::new(1000);
         lru.byte_budget = 100;
         // Oversized bodies (over a quarter of the budget) are never cached.
-        lru.insert("huge".to_string(), Arc::new(vec![0; 26]));
+        lru.insert("huge".to_string(), entry(vec![0; 26]));
         assert!(lru.get("huge").is_none());
         assert_eq!(lru.bytes, 0);
         // Within budget, old bodies are evicted to make room by bytes even
         // though the entry-count cap is far away.
         for i in 0..10 {
-            lru.insert(format!("k{i}"), Arc::new(vec![0; 20]));
+            lru.insert(format!("k{i}"), entry(vec![0; 20]));
         }
         assert!(lru.bytes <= 100);
         assert_eq!(lru.len(), 5);
@@ -431,7 +772,7 @@ mod tests {
         assert!(lru.get("k9").is_some());
         // Replacing a key adjusts the byte account instead of leaking it.
         let before = lru.bytes;
-        lru.insert("k9".to_string(), Arc::new(vec![0; 10]));
+        lru.insert("k9".to_string(), entry(vec![0; 10]));
         assert_eq!(lru.bytes, before - 10);
     }
 
@@ -459,6 +800,7 @@ mod tests {
         let body = String::from_utf8_lossy(response.body()).to_string();
         assert!(body.contains("\"status\":\"ok\""));
         assert!(body.contains("\"seed\":1"));
+        assert!(body.contains("\"datasets\":1"));
         assert_eq!(router.request_count(), 1);
     }
 
@@ -481,6 +823,183 @@ mod tests {
         assert!(revalidation.body().is_empty());
         assert_eq!(revalidation.header("etag"), Some(etag.as_str()));
         assert_eq!(router.cache_hit_count(), 1);
+    }
+
+    #[test]
+    fn explicit_default_dataset_is_byte_identical_and_shares_the_etag() {
+        let router = test_router();
+        let implicit = router.handle(&request("GET /v1/report?format=csv HTTP/1.1\r\n\r\n"));
+        let explicit = router.handle(&request(
+            "GET /v1/report?format=csv&dataset=default HTTP/1.1\r\n\r\n",
+        ));
+        assert_eq!(implicit.body(), explicit.body());
+        assert_eq!(implicit.header("etag"), explicit.header("etag"));
+        // …and the second request was a cache hit on the same key.
+        assert_eq!(router.cache_hit_count(), 1);
+    }
+
+    #[test]
+    fn feed_bodies_ingest_into_queryable_datasets() {
+        let router = test_router();
+        let created = router.handle_with_body(
+            &request("PUT /v1/datasets/feed HTTP/1.1\r\n\r\n"),
+            &mut BufferedBody::new(small_feed()),
+        );
+        assert_eq!(
+            created.status(),
+            201,
+            "{}",
+            String::from_utf8_lossy(created.body())
+        );
+        assert!(String::from_utf8_lossy(created.body()).contains("\"entries\":6"));
+
+        // Queryable through the analysis routes…
+        let table = router.handle(&request(
+            "GET /v1/analyses/validity?dataset=feed&format=csv HTTP/1.1\r\n\r\n",
+        ));
+        assert_eq!(table.status(), 200);
+        // …with an ETag distinct from the default dataset's.
+        let default_table = router.handle(&request(
+            "GET /v1/analyses/validity?format=csv HTTP/1.1\r\n\r\n",
+        ));
+        assert_ne!(table.header("etag"), default_table.header("etag"));
+
+        // Listed, inspectable, deletable, then cleanly gone.
+        let list = router.handle(&request("GET /v1/datasets?format=csv HTTP/1.1\r\n\r\n"));
+        assert!(String::from_utf8_lossy(list.body()).contains("feed"));
+        let info = router.handle(&request("GET /v1/datasets/feed HTTP/1.1\r\n\r\n"));
+        assert_eq!(info.status(), 200);
+        assert!(String::from_utf8_lossy(info.body()).contains("\"resident\":true"));
+        let deleted = router.handle(&request("DELETE /v1/datasets/feed HTTP/1.1\r\n\r\n"));
+        assert_eq!(deleted.status(), 200);
+        assert_eq!(
+            router
+                .handle(&request(
+                    "GET /v1/analyses/validity?dataset=feed HTTP/1.1\r\n\r\n"
+                ))
+                .status(),
+            404
+        );
+    }
+
+    #[test]
+    fn cached_bodies_die_with_their_dataset_registration() {
+        let router = test_router();
+        // Same URL before/after delete: the exact cache key must not
+        // resurrect the deleted dataset's body.
+        let path = "GET /v1/analyses/validity?dataset=feed&format=csv HTTP/1.1\r\n\r\n";
+        router.handle_with_body(
+            &request("PUT /v1/datasets/feed HTTP/1.1\r\n\r\n"),
+            &mut BufferedBody::new(small_feed()),
+        );
+        let first = router.handle(&request(path));
+        assert_eq!(first.status(), 200);
+        let again = router.handle(&request(path));
+        assert_eq!(again.body(), first.body(), "second hit is served (cached)");
+        router.handle(&request("DELETE /v1/datasets/feed HTTP/1.1\r\n\r\n"));
+        assert_eq!(
+            router.handle(&request(path)).status(),
+            404,
+            "a deleted dataset's cached body must not be served"
+        );
+
+        // Re-registering the name serves the NEW data, not the old cache
+        // entry: same URL, different registration generation.
+        let created = router.handle(&request("PUT /v1/datasets/feed?seed=3 HTTP/1.1\r\n\r\n"));
+        assert_eq!(created.status(), 201);
+        let rebuilt = router.handle(&request(path));
+        assert_eq!(rebuilt.status(), 200);
+        assert_ne!(
+            rebuilt.header("etag"),
+            first.header("etag"),
+            "the new registration renders fresh bytes with a fresh tag"
+        );
+    }
+
+    #[test]
+    fn synthetic_datasets_register_by_seed() {
+        let router = test_router();
+        let created = router.handle(&request("PUT /v1/datasets/alt?seed=5 HTTP/1.1\r\n\r\n"));
+        assert_eq!(created.status(), 201);
+        let body = router.handle(&request(
+            "GET /v1/analyses/validity?dataset=alt&format=csv HTTP/1.1\r\n\r\n",
+        ));
+        assert_eq!(body.status(), 200);
+        let default_body = router.handle(&request(
+            "GET /v1/analyses/validity?format=csv HTTP/1.1\r\n\r\n",
+        ));
+        // The calibrated generator reproduces the paper's Table I exactly
+        // for any seed, so the *bytes* agree — but the cache entries and
+        // ETags are keyed per dataset.
+        assert_ne!(body.header("etag"), default_body.header("etag"));
+        // Registering the same name again conflicts.
+        assert_eq!(
+            router
+                .handle(&request("PUT /v1/datasets/alt?seed=9 HTTP/1.1\r\n\r\n"))
+                .status(),
+            409
+        );
+        // Bad names and bad seeds are 400s.
+        assert_eq!(
+            router
+                .handle(&request("PUT /v1/datasets/BAD?seed=5 HTTP/1.1\r\n\r\n"))
+                .status(),
+            400
+        );
+        assert_eq!(
+            router
+                .handle(&request("PUT /v1/datasets/ok?seed=nope HTTP/1.1\r\n\r\n"))
+                .status(),
+            400
+        );
+    }
+
+    #[test]
+    fn dataset_deletion_is_gated_and_protects_the_default() {
+        let dataset = datagen::CalibratedGenerator::new(1).generate();
+        let study = Arc::new(Study::from_entries(dataset.entries()));
+        let locked = Router::with_study(
+            study,
+            RouterOptions {
+                seed: 1,
+                ..RouterOptions::default()
+            },
+        );
+        assert_eq!(
+            locked
+                .handle(&request("DELETE /v1/datasets/x HTTP/1.1\r\n\r\n"))
+                .status(),
+            403
+        );
+        let router = test_router();
+        assert_eq!(
+            router
+                .handle(&request("DELETE /v1/datasets/default HTTP/1.1\r\n\r\n"))
+                .status(),
+            403
+        );
+        assert_eq!(
+            router
+                .handle(&request("DELETE /v1/datasets/missing HTTP/1.1\r\n\r\n"))
+                .status(),
+            404
+        );
+    }
+
+    #[test]
+    fn malformed_feeds_and_unknown_datasets_are_client_errors() {
+        let router = test_router();
+        let bad = router.handle_with_body(
+            &request("PUT /v1/datasets/bad HTTP/1.1\r\n\r\n"),
+            &mut BufferedBody::new(b"this is not xml at all".to_vec()),
+        );
+        assert_eq!(bad.status(), 400, "no entry element");
+        assert_eq!(
+            router
+                .handle(&request("GET /v1/report?dataset=nope HTTP/1.1\r\n\r\n"))
+                .status(),
+            404
+        );
     }
 
     #[test]

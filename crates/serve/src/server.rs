@@ -9,7 +9,7 @@
 //! are never cut.
 
 use std::io::{self, ErrorKind, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::http::{RequestParser, Response, MAX_BODY_BYTES};
+use crate::http::{Body, BodyError, RequestParser, Response, StreamBody, MAX_BODY_BYTES};
 use crate::router::Router;
 
 /// Server tuning knobs.
@@ -176,6 +176,25 @@ fn wake_accept_loop(addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
+/// Best-effort RST avoidance when closing a connection whose request body
+/// was never fully read: signal FIN, then discard (bounded, with a short
+/// timeout) whatever the peer keeps sending, so the already-written error
+/// response survives long enough to be read.
+fn lame_duck_drain(stream: &mut TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 8192];
+    let mut budget: usize = 4 * 1024 * 1024;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(n) if n >= budget => break,
+            Ok(n) => budget -= n,
+            Err(_) => break,
+        }
+    }
+}
+
 /// Serves one connection until it closes, errors, exhausts its keep-alive
 /// budget, or the server shuts down.
 fn handle_connection(
@@ -223,38 +242,64 @@ fn handle_connection(
             }
         };
 
-        // Drain (and bound) the request body before answering.
-        let body_length = match request.content_length() {
-            Ok(length) => length,
+        // The body streams through the router: ingestion routes consume it
+        // chunk by chunk (never buffering the whole payload), every other
+        // route leaves it to be drained — bounded — below.
+        let framing = match request.body_framing() {
+            Ok(framing) => framing,
             Err(violation) => {
                 let _ = Response::from(&violation).write_to(&mut stream, false, false);
                 break;
             }
         };
-        if body_length > MAX_BODY_BYTES {
-            let _ =
-                Response::text(413, "request body too large").write_to(&mut stream, false, false);
-            break;
-        }
-        let mut remaining = body_length - parser.drain_body(body_length);
-        while remaining > 0 {
-            let want = remaining.min(chunk.len());
-            match stream.read(&mut chunk[..want]) {
-                Ok(0) => break 'connection,
-                Ok(n) => remaining -= n,
-                Err(_) => break 'connection,
-            }
-        }
-
-        let response = router.handle(&request);
+        let mut body = StreamBody::new(&mut parser, &mut stream, framing);
+        let mut response = router.handle_with_body(&request, &mut body);
         served += 1;
-        let keep_alive = request.keep_alive()
+        let mut keep_alive = request.keep_alive()
             && served < options.max_keep_alive_requests
             && !shutdown.load(Ordering::SeqCst);
+        // Whether unread body bytes remain when the response is written —
+        // closing such a connection needs the lame-duck dance below.
+        let mut body_pending = false;
+        if !body.finished() {
+            if response.status() < 400 {
+                // A route that ignored its body: drain it (bounded) so the
+                // connection stays in sync for the next request.
+                match body.drain(MAX_BODY_BYTES) {
+                    Ok(_) => {}
+                    Err(BodyError::TooLarge { .. }) => {
+                        response = Response::text(413, "request body too large");
+                        keep_alive = false;
+                        body_pending = true;
+                    }
+                    Err(BodyError::Violation(violation)) => {
+                        response = Response::from(&violation);
+                        keep_alive = false;
+                    }
+                    Err(BodyError::Io(_)) => {
+                        keep_alive = false;
+                    }
+                }
+            } else {
+                // An error response to a partially read upload: answer,
+                // then close — the unread body makes keep-alive unsound.
+                keep_alive = false;
+                body_pending = true;
+            }
+        }
         if response
             .write_to(&mut stream, keep_alive, request.method == "HEAD")
             .is_err()
         {
+            break;
+        }
+        if body_pending {
+            // Closing with unread bytes in the receive queue makes the OS
+            // answer the peer's in-flight upload with a RST, which can
+            // destroy the response before the client reads it. Half-close
+            // the write side and drain (bounded) what the peer already
+            // sent so the error diagnostic actually arrives.
+            lame_duck_drain(&mut stream);
             break;
         }
         if shutdown.load(Ordering::SeqCst) {

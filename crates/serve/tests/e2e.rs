@@ -8,6 +8,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use datagen::CalibratedGenerator;
+use nvd_feed::FeedWriter;
+use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
 use osdiv_core::{analysis_sections, renderer, AnalysisId, Format, Params, Study};
 use osdiv_serve::loadgen::{self, read_response, write_request};
 use osdiv_serve::{Router, RouterOptions, Server, ServerHandle, ServerOptions};
@@ -28,12 +30,14 @@ fn study() -> Arc<Study> {
 }
 
 fn start_server(enable_shutdown: bool) -> (Arc<Router>, ServerHandle) {
-    let router = Arc::new(Router::new(
+    let router = Arc::new(Router::with_study(
         study(),
         RouterOptions {
             seed: SEED,
             cache_capacity: 8,
             enable_shutdown,
+            enable_dataset_delete: true,
+            ..RouterOptions::default()
         },
     ));
     let server = Server::bind(
@@ -242,6 +246,191 @@ fn parameterized_requests_hit_the_lru_cache() {
     assert_eq!(reordered.body, first.body);
     assert_eq!(router.cache_hit_count(), hits_before + 2);
 
+    handle.shutdown().unwrap();
+}
+
+/// A small deterministic feed with a validity distribution that cannot
+/// match the calibrated default dataset.
+fn feed_xml() -> Vec<u8> {
+    let entries: Vec<_> = (0..12u32)
+        .map(|i| {
+            VulnerabilityEntry::builder(CveId::new(2004 + (i % 4) as u16, i + 1))
+                .summary(format!("Buffer overflow number {i} in the TCP/IP stack"))
+                .affects_os(if i % 3 == 0 {
+                    OsDistribution::Debian
+                } else if i % 3 == 1 {
+                    OsDistribution::OpenBsd
+                } else {
+                    OsDistribution::Windows2000
+                })
+                .build()
+                .unwrap()
+        })
+        .collect();
+    FeedWriter::new()
+        .write_to_string(&entries)
+        .unwrap()
+        .into_bytes()
+}
+
+#[test]
+fn chunked_feed_upload_becomes_queryable_through_every_analysis_route() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+
+    // Stream the feed in small wire chunks (no Content-Length anywhere).
+    let xml = feed_xml();
+    let chunks: Vec<&[u8]> = xml.chunks(97).collect();
+    let created = loadgen::request_chunked(addr, "PUT", "/v1/datasets/feed", &[], &chunks).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_string());
+    assert!(created.body_string().contains("\"entries\":12"));
+
+    // The dataset is now queryable through every existing analysis route…
+    let reference = {
+        let mut ingester = osdiv_registry::FeedIngester::new(Default::default());
+        ingester.push(&xml).unwrap();
+        Arc::new(ingester.finish().unwrap().into_study())
+    };
+    for id in AnalysisId::ALL {
+        let response = loadgen::get(
+            addr,
+            &format!("/v1/analyses/{}?dataset=feed&format=json", id.name()),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{id}");
+        // …serving exactly the bytes the core renders for that dataset.
+        let sections = analysis_sections(&reference, id, &Params::new()).unwrap();
+        assert_eq!(
+            response.body_string(),
+            renderer(Format::Json).document(&sections),
+            "{id}"
+        );
+    }
+    let report = loadgen::get(addr, "/v1/report?dataset=feed&format=json").unwrap();
+    assert_eq!(report.status, 200);
+    assert_eq!(
+        report.body_string(),
+        reference.report(Format::Json).unwrap()
+    );
+
+    // ETags are keyed per dataset even for identical paths.
+    let feed_tag = loadgen::get(addr, "/v1/analyses/validity?dataset=feed")
+        .unwrap()
+        .header("etag")
+        .unwrap()
+        .to_string();
+    let default_tag = loadgen::get(addr, "/v1/analyses/validity")
+        .unwrap()
+        .header("etag")
+        .unwrap()
+        .to_string();
+    assert_ne!(feed_tag, default_tag);
+
+    // Listing, revalidation, deletion, clean 404.
+    let list = loadgen::get(addr, "/v1/datasets?format=json").unwrap();
+    assert!(list.body_string().contains("feed"));
+    let revalidated = loadgen::get_with_headers(
+        addr,
+        "/v1/analyses/validity?dataset=feed",
+        &[("If-None-Match", &feed_tag)],
+    )
+    .unwrap();
+    assert_eq!(revalidated.status, 304);
+    let deleted = loadgen::request(addr, "DELETE", "/v1/datasets/feed", &[]).unwrap();
+    assert_eq!(deleted.status, 200);
+    assert_eq!(
+        loadgen::get(addr, "/v1/report?dataset=feed")
+            .unwrap()
+            .status,
+        404
+    );
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn default_dataset_urls_are_identical_with_and_without_the_param() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+    for path in [
+        "/v1/report?format=json",
+        "/v1/analyses/validity?format=csv",
+        "/v1/analyses/kway?profile=isolated&max_k=4&format=json",
+    ] {
+        let implicit = loadgen::get(addr, path).unwrap();
+        let explicit = loadgen::get(addr, &format!("{path}&dataset=default")).unwrap();
+        assert_eq!(implicit.status, 200, "{path}");
+        assert_eq!(implicit.body, explicit.body, "{path}");
+        assert_eq!(
+            implicit.header("etag"),
+            explicit.header("etag"),
+            "{path} ETags must agree"
+        );
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn seed_registered_datasets_serve_alternate_studies() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+    let created = loadgen::request(addr, "PUT", "/v1/datasets/alt?seed=7", &[]).unwrap();
+    assert_eq!(created.status, 201);
+    let response = loadgen::get(addr, "/v1/analyses/pairwise?dataset=alt&format=csv").unwrap();
+    assert_eq!(response.status, 200);
+    // Registering over a live name conflicts; invalid names are 400s.
+    assert_eq!(
+        loadgen::request(addr, "PUT", "/v1/datasets/alt?seed=9", &[])
+            .unwrap()
+            .status,
+        409
+    );
+    assert_eq!(
+        loadgen::request(addr, "PUT", "/v1/datasets/Not%20Valid?seed=1", &[])
+            .unwrap()
+            .status,
+        400
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn head_requests_are_supported_by_client_and_server() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+    let get = loadgen::get(addr, "/v1/report?format=csv").unwrap();
+    let head = loadgen::head(addr, "/v1/report?format=csv").unwrap();
+    assert_eq!(head.status, 200);
+    assert!(head.body.is_empty(), "HEAD carries no body");
+    assert_eq!(
+        head.header("content-length").unwrap(),
+        get.body.len().to_string(),
+        "HEAD advertises the representation's length"
+    );
+    assert_eq!(head.header("etag"), get.header("etag"));
+    assert_eq!(head.header("content-type"), get.header("content-type"));
+    // The connection stays usable: a follow-up request on a fresh one-shot
+    // works (and HEAD of an error route mirrors its status).
+    assert_eq!(
+        loadgen::head(addr, "/v1/analyses/nope").unwrap().status,
+        404
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_unconsumed_bodies_answer_413() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+    // A body no route consumes, over MAX_BODY_BYTES: the drain cap kicks
+    // in and the server answers 413 instead of buffering it. (A POST to a
+    // GET-only route answers 405 before the body is even considered.)
+    let huge = vec![b'x'; 80 * 1024];
+    let response =
+        loadgen::request_with_body(addr, "GET", "/v1/report?format=json", &[], &huge).unwrap();
+    assert_eq!(response.status, 413);
+    let post = loadgen::request_with_body(addr, "POST", "/v1/report", &[], b"tiny").unwrap();
+    assert_eq!(post.status, 405);
     handle.shutdown().unwrap();
 }
 

@@ -1,9 +1,14 @@
-//! Property tests of the incremental HTTP request parser: arbitrary header
-//! splits and torn reads across buffer boundaries must parse exactly like
-//! one contiguous read, and malformed or oversized input must map to
-//! 400/431 violations — never a panic.
+//! Property tests of the incremental HTTP request parser and the chunked
+//! body decoder: arbitrary header splits and torn reads across buffer
+//! boundaries must parse exactly like one contiguous read, torn and
+//! pipelined chunked bodies must decode exactly like contiguous ones, and
+//! malformed or oversized input must map to 400/431 violations — never a
+//! panic.
 
-use osdiv_serve::http::{HttpViolation, Request, RequestParser, MAX_REQUEST_LINE_BYTES};
+use osdiv_serve::http::{
+    ChunkedDecoder, HttpViolation, Request, RequestParser, MAX_CHUNK_LINE_BYTES,
+    MAX_REQUEST_LINE_BYTES,
+};
 use proptest::prelude::*;
 
 /// Parses a whole byte string in a single feed.
@@ -79,6 +84,101 @@ proptest! {
         let line = vec![b'a'; MAX_REQUEST_LINE_BYTES + extra];
         let result = torn(&line, chunk);
         prop_assert_eq!(result, Err(HttpViolation::HeadTooLarge));
+    }
+
+    #[test]
+    fn torn_chunked_bodies_decode_exactly_like_contiguous_ones(
+        payload in proptest::collection::vec(0u8..=255u8, 0..300),
+        wire_chunk in 1usize..40,
+        feed_chunk in 1usize..17,
+        pipelined in proptest::collection::vec(0u8..=255u8, 0..40),
+    ) {
+        // Encode the payload as chunked framing in `wire_chunk`-sized
+        // chunks, then append pipelined garbage past the terminator.
+        let mut wire = Vec::new();
+        for piece in payload.chunks(wire_chunk) {
+            wire.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+            wire.extend_from_slice(piece);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let body_len = wire.len();
+        wire.extend_from_slice(&pipelined);
+
+        // Contiguous decode.
+        let mut oneshot = ChunkedDecoder::new();
+        let mut oneshot_sink = Vec::new();
+        let consumed = oneshot.decode(&wire, &mut oneshot_sink).unwrap();
+        prop_assert!(oneshot.is_done());
+        prop_assert_eq!(consumed, body_len, "stops exactly at the terminator");
+        prop_assert_eq!(&oneshot_sink, &payload);
+
+        // Torn decode, `feed_chunk` bytes at a time.
+        let mut torn = ChunkedDecoder::new();
+        let mut torn_sink = Vec::new();
+        let mut offset = 0;
+        for piece in wire.chunks(feed_chunk) {
+            let consumed = torn.decode(piece, &mut torn_sink).unwrap();
+            offset += consumed;
+            if torn.is_done() {
+                break;
+            }
+            prop_assert_eq!(consumed, piece.len(), "incomplete bodies consume everything");
+        }
+        prop_assert!(torn.is_done());
+        prop_assert_eq!(offset, body_len);
+        prop_assert_eq!(&torn_sink, &payload);
+    }
+
+    #[test]
+    fn bad_chunk_size_lines_are_400(garbage in "[g-z!@# ]{1,10}", chunk in 1usize..9) {
+        let wire = format!("{garbage}\r\ndata\r\n0\r\n\r\n");
+        let mut decoder = ChunkedDecoder::new();
+        let mut sink = Vec::new();
+        let mut outcome = Ok(0);
+        for piece in wire.as_bytes().chunks(chunk) {
+            outcome = decoder.decode(piece, &mut sink);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        prop_assert!(
+            matches!(outcome, Err(HttpViolation::BadRequest(_))),
+            "{wire:?} -> {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_chunk_size_lines_are_431(extra in 1usize..64, chunk in 1usize..64) {
+        let line = vec![b'a'; MAX_CHUNK_LINE_BYTES + extra];
+        let mut decoder = ChunkedDecoder::new();
+        let mut sink = Vec::new();
+        let mut outcome = Ok(0);
+        for piece in line.chunks(chunk) {
+            outcome = decoder.decode(piece, &mut sink);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        prop_assert_eq!(outcome, Err(HttpViolation::HeadTooLarge));
+    }
+
+    #[test]
+    fn arbitrary_chunked_input_never_panics(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..300),
+        chunk in 1usize..17,
+    ) {
+        let mut decoder = ChunkedDecoder::new();
+        let mut sink = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            match decoder.decode(piece, &mut sink) {
+                Ok(_) => {}
+                Err(violation) => {
+                    prop_assert!(matches!(violation.status(), 400 | 431));
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

@@ -194,6 +194,47 @@ impl VulnStore {
         self.os_vuln.len()
     }
 
+    /// A rough estimate of the store's resident memory: struct sizes of
+    /// every row plus the owned string payloads. Used by the serving
+    /// registry's capacity accounting, where "roughly proportional to the
+    /// real footprint" is all that matters.
+    pub fn estimated_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += self
+            .vulnerabilities
+            .iter()
+            .map(|row| std::mem::size_of::<VulnerabilityRow>() + row.summary.len())
+            .sum::<usize>();
+        bytes += self.os.len() * std::mem::size_of::<OsRow>();
+        bytes += self
+            .os_vuln
+            .iter()
+            .map(|row| {
+                std::mem::size_of::<OsVulnRow>()
+                    + row
+                        .versions
+                        .iter()
+                        .map(|v| std::mem::size_of::<String>() + v.len())
+                        .sum::<usize>()
+            })
+            .sum::<usize>();
+        bytes += self.cvss.len() * std::mem::size_of::<CvssRow>();
+        bytes += self.by_cve.len() * std::mem::size_of::<(CveId, VulnId)>();
+        bytes += self
+            .by_os
+            .iter()
+            .map(|ids| ids.len() * std::mem::size_of::<VulnId>())
+            .sum::<usize>();
+        bytes += (self.cvss_by_vuln.len() + self.os_vuln_by_vuln.len())
+            * std::mem::size_of::<(VulnId, usize)>();
+        bytes += self
+            .os_vuln_by_vuln
+            .values()
+            .map(|ids| ids.len() * std::mem::size_of::<usize>())
+            .sum::<usize>();
+        bytes
+    }
+
     /// The rows of the `os` table (always the 11 studied distributions).
     pub fn os_rows(&self) -> impl Iterator<Item = &OsRow> {
         self.os.iter()
