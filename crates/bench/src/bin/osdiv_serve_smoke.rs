@@ -10,7 +10,8 @@
 //! loop — generate a small feed with `datagen` + the `nvd-feed` writer,
 //! stream it up as a chunked `PUT /v1/datasets/smoke`, query an analysis
 //! with `?dataset=smoke` (asserting 200 and an ETag distinct from the
-//! default dataset's), `DELETE` it — and finally `POST /v1/shutdown`.
+//! default dataset's), `DELETE` it — checks the `/metrics` counters
+//! recorded the run, and finally `POST /v1/shutdown`.
 //! Exits non-zero with a diagnostic on the first failed expectation; the
 //! workflow then waits on the server process to assert a clean exit.
 //!
@@ -158,7 +159,33 @@ fn run(addr: SocketAddr) -> Result<(), String> {
     let gone = loadgen::get(addr, "/v1/analyses/validity?dataset=smoke").map_err(io)?;
     check(gone.status == 404, "deleted dataset answers 404")?;
 
-    // 6. Graceful shutdown.
+    // 6. Serving counters: /metrics reports the connections, requests and
+    //    bytes this very smoke run generated.
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(metrics.status == 200, "GET /metrics answers 200")?;
+    let exposition = metrics.body_string();
+    for counter in [
+        "osdiv_connections_accepted",
+        "osdiv_requests_served",
+        "osdiv_cache_hits",
+        "osdiv_cache_misses",
+        "osdiv_bytes_out",
+    ] {
+        check(
+            exposition.contains(&format!("# TYPE {counter} counter")),
+            &format!("/metrics exposes {counter}"),
+        )?;
+    }
+    check(
+        !exposition.contains("osdiv_requests_served 0"),
+        "/metrics counted the smoke requests",
+    )?;
+    check(
+        !exposition.contains("osdiv_bytes_out 0\n"),
+        "/metrics counted response bytes",
+    )?;
+
+    // 7. Graceful shutdown.
     let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
     check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;
     Ok(())

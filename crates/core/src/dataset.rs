@@ -1,8 +1,13 @@
 //! The study dataset: a relational store plus the paper's filtered views.
 
+use std::sync::Arc;
+
 use classify::Classifier;
 use nvd_model::{OsDistribution, OsSet, VulnerabilityEntry};
+use parking_lot::RwLock;
 use vulnstore::{VulnId, VulnStore, VulnerabilityRow};
+
+use crate::index::CountIndex;
 
 /// The three server configurations the paper evaluates (Section IV-B).
 ///
@@ -104,9 +109,28 @@ impl Period {
 
 /// The vulnerability dataset of the study, wrapping a [`VulnStore`] and
 /// exposing the filtered queries every analysis is built on.
-#[derive(Debug, Clone, Default)]
+///
+/// The group-count queries (`count_common*`, `count_shared_within*`) are
+/// answered by a lazily built, memoized [`CountIndex`] — an O(1) table
+/// lookup instead of a store scan. The index is dropped whenever the rows
+/// mutate ([`StudyDataset::classify_unlabelled`]) and rebuilt on the next
+/// query.
+#[derive(Debug, Default)]
 pub struct StudyDataset {
     store: VulnStore,
+    /// The memoized count index (`None` until the first count query after
+    /// a build or mutation). Shared by clones — the tables are immutable
+    /// once built.
+    index: RwLock<Option<Arc<CountIndex>>>,
+}
+
+impl Clone for StudyDataset {
+    fn clone(&self) -> Self {
+        StudyDataset {
+            store: self.store.clone(),
+            index: RwLock::new(self.index.read().clone()),
+        }
+    }
 }
 
 impl StudyDataset {
@@ -114,6 +138,7 @@ impl StudyDataset {
     pub fn new() -> Self {
         StudyDataset {
             store: VulnStore::new(),
+            index: RwLock::new(None),
         }
     }
 
@@ -127,7 +152,28 @@ impl StudyDataset {
 
     /// Builds a dataset from a pre-populated store.
     pub fn from_store(store: VulnStore) -> Self {
-        StudyDataset { store }
+        StudyDataset {
+            store,
+            index: RwLock::new(None),
+        }
+    }
+
+    /// The memoized [`CountIndex`] of the dataset, building it on first
+    /// use. The build happens under the write lock, so concurrent first
+    /// calls wait for (and then share) one build instead of redundantly
+    /// transforming the same tables — `Study::run_all` fans eight
+    /// analyses out at once and all of them want the index immediately.
+    pub fn count_index(&self) -> Arc<CountIndex> {
+        if let Some(index) = self.index.read().as_ref() {
+            return Arc::clone(index);
+        }
+        let mut slot = self.index.write();
+        if let Some(index) = slot.as_ref() {
+            return Arc::clone(index);
+        }
+        let built = Arc::new(CountIndex::build(self));
+        *slot = Some(Arc::clone(&built));
+        built
     }
 
     /// The underlying store.
@@ -157,6 +203,11 @@ impl StudyDataset {
             self.store
                 .set_part(id, part)
                 .expect("row ids obtained from the store are valid");
+        }
+        if count > 0 {
+            // Classification changes profile retention; the memoized count
+            // index is stale.
+            *self.index.write() = None;
         }
         count
     }
@@ -208,14 +259,42 @@ impl StudyDataset {
     /// Number of vulnerabilities common to every member of `group` under a
     /// profile, over the whole study period.
     pub fn count_common(&self, group: OsSet, profile: ServerProfile) -> usize {
-        self.common_vulnerabilities(group, profile, Period::Whole)
-            .len()
+        self.count_common_in(group, profile, Period::Whole)
     }
 
     /// Number of vulnerabilities common to every member of `group` under a
-    /// profile, restricted to a period.
+    /// profile, restricted to a period. O(1) via the memoized
+    /// [`CountIndex`].
     pub fn count_common_in(&self, group: OsSet, profile: ServerProfile, period: Period) -> usize {
-        self.common_vulnerabilities(group, profile, period).len()
+        let (first, last) = period.years();
+        self.count_common_years(group, profile, first, last)
+    }
+
+    /// Number of vulnerabilities common to every member of `group` under a
+    /// profile, published in `first..=last` (inclusive). O(1) via the
+    /// memoized [`CountIndex`]; a coarse index (pathological year spans)
+    /// falls back to a scan.
+    pub fn count_common_years(
+        &self,
+        group: OsSet,
+        profile: ServerProfile,
+        first: u16,
+        last: u16,
+    ) -> usize {
+        if let Some(count) = self
+            .count_index()
+            .count_common_years(group, profile, first, last)
+        {
+            return count;
+        }
+        self.store
+            .rows()
+            .filter(|row| {
+                self.retains(row, profile)
+                    && (first..=last).contains(&row.year())
+                    && group.is_subset_of(&row.os_set)
+            })
+            .count()
     }
 
     /// Number of vulnerabilities of a single OS under a profile (the `v(A)`
@@ -234,24 +313,36 @@ impl StudyDataset {
         profile: ServerProfile,
         period: Period,
     ) -> usize {
+        let (first, last) = period.years();
+        self.count_shared_within_years(group, profile, first, last)
+    }
+
+    /// [`StudyDataset::count_shared_within`] over an explicit inclusive
+    /// year window. O(1) via the memoized [`CountIndex`]; a coarse index
+    /// falls back to a scan. A homogeneous configuration (`group.len() <=
+    /// 1`) counts every vulnerability of the single OS, since four
+    /// identical replicas share all of them.
+    pub fn count_shared_within_years(
+        &self,
+        group: OsSet,
+        profile: ServerProfile,
+        first: u16,
+        last: u16,
+    ) -> usize {
+        if let Some(count) = self
+            .count_index()
+            .count_shared_within_years(group, profile, first, last)
+        {
+            return count;
+        }
         if group.len() <= 1 {
-            // A homogeneous configuration: every vulnerability of the single
-            // OS is shared by all replicas.
-            return self
-                .store
-                .rows()
-                .filter(|row| {
-                    self.retains(row, profile)
-                        && period.contains(row.year())
-                        && group.is_subset_of(&row.os_set)
-                })
-                .count();
+            return self.count_common_years(group, profile, first, last);
         }
         self.store
             .rows()
             .filter(|row| {
                 self.retains(row, profile)
-                    && period.contains(row.year())
+                    && (first..=last).contains(&row.year())
                     && row.os_set.intersection(group).len() >= 2
             })
             .count()

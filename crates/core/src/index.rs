@@ -1,0 +1,446 @@
+//! The [`CountIndex`]: O(1) group-count queries via zeta transforms.
+//!
+//! Every diversity statistic of the paper reduces to one of two counting
+//! questions about an OS group `g` under a server profile and a year
+//! period:
+//!
+//! * how many vulnerabilities affect **all** members of `g`
+//!   ([`StudyDataset::count_common_in`]) — rows whose `os_set ⊇ g`;
+//! * how many affect **at least two** members of `g`
+//!   ([`StudyDataset::count_shared_within`]) — rows with
+//!   `|os_set ∩ g| ≥ 2`.
+//!
+//! An [`OsSet`] is an 11-bit mask, so both questions are answerable from
+//! per-mask histograms: the index bins every retained row by its exact
+//! `os_set` bits and publication year, accumulates the bins cumulatively
+//! over years, and runs the classic O(2ⁿ·n) sum-over-supersets (zeta)
+//! transform on each year layer. Two transformed tables are kept per
+//! profile and layer:
+//!
+//! * `superset[mask]` — rows whose `os_set` is a **superset** of `mask`
+//!   (answers `count_common_in` directly);
+//! * `shared2[mask]` — rows whose `os_set` **intersects `mask` in ≥ 2
+//!   members** (answers `count_shared_within`), derived from the dual
+//!   sum-over-subsets transform by inclusion–exclusion:
+//!   `shared2[g] = total − disjoint(g) − exactly_one(g)` with
+//!   `disjoint(g) = subset[!g]` and
+//!   `exactly_one(g) = Σ_{os∈g} subset[!g | os] − subset[!g]`.
+//!
+//! After the build every group count is a table lookup — the k-way
+//! enumeration of Section IV-B drops from `C(11,k)` full store scans per
+//! size to `C(11,k)` array reads.
+//!
+//! Year layers are kept per **distinct publication year present in the
+//! data** (≈ 18 for the study period). A pathological dataset with more
+//! than [`MAX_YEAR_LAYERS`] distinct years (only reachable through crafted
+//! feeds) degrades to a single whole-range layer instead of allocating
+//! unbounded tables; queries the coarse layer cannot answer return `None`
+//! and the caller falls back to a scan.
+
+use nvd_model::{OsDistribution, OsSet};
+
+use crate::dataset::{Period, ServerProfile, StudyDataset};
+
+/// Number of distinct masks an 11-OS universe produces.
+const MASKS: usize = 1 << OsDistribution::COUNT;
+
+/// Upper bound on per-year layers before the index degrades to one
+/// whole-range layer (memory guard against crafted feeds claiming hundreds
+/// of distinct publication years).
+pub const MAX_YEAR_LAYERS: usize = 256;
+
+/// The per-profile transformed tables (see the module docs).
+#[derive(Debug, Clone, Default)]
+struct ProfileTables {
+    /// `superset[layer * MASKS + mask]`: retained rows with year ≤ the
+    /// layer's year whose `os_set ⊇ mask`.
+    superset: Vec<u32>,
+    /// `shared2[layer * MASKS + mask]`: retained rows with year ≤ the
+    /// layer's year whose `os_set` intersects `mask` in at least two
+    /// members.
+    shared2: Vec<u32>,
+    /// `at_least[k]`: retained rows (any year) whose `os_set` has at least
+    /// `k` members.
+    at_least: [u32; OsDistribution::COUNT + 1],
+}
+
+/// The memoized count index of a [`StudyDataset`] (see the module docs).
+///
+/// Built lazily by [`StudyDataset::count_index`] and shared behind an
+/// [`Arc`](std::sync::Arc); a dataset mutation
+/// ([`StudyDataset::classify_unlabelled`]) drops it so the next query
+/// rebuilds against the new rows.
+#[derive(Debug, Clone)]
+pub struct CountIndex {
+    /// The distinct publication years of retained rows, ascending. One
+    /// cumulative table layer per entry — except in coarse mode, where a
+    /// single layer covers the whole range.
+    years: Vec<u16>,
+    /// Whether the tables were collapsed to one whole-range layer (see
+    /// [`MAX_YEAR_LAYERS`]).
+    coarse: bool,
+    /// One table set per [`ServerProfile`], in [`ServerProfile::ALL`]
+    /// order.
+    profiles: [ProfileTables; 3],
+}
+
+/// The index position of a profile in [`CountIndex::profiles`].
+fn profile_slot(profile: ServerProfile) -> usize {
+    match profile {
+        ServerProfile::FatServer => 0,
+        ServerProfile::ThinServer => 1,
+        ServerProfile::IsolatedThinServer => 2,
+    }
+}
+
+/// In-place sum over supersets: afterwards `f[mask] = Σ f[m]` over all
+/// `m ⊇ mask`.
+fn zeta_supersets(f: &mut [u32]) {
+    for bit in 0..OsDistribution::COUNT {
+        let bit = 1usize << bit;
+        for mask in 0..MASKS {
+            if mask & bit == 0 {
+                f[mask] += f[mask | bit];
+            }
+        }
+    }
+}
+
+/// In-place sum over subsets: afterwards `f[mask] = Σ f[m]` over all
+/// `m ⊆ mask`.
+fn zeta_subsets(f: &mut [u32]) {
+    for bit in 0..OsDistribution::COUNT {
+        let bit = 1usize << bit;
+        for mask in 0..MASKS {
+            if mask & bit != 0 {
+                f[mask] += f[mask & !bit];
+            }
+        }
+    }
+}
+
+/// Derives the intersects-in-≥2 table of one layer from its
+/// sum-over-subsets table (see the module docs for the
+/// inclusion–exclusion identity).
+fn shared2_from_subsets(subset: &[u32], out: &mut [u32]) {
+    let full = MASKS - 1;
+    let total = subset[full];
+    for (group, slot) in out.iter_mut().enumerate() {
+        let complement = full & !group;
+        let disjoint = subset[complement];
+        let mut exactly_one = 0u32;
+        let mut bits = group;
+        while bits != 0 {
+            let bit = bits & bits.wrapping_neg();
+            exactly_one += subset[complement | bit] - disjoint;
+            bits &= bits - 1;
+        }
+        *slot = total - disjoint - exactly_one;
+    }
+}
+
+impl CountIndex {
+    /// Builds the index from a dataset in one pass over the store plus the
+    /// per-layer transforms (O(rows + layers · 2ⁿ · n)).
+    pub fn build(dataset: &StudyDataset) -> CountIndex {
+        // One pass over the store: bin every row by (profile, year, mask).
+        let mut facts: Vec<(u16, u16, [bool; 3])> = Vec::new();
+        let mut years: Vec<u16> = Vec::new();
+        for (row, remote) in dataset.store().rows_with_remote() {
+            if !row.is_valid() {
+                continue;
+            }
+            let thin = row.part.map(|p| p.is_base_system()).unwrap_or(true);
+            let retained = [true, thin, thin && remote];
+            facts.push((row.year(), row.os_set.bits(), retained));
+            years.push(row.year());
+        }
+        years.sort_unstable();
+        years.dedup();
+        let coarse = years.len() > MAX_YEAR_LAYERS;
+        let layers = if years.is_empty() {
+            0
+        } else if coarse {
+            1
+        } else {
+            years.len()
+        };
+
+        let mut profiles: [ProfileTables; 3] = Default::default();
+        for (slot, tables) in profiles.iter_mut().enumerate() {
+            // Per-layer histogram of exact masks, cumulative over layers.
+            let mut histogram = vec![0u32; layers * MASKS];
+            for &(year, mask, retained) in &facts {
+                if !retained[slot] {
+                    continue;
+                }
+                let layer = if coarse {
+                    0
+                } else {
+                    years.partition_point(|&y| y < year)
+                };
+                histogram[layer * MASKS + mask as usize] += 1;
+                let members = mask.count_ones() as usize;
+                for count in tables.at_least.iter_mut().take(members + 1) {
+                    *count += 1;
+                }
+            }
+            tables.superset = vec![0u32; layers * MASKS];
+            tables.shared2 = vec![0u32; layers * MASKS];
+            let mut accumulated = vec![0u32; MASKS];
+            let mut scratch = vec![0u32; MASKS];
+            for layer in 0..layers {
+                let slice = layer * MASKS..(layer + 1) * MASKS;
+                for (acc, h) in accumulated.iter_mut().zip(&histogram[slice.clone()]) {
+                    *acc += *h;
+                }
+                let superset = &mut tables.superset[slice.clone()];
+                superset.copy_from_slice(&accumulated);
+                zeta_supersets(superset);
+                scratch.copy_from_slice(&accumulated);
+                zeta_subsets(&mut scratch);
+                shared2_from_subsets(&scratch, &mut tables.shared2[slice]);
+            }
+        }
+        CountIndex {
+            years,
+            coarse,
+            profiles,
+        }
+    }
+
+    /// The distinct publication years the index has layers for.
+    pub fn year_count(&self) -> usize {
+        self.years.len()
+    }
+
+    /// Whether the index degraded to a single whole-range layer (see
+    /// [`MAX_YEAR_LAYERS`]).
+    pub fn is_coarse(&self) -> bool {
+        self.coarse
+    }
+
+    /// Resolves an inclusive year window to the pair of cumulative layer
+    /// boundaries `(lower, upper)` such that the answer is
+    /// `layer(upper − 1) − layer(lower − 1)`. Returns `None` when the
+    /// coarse index cannot answer the window exactly.
+    fn window(&self, first: u16, last: u16) -> Option<(usize, usize)> {
+        if self.years.is_empty() || first > last {
+            return Some((0, 0));
+        }
+        if self.coarse {
+            let (min, max) = (self.years[0], *self.years.last().expect("non-empty"));
+            return if first <= min && last >= max {
+                Some((0, 1))
+            } else if last < min || first > max {
+                Some((0, 0))
+            } else {
+                None
+            };
+        }
+        let lower = self.years.partition_point(|&y| y < first);
+        let upper = self.years.partition_point(|&y| y <= last);
+        Some((lower, upper))
+    }
+
+    /// Reads a cumulative table cell, treating the virtual layer `0` as
+    /// all-zero.
+    fn cell(table: &[u32], boundary: usize, mask: usize) -> u32 {
+        if boundary == 0 {
+            0
+        } else {
+            table[(boundary - 1) * MASKS + mask]
+        }
+    }
+
+    /// Rows retained under `profile` with `os_set ⊇ group` and publication
+    /// year in `first..=last`. `None` when a coarse index cannot answer the
+    /// window exactly (the caller falls back to a scan).
+    pub fn count_common_years(
+        &self,
+        group: OsSet,
+        profile: ServerProfile,
+        first: u16,
+        last: u16,
+    ) -> Option<usize> {
+        let (lower, upper) = self.window(first, last)?;
+        if upper <= lower {
+            return Some(0);
+        }
+        let table = &self.profiles[profile_slot(profile)].superset;
+        let mask = group.bits() as usize;
+        Some((Self::cell(table, upper, mask) - Self::cell(table, lower, mask)) as usize)
+    }
+
+    /// Rows retained under `profile` with `os_set ⊇ group` inside `period`.
+    pub fn count_common_in(
+        &self,
+        group: OsSet,
+        profile: ServerProfile,
+        period: Period,
+    ) -> Option<usize> {
+        let (first, last) = period.years();
+        self.count_common_years(group, profile, first, last)
+    }
+
+    /// Rows retained under `profile` whose `os_set` intersects `group` in
+    /// at least two members, year in `first..=last`. Groups of one (or
+    /// zero) members fall back to the superset count, mirroring
+    /// [`StudyDataset::count_shared_within`]'s homogeneous-configuration
+    /// semantics.
+    pub fn count_shared_within_years(
+        &self,
+        group: OsSet,
+        profile: ServerProfile,
+        first: u16,
+        last: u16,
+    ) -> Option<usize> {
+        if group.len() <= 1 {
+            return self.count_common_years(group, profile, first, last);
+        }
+        let (lower, upper) = self.window(first, last)?;
+        if upper <= lower {
+            return Some(0);
+        }
+        let table = &self.profiles[profile_slot(profile)].shared2;
+        let mask = group.bits() as usize;
+        Some((Self::cell(table, upper, mask) - Self::cell(table, lower, mask)) as usize)
+    }
+
+    /// Rows retained under `profile` whose `os_set` intersects `group` in
+    /// at least two members, inside `period`.
+    pub fn count_shared_within(
+        &self,
+        group: OsSet,
+        profile: ServerProfile,
+        period: Period,
+    ) -> Option<usize> {
+        let (first, last) = period.years();
+        self.count_shared_within_years(group, profile, first, last)
+    }
+
+    /// Rows retained under `profile` (any year) whose `os_set` has at
+    /// least `k` members — the "vulnerabilities affecting ≥ k OSes" column
+    /// of Section IV-B. Always answerable, even by a coarse index.
+    pub fn rows_with_at_least(&self, profile: ServerProfile, k: usize) -> usize {
+        let tables = &self.profiles[profile_slot(profile)];
+        if k > OsDistribution::COUNT {
+            return 0;
+        }
+        tables.at_least[k] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::{CveId, CvssV2, Date, OsPart, VulnerabilityEntry};
+
+    fn entry(
+        number: u32,
+        year: u16,
+        part: Option<OsPart>,
+        remote: bool,
+        oses: &[OsDistribution],
+    ) -> VulnerabilityEntry {
+        let mut builder = VulnerabilityEntry::builder(CveId::new(year, number))
+            .published(Date::new(year, 6, 1).unwrap())
+            .summary(format!("synthetic entry {number}"))
+            .cvss(if remote {
+                CvssV2::typical_remote()
+            } else {
+                CvssV2::typical_local()
+            });
+        if let Some(part) = part {
+            builder = builder.part(part);
+        }
+        for os in oses {
+            builder = builder.affects_os(*os);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn empty_dataset_answers_zero_everywhere() {
+        let index = CountIndex::build(&StudyDataset::new());
+        assert_eq!(index.year_count(), 0);
+        for profile in ServerProfile::ALL {
+            assert_eq!(
+                index.count_common_in(OsSet::all(), profile, Period::Whole),
+                Some(0)
+            );
+            assert_eq!(
+                index.count_shared_within(OsSet::all(), profile, Period::Whole),
+                Some(0)
+            );
+            assert_eq!(index.rows_with_at_least(profile, 0), 0);
+        }
+    }
+
+    #[test]
+    fn superset_and_shared_counts_match_hand_computed_values() {
+        use OsDistribution::*;
+        let dataset = StudyDataset::from_entries(&[
+            entry(1, 2000, Some(OsPart::Kernel), true, &[OpenBsd, NetBsd]),
+            entry(2, 2004, Some(OsPart::Application), true, &[OpenBsd, NetBsd]),
+            entry(3, 2007, Some(OsPart::SystemSoftware), false, &[OpenBsd]),
+            entry(4, 2008, Some(OsPart::Kernel), true, &[NetBsd, FreeBsd]),
+        ]);
+        let index = CountIndex::build(&dataset);
+        let pair = OsSet::pair(OpenBsd, NetBsd);
+        assert_eq!(
+            index.count_common_in(pair, ServerProfile::FatServer, Period::Whole),
+            Some(2)
+        );
+        assert_eq!(
+            index.count_common_in(pair, ServerProfile::ThinServer, Period::Whole),
+            Some(1)
+        );
+        assert_eq!(
+            index.count_common_years(pair, ServerProfile::FatServer, 2001, 2010),
+            Some(1)
+        );
+        let bsd = OsSet::from_iter([OpenBsd, NetBsd, FreeBsd]);
+        assert_eq!(
+            index.count_shared_within(bsd, ServerProfile::FatServer, Period::Whole),
+            Some(3)
+        );
+        assert_eq!(index.rows_with_at_least(ServerProfile::FatServer, 2), 3);
+        assert_eq!(index.rows_with_at_least(ServerProfile::FatServer, 3), 0);
+        assert_eq!(index.rows_with_at_least(ServerProfile::FatServer, 12), 0);
+    }
+
+    #[test]
+    fn coarse_index_answers_whole_range_only() {
+        let entries: Vec<_> = (0..(MAX_YEAR_LAYERS as u32 + 10))
+            .map(|i| {
+                entry(
+                    i + 1,
+                    1000 + i as u16,
+                    Some(OsPart::Kernel),
+                    true,
+                    &[OsDistribution::Debian],
+                )
+            })
+            .collect();
+        let dataset = StudyDataset::from_entries(&entries);
+        let index = CountIndex::build(&dataset);
+        assert!(index.is_coarse());
+        let debian = OsSet::singleton(OsDistribution::Debian);
+        // The whole range (and anything containing it) is exact…
+        assert_eq!(
+            index.count_common_years(debian, ServerProfile::FatServer, 0, u16::MAX),
+            Some(MAX_YEAR_LAYERS + 10)
+        );
+        // …a window entirely outside the data is exactly zero…
+        assert_eq!(
+            index.count_common_years(debian, ServerProfile::FatServer, 3000, 4000),
+            Some(0)
+        );
+        // …and a partial window is not answerable.
+        assert_eq!(
+            index.count_common_years(debian, ServerProfile::FatServer, 1000, 1100),
+            None
+        );
+    }
+}

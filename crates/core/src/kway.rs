@@ -61,21 +61,25 @@ pub struct KWayAnalysis {
 
 impl KWayAnalysis {
     /// Group enumeration is exhaustive (there are at most `C(11, 5) = 462`
-    /// groups per size), matching the paper's methodology.
+    /// groups per size), matching the paper's methodology. Every count is
+    /// an O(1) lookup against the dataset's memoized [`CountIndex`], so
+    /// the whole analysis costs `Σ C(11, k)` table reads instead of as
+    /// many full store scans.
+    ///
+    /// [`CountIndex`]: crate::index::CountIndex
     fn compute_impl(study: &StudyDataset, profile: ServerProfile, max_k: usize) -> Self {
+        let index = study.count_index();
         let mut rows = Vec::new();
         let universe = OsSet::all();
         for k in 2..=max_k {
-            let at_least_k = study
-                .store()
-                .rows()
-                .filter(|row| study.retains(row, profile) && row.os_set.len() >= k)
-                .count();
+            let at_least_k = index.rows_with_at_least(profile, k);
             let mut best: Option<(OsSet, usize)> = None;
             let mut worst: Option<(OsSet, usize)> = None;
             if k <= OsDistribution::COUNT {
                 for group in universe.subsets_of_size(k) {
-                    let count = study.count_common_in(group, profile, Period::Whole);
+                    let count = index
+                        .count_common_in(group, profile, Period::Whole)
+                        .unwrap_or_else(|| study.count_common_in(group, profile, Period::Whole));
                     if best.map(|(_, c)| count < c).unwrap_or(true) {
                         best = Some((group, count));
                     }

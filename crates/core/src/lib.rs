@@ -63,6 +63,7 @@
 pub mod analysis;
 pub mod classes;
 pub mod dataset;
+pub mod index;
 pub mod kway;
 pub mod pairwise;
 pub mod params;
@@ -79,6 +80,7 @@ pub use analysis::{
 };
 pub use classes::{ClassDistribution, ValidityDistribution};
 pub use dataset::{Period, ServerProfile, StudyDataset};
+pub use index::CountIndex;
 pub use kway::{KWayAnalysis, KWayConfig, KWayRow};
 pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseConfig, PairwiseSummary, PartBreakdownRow};
 pub use params::{FromParams, Params};

@@ -114,10 +114,45 @@ impl PairwiseAnalysis {
             .iter()
             .map(|&os| (os, per_profile_totals(study, OsSet::singleton(os))))
             .collect();
+        // Table IV in a single pass over the store: instead of one
+        // row-returning scan per pair (55 scans for the full study), walk
+        // the retained Isolated Thin Server rows once and credit every
+        // configured pair inside each row's affected set. Position of each
+        // OS in the configured order (None: not part of this run).
+        let mut position = [None; OsDistribution::COUNT];
+        for (i, os) in oses.iter().enumerate() {
+            position[os.index()] = Some(i);
+        }
+        let n = oses.len();
+        let mut part_counts = vec![[0usize; 3]; n * n];
+        for row in study.store().rows() {
+            if !study.retains(row, ServerProfile::IsolatedThinServer)
+                || !Period::Whole.contains(row.year())
+            {
+                continue;
+            }
+            let part = match row.part {
+                Some(OsPart::Driver) => 0,
+                Some(OsPart::Kernel) => 1,
+                Some(OsPart::SystemSoftware) => 2,
+                _ => continue,
+            };
+            let members: Vec<usize> = row
+                .os_set
+                .iter()
+                .filter_map(|os| position[os.index()])
+                .collect();
+            for (i, &pi) in members.iter().enumerate() {
+                for &pj in members.iter().skip(i + 1) {
+                    let (lo, hi) = (pi.min(pj), pi.max(pj));
+                    part_counts[lo * n + hi][part] += 1;
+                }
+            }
+        }
         let mut rows = Vec::new();
         let mut breakdown = Vec::new();
         for (i, &(a, v_a)) in totals.iter().enumerate() {
-            for &(b, v_b) in totals.iter().skip(i + 1) {
+            for (j, &(b, v_b)) in totals.iter().enumerate().skip(i + 1) {
                 let pair = OsSet::pair(a, b);
                 let v_ab = per_profile_totals(study, pair);
                 rows.push(PairRow {
@@ -128,19 +163,13 @@ impl PairwiseAnalysis {
                     v_ab,
                 });
 
-                let common = study.common_vulnerabilities(
-                    pair,
-                    ServerProfile::IsolatedThinServer,
-                    Period::Whole,
-                );
-                let count_part =
-                    |part: OsPart| common.iter().filter(|row| row.part == Some(part)).count();
+                let [driver, kernel, system_software] = part_counts[i * n + j];
                 let row = PartBreakdownRow {
                     a,
                     b,
-                    driver: count_part(OsPart::Driver),
-                    kernel: count_part(OsPart::Kernel),
-                    system_software: count_part(OsPart::SystemSoftware),
+                    driver,
+                    kernel,
+                    system_software,
                 };
                 if row.total() > 0 {
                     breakdown.push(row);

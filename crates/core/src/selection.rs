@@ -7,11 +7,14 @@
 //! search over groups, with a configurable scoring criterion) and the
 //! Figure 3 evaluation of specific configurations.
 
+use std::sync::Arc;
+
 use nvd_model::{OsDistribution, OsSet};
 use tabular::TextTable;
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
 use crate::dataset::{Period, ServerProfile, StudyDataset};
+use crate::index::CountIndex;
 use crate::split::TABLE5_OSES;
 use crate::study::Study;
 
@@ -64,6 +67,9 @@ pub struct ConfigurationOutcome {
 #[derive(Debug, Clone)]
 pub struct ReplicaSelection<'a> {
     study: &'a StudyDataset,
+    /// The dataset's memoized count index: every score is an O(1) lookup
+    /// (with a scan fallback through the dataset for coarse indexes).
+    index: Arc<CountIndex>,
     profile: ServerProfile,
     criterion: SelectionCriterion,
     candidates: Vec<OsDistribution>,
@@ -79,10 +85,18 @@ impl<'a> ReplicaSelection<'a> {
     pub fn new(study: &'a StudyDataset) -> Self {
         ReplicaSelection {
             study,
+            index: study.count_index(),
             profile: ServerProfile::IsolatedThinServer,
             criterion: SelectionCriterion::DistinctShared,
             candidates: TABLE5_OSES.to_vec(),
         }
+    }
+
+    /// An O(1) indexed common count with a scan fallback.
+    fn common(&self, group: OsSet, period: Period) -> usize {
+        self.index
+            .count_common_in(group, self.profile, period)
+            .unwrap_or_else(|| self.study.count_common_in(group, self.profile, period))
     }
 
     /// Restricts or widens the candidate OS pool.
@@ -110,22 +124,21 @@ impl<'a> ReplicaSelection<'a> {
                 if group.len() <= 1 {
                     // Four identical replicas: every vulnerability of the OS
                     // is common to all of them.
-                    return self.study.count_common_in(group, self.profile, period);
+                    return self.common(group, period);
                 }
                 let members: Vec<OsDistribution> = group.iter().collect();
                 let mut sum = 0;
                 for (i, &a) in members.iter().enumerate() {
                     for &b in members.iter().skip(i + 1) {
-                        sum += self
-                            .study
-                            .count_common_in(OsSet::pair(a, b), self.profile, period);
+                        sum += self.common(OsSet::pair(a, b), period);
                     }
                 }
                 sum
             }
-            SelectionCriterion::DistinctShared => {
-                self.study.count_shared_within(group, self.profile, period)
-            }
+            SelectionCriterion::DistinctShared => self
+                .index
+                .count_shared_within(group, self.profile, period)
+                .unwrap_or_else(|| self.study.count_shared_within(group, self.profile, period)),
         }
     }
 
@@ -147,7 +160,6 @@ impl<'a> ReplicaSelection<'a> {
         let pool: OsSet = self.candidates.iter().copied().collect();
         let mut scored: Vec<(OsSet, usize)> = pool
             .subsets_of_size(size)
-            .into_iter()
             .map(|group| (group, self.score(group, Period::History)))
             .collect();
         scored.sort_by_key(|(group, score)| (*score, group.bits()));
@@ -162,13 +174,7 @@ impl<'a> ReplicaSelection<'a> {
     pub fn best_single_os(&self) -> (OsDistribution, usize) {
         self.candidates
             .iter()
-            .map(|&os| {
-                (
-                    os,
-                    self.study
-                        .count_common_in(OsSet::singleton(os), self.profile, Period::History),
-                )
-            })
+            .map(|&os| (os, self.common(OsSet::singleton(os), Period::History)))
             .min_by_key(|(os, count)| (*count, os.index()))
             .expect("candidate pool is never empty")
     }

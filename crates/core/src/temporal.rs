@@ -1,10 +1,10 @@
 //! Temporal distribution of vulnerability publications (Figure 2).
 
-use nvd_model::{OsDistribution, OsFamily};
+use nvd_model::{OsDistribution, OsFamily, OsSet};
 use tabular::{Series, SeriesSet, YearHistogram};
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisId, Section};
-use crate::dataset::StudyDataset;
+use crate::dataset::{ServerProfile, StudyDataset};
 use crate::params::{FromParams, Params};
 use crate::study::Study;
 
@@ -55,13 +55,19 @@ pub struct TemporalAnalysis {
 
 impl TemporalAnalysis {
     fn compute_impl(study: &StudyDataset, first_year: u16, last_year: u16) -> Self {
+        // Per-(OS, year) counts are O(1) lookups against the memoized count
+        // index (Fat Server retention is exactly the validity filter this
+        // analysis applies). The boundary buckets absorb the years outside
+        // the configured axis, matching [`YearHistogram::add`]'s clamping.
         let mut histograms = Vec::with_capacity(OsDistribution::COUNT);
         for os in OsDistribution::ALL {
             let mut histogram = YearHistogram::new(first_year, last_year);
-            for row in study.store().vulnerabilities_for_os(os) {
-                if row.is_valid() {
-                    histogram.add(row.year());
-                }
+            let group = OsSet::singleton(os);
+            for year in first_year..=last_year {
+                let from = if year == first_year { 0 } else { year };
+                let to = if year == last_year { u16::MAX } else { year };
+                let count = study.count_common_years(group, ServerProfile::FatServer, from, to);
+                histogram.add_n(year, count as u64);
             }
             histograms.push((os, histogram));
         }

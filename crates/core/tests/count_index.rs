@@ -1,0 +1,237 @@
+//! Equivalence suite for the zeta-transform [`CountIndex`]: for random
+//! datasets, the indexed answers of every counting query must equal a
+//! naive scan of the store — for random masks × **all** profiles × random
+//! year windows, including degenerate and out-of-range windows.
+
+use osdiv_core::{Period, ServerProfile, StudyDataset};
+
+use nvd_model::{CveId, CvssV2, Date, OsPart, OsSet, Validity, VulnerabilityEntry};
+use proptest::prelude::*;
+use vulnstore::VulnerabilityRow;
+
+/// One randomly drawn vulnerability: year, affected mask, part, access
+/// vector and validity.
+#[derive(Debug, Clone)]
+struct RawEntry {
+    year: u16,
+    mask: u16,
+    part: Option<OsPart>,
+    remote: bool,
+    valid: bool,
+}
+
+fn raw_entry() -> impl Strategy<Value = RawEntry> {
+    (
+        1990u16..2015,
+        0u16..(1 << 11),
+        prop_oneof![
+            Just(None),
+            Just(Some(OsPart::Driver)),
+            Just(Some(OsPart::Kernel)),
+            Just(Some(OsPart::SystemSoftware)),
+            Just(Some(OsPart::Application)),
+        ],
+        (0u8..2).prop_map(|b| b == 1),
+        (0u8..2).prop_map(|b| b == 1),
+    )
+        .prop_map(|(year, mask, part, remote, valid)| RawEntry {
+            year,
+            mask,
+            part,
+            remote,
+            valid,
+        })
+}
+
+fn dataset_from(raws: &[RawEntry]) -> StudyDataset {
+    let entries: Vec<VulnerabilityEntry> = raws
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| {
+            let mut builder = VulnerabilityEntry::builder(CveId::new(raw.year, i as u32 + 1))
+                .published(Date::new(raw.year, 6, 1).unwrap())
+                .summary(format!("synthetic vulnerability {i}"))
+                .affects_set(OsSet::from_bits(raw.mask))
+                .cvss(if raw.remote {
+                    CvssV2::typical_remote()
+                } else {
+                    CvssV2::typical_local()
+                });
+            if let Some(part) = raw.part {
+                builder = builder.part(part);
+            }
+            let mut entry = builder.build().unwrap();
+            if !raw.valid {
+                entry.set_validity(Validity::Unspecified);
+            }
+            entry
+        })
+        .collect();
+    StudyDataset::from_entries(&entries)
+}
+
+/// The reference implementation: a full scan of the store with the same
+/// retention predicate the dataset applies.
+fn scan_common(
+    dataset: &StudyDataset,
+    group: OsSet,
+    profile: ServerProfile,
+    first: u16,
+    last: u16,
+) -> usize {
+    dataset
+        .store()
+        .rows()
+        .filter(|row| {
+            dataset.retains(row, profile)
+                && (first..=last).contains(&row.year())
+                && group.is_subset_of(&row.os_set)
+        })
+        .count()
+}
+
+fn scan_shared_within(
+    dataset: &StudyDataset,
+    group: OsSet,
+    profile: ServerProfile,
+    first: u16,
+    last: u16,
+) -> usize {
+    let wanted = |row: &&VulnerabilityRow| {
+        dataset.retains(row, profile) && (first..=last).contains(&row.year())
+    };
+    if group.len() <= 1 {
+        return scan_common(dataset, group, profile, first, last);
+    }
+    dataset
+        .store()
+        .rows()
+        .filter(wanted)
+        .filter(|row| row.os_set.intersection(group).len() >= 2)
+        .count()
+}
+
+fn scan_at_least(dataset: &StudyDataset, profile: ServerProfile, k: usize) -> usize {
+    dataset
+        .store()
+        .rows()
+        .filter(|row| dataset.retains(row, profile) && row.os_set.len() >= k)
+        .count()
+}
+
+proptest! {
+    #[test]
+    fn indexed_counts_match_the_naive_scan(
+        raws in proptest::collection::vec(raw_entry(), 0..60),
+        group_bits in 0u16..(1 << 11),
+        window in (1985u16..2020, 1985u16..2020),
+    ) {
+        let dataset = dataset_from(&raws);
+        let group = OsSet::from_bits(group_bits);
+        // Both orientations: a window and its (possibly empty) reverse.
+        for (first, last) in [window, (window.1, window.0)] {
+            for profile in ServerProfile::ALL {
+                prop_assert_eq!(
+                    dataset.count_common_years(group, profile, first, last),
+                    scan_common(&dataset, group, profile, first, last),
+                    "common {group} {profile:?} {first}..={last}"
+                );
+                prop_assert_eq!(
+                    dataset.count_shared_within_years(group, profile, first, last),
+                    scan_shared_within(&dataset, group, profile, first, last),
+                    "shared {group} {profile:?} {first}..={last}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_period_queries_match_the_naive_scan(
+        raws in proptest::collection::vec(raw_entry(), 0..60),
+        group_bits in 0u16..(1 << 11),
+    ) {
+        let dataset = dataset_from(&raws);
+        let group = OsSet::from_bits(group_bits);
+        for period in [Period::History, Period::Observed, Period::Whole] {
+            let (first, last) = period.years();
+            for profile in ServerProfile::ALL {
+                prop_assert_eq!(
+                    dataset.count_common_in(group, profile, period),
+                    scan_common(&dataset, group, profile, first, last)
+                );
+                prop_assert_eq!(
+                    dataset.count_shared_within(group, profile, period),
+                    scan_shared_within(&dataset, group, profile, first, last)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_popcount_totals_match_the_naive_scan(
+        raws in proptest::collection::vec(raw_entry(), 0..60),
+    ) {
+        let dataset = dataset_from(&raws);
+        let index = dataset.count_index();
+        for profile in ServerProfile::ALL {
+            for k in 0..=12 {
+                prop_assert_eq!(
+                    index.rows_with_at_least(profile, k),
+                    scan_at_least(&dataset, profile, k),
+                    "at_least {profile:?} k={}", k
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coarse_datasets_fall_back_to_exact_scans() {
+    // More than MAX_YEAR_LAYERS distinct years: the index degrades to one
+    // whole-range layer and the dataset methods must transparently answer
+    // narrow windows by scanning.
+    let raws: Vec<RawEntry> = (0..300)
+        .map(|i| RawEntry {
+            year: 1200 + i as u16 * 2,
+            mask: 1 << (i % 11),
+            part: Some(OsPart::Kernel),
+            remote: i % 3 != 0,
+            valid: true,
+        })
+        .collect();
+    let dataset = dataset_from(&raws);
+    assert!(dataset.count_index().is_coarse());
+    let group = OsSet::from_bits(0b1);
+    for profile in ServerProfile::ALL {
+        for (first, last) in [(0, u16::MAX), (1200, 1300), (1500, 1400), (1795, 1799)] {
+            assert_eq!(
+                dataset.count_common_years(group, profile, first, last),
+                scan_common(&dataset, group, profile, first, last),
+                "{profile:?} {first}..={last}"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_index_is_memoized_and_invalidated_on_classification() {
+    let raws = vec![RawEntry {
+        year: 2005,
+        mask: 0b11,
+        part: None,
+        remote: true,
+        valid: true,
+    }];
+    let mut dataset = dataset_from(&raws);
+    let first = dataset.count_index();
+    let again = dataset.count_index();
+    assert!(std::sync::Arc::ptr_eq(&first, &again), "index is memoized");
+    // A clone shares the already built tables…
+    let cloned = dataset.clone();
+    assert!(std::sync::Arc::ptr_eq(&first, &cloned.count_index()));
+    // …and classification drops them (retention may change).
+    let classified = dataset.classify_unlabelled(&classify::Classifier::with_default_rules());
+    assert_eq!(classified, 1);
+    let rebuilt = dataset.count_index();
+    assert!(!std::sync::Arc::ptr_eq(&first, &rebuilt));
+}

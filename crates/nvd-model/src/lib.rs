@@ -58,7 +58,7 @@ pub use cvss::{AccessComplexity, AccessVector, Authentication, CvssV2, ImpactMet
 pub use date::Date;
 pub use entry::{AffectedProduct, OsPart, Validity, VulnerabilityEntry, VulnerabilityEntryBuilder};
 pub use error::ModelError;
-pub use os::{OsDistribution, OsFamily, OsRelease, OsSet, OsSetIter};
+pub use os::{OsDistribution, OsFamily, OsRelease, OsSet, OsSetIter, SubsetsOfSize};
 
 /// Convenience result alias used across the crate.
 pub type Result<T, E = ModelError> = std::result::Result<T, E>;

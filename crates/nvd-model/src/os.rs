@@ -559,11 +559,14 @@ impl OsSet {
         OsSet(bits & Self::FULL_MASK)
     }
 
-    /// Enumerates every subset of `self` with exactly `k` members.
+    /// Enumerates every subset of `self` with exactly `k` members,
+    /// lazily.
     ///
-    /// Used by the k-OS combination analysis (Section IV-B). The number of
-    /// subsets is `C(len, k)`, at most `C(11, 5) = 462`, so the result is
-    /// collected into a `Vec`.
+    /// Used by the k-OS combination analysis (Section IV-B). The iterator
+    /// advances with Gosper's hack (next k-combination in ascending mask
+    /// order) over a compacted universe of the set's members, so no
+    /// intermediate `Vec` is allocated — there are `C(len, k)` subsets, up
+    /// to `C(11, 5) = 462`, and the iterator is [`ExactSizeIterator`].
     ///
     /// # Example
     ///
@@ -572,36 +575,35 @@ impl OsSet {
     /// let all = OsSet::all();
     /// assert_eq!(all.subsets_of_size(2).len(), 55); // the 55 OS pairs
     /// ```
-    pub fn subsets_of_size(&self, k: usize) -> Vec<OsSet> {
-        let members: Vec<OsDistribution> = self.iter().collect();
-        let mut result = Vec::new();
-        if k > members.len() {
-            return result;
+    pub fn subsets_of_size(&self, k: usize) -> SubsetsOfSize {
+        let mut member_bits = [0u16; OsDistribution::COUNT];
+        let mut n = 0usize;
+        let mut bits = self.0;
+        while bits != 0 {
+            member_bits[n] = bits & bits.wrapping_neg();
+            bits &= bits - 1;
+            n += 1;
         }
-        // Iterative combination enumeration over member indexes.
-        let mut idx: Vec<usize> = (0..k).collect();
-        loop {
-            result.push(idx.iter().map(|&i| members[i]).collect());
-            // Advance to the next combination.
-            let mut i = k;
-            loop {
-                if i == 0 {
-                    return result;
-                }
-                i -= 1;
-                if idx[i] != i + members.len() - k {
-                    idx[i] += 1;
-                    for j in i + 1..k {
-                        idx[j] = idx[j - 1] + 1;
-                    }
-                    break;
-                }
-            }
-            if k == 0 {
-                return result;
-            }
+        SubsetsOfSize {
+            member_bits,
+            remaining: binomial(n, k),
+            compact: if k == 0 || k > n { 0 } else { (1u32 << k) - 1 },
         }
     }
+}
+
+/// `C(n, k)` for the tiny arguments [`OsSet::subsets_of_size`] needs
+/// (`n ≤ 11`).
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
 }
 
 impl FromIterator<OsDistribution> for OsSet {
@@ -652,6 +654,56 @@ impl fmt::Display for OsSet {
         write!(f, "}}")
     }
 }
+
+/// Lazy iterator over the `k`-member subsets of an [`OsSet`], produced by
+/// [`OsSet::subsets_of_size`].
+///
+/// Internally a Gosper's-hack walk over compact `k`-of-`n` combination
+/// masks (ascending mask order), mapped back to the universe bits of the
+/// originating set on each step.
+#[derive(Debug, Clone)]
+pub struct SubsetsOfSize {
+    /// The isolated universe bit of each member of the originating set,
+    /// in ascending bit order (only the first `n` entries are used).
+    member_bits: [u16; OsDistribution::COUNT],
+    /// Subsets not yet yielded (`C(n, k)` at construction).
+    remaining: usize,
+    /// The current compact combination mask (bit `i` selects
+    /// `member_bits[i]`).
+    compact: u32,
+}
+
+impl Iterator for SubsetsOfSize {
+    type Item = OsSet;
+
+    fn next(&mut self) -> Option<OsSet> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Expand the compact combination into universe bits.
+        let mut mask = 0u16;
+        let mut compact = self.compact;
+        while compact != 0 {
+            mask |= self.member_bits[compact.trailing_zeros() as usize];
+            compact &= compact - 1;
+        }
+        if self.remaining > 0 {
+            // Gosper's hack: the next integer with the same popcount.
+            let c = self.compact;
+            let lowest = c & c.wrapping_neg();
+            let ripple = c + lowest;
+            self.compact = (((ripple ^ c) >> 2) / lowest) | ripple;
+        }
+        Some(OsSet(mask))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SubsetsOfSize {}
 
 /// Iterator over the members of an [`OsSet`], produced by [`OsSet::iter`].
 #[derive(Debug, Clone)]

@@ -15,16 +15,42 @@
 //! Section III-B step, mirroring the `feed_pipeline` example) and returns
 //! the [`StudyDataset`] ready to wrap in a [`Study`].
 //!
+//! # Parallel entry parsing
+//!
+//! The boundary scanner is inherently sequential, but XML parsing — the
+//! dominant cost of an ingestion — is not: on a multi-core host the
+//! carved `<entry>` strings are fanned out to a small worker pool over a
+//! **bounded** [`mpsc`] channel (the carver blocks once `PIPELINE_DEPTH`
+//! fragments are in flight, so transient memory stays at "a few entries"
+//! even when a caller pushes the whole feed in one chunk) and parsed
+//! concurrently, while the scanner keeps carving the next chunk. Results
+//! carry their carve sequence number and are re-ordered before
+//! insertion — harvested between fragments, not at the end of a push —
+//! so the loaded store is **identical** to a sequential ingestion
+//! (insertion order determines row ids and duplicate-merge semantics). One consequence of pipelining: a
+//! malformed-XML error discovered by a worker may surface on a *later*
+//! [`push`](FeedIngester::push) than the chunk that carried the broken
+//! entry, or at [`finish`](FeedIngester::finish) — always the error of
+//! the **first** broken entry in feed order, deterministically. Budget
+//! violations are still detected synchronously at carve time. On a
+//! single-core host (or with [`FeedIngester::with_workers`] `== 0`)
+//! parsing stays inline and errors surface exactly as before.
+//!
 //! Known limitation: entry boundaries are recognized textually (with
 //! quote-aware tag scanning), so a literal `</entry>` *inside a CDATA
 //! section* would split an entry early — the fragment then fails to parse
 //! and is counted as skipped, never mis-attributed. NVD feeds escape
 //! character data and do not hit this.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
 
 use classify::Classifier;
 use nvd_feed::{FeedError, FeedReader};
+use nvd_model::VulnerabilityEntry;
 use osdiv_core::{Study, StudyDataset};
 use vulnstore::VulnStore;
 
@@ -152,8 +178,107 @@ impl IngestOutcome {
 enum ScanState {
     /// Looking for the next `<entry` open tag.
     Scanning,
-    /// Buffering one entry element (the buffer starts at its `<entry`).
-    InEntry,
+    /// Buffering one entry element (the buffer starts at its `<entry`),
+    /// with the scanner's resume point so a large entry arriving in many
+    /// small chunks is examined once, not re-scanned from byte 0 per
+    /// chunk (which would be quadratic in the number of reads).
+    InEntry(EntryScan),
+}
+
+/// Incremental progress through one buffered entry element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct EntryScan {
+    /// Position of the start tag's `>`, once seen.
+    tag_end: Option<usize>,
+    /// First unexamined byte of the current phase (start-tag walk, then
+    /// close-tag search).
+    resume: usize,
+    /// Open quote inside the start tag, carried across chunk boundaries.
+    quote: Option<u8>,
+}
+
+/// One parse result travelling back from the worker pool, tagged with its
+/// carve sequence number so insertion can be re-ordered to feed order.
+type ParseResult = (u64, Result<Option<VulnerabilityEntry>, FeedError>);
+
+/// How many carved fragments may sit in the job queue before the
+/// coordinator blocks. The bound is what keeps a pipelined ingestion's
+/// transient memory at "a few entries" instead of "the whole feed": a fast
+/// producer (one giant `push`, or 64 KiB file reads) would otherwise
+/// outrun the workers and queue every fragment at once.
+const PIPELINE_DEPTH: usize = 16;
+
+/// The worker-pool half of a pipelined ingestion (see the module docs).
+#[derive(Debug)]
+struct ParsePipeline {
+    /// Carved fragments travel to the pool over a **bounded** channel
+    /// (backpressure, see [`PIPELINE_DEPTH`]); dropping the sender closes
+    /// it.
+    sender: Option<mpsc::SyncSender<(u64, String)>>,
+    results: mpsc::Receiver<ParseResult>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ParsePipeline {
+    fn start(workers: usize) -> ParsePipeline {
+        let (sender, jobs) = mpsc::sync_channel::<(u64, String)>(PIPELINE_DEPTH);
+        let (result_sender, results) = mpsc::channel::<ParseResult>();
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..workers)
+            .map(|_| {
+                let jobs = Arc::clone(&jobs);
+                let results = result_sender.clone();
+                thread::spawn(move || {
+                    // A worker-local lenient reader: skip bookkeeping is
+                    // done by the coordinator from the `Ok(None)` results.
+                    let mut reader = FeedReader::new();
+                    loop {
+                        let job = { jobs.lock().expect("no panics hold the job lock").recv() };
+                        match job {
+                            Err(_) => return, // channel closed: ingestion over
+                            Ok((seq, fragment)) => {
+                                let parsed = reader.read_entry_str(&fragment);
+                                if results.send((seq, parsed)).is_err() {
+                                    return; // coordinator gone
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        ParsePipeline {
+            sender: Some(sender),
+            results,
+            workers,
+        }
+    }
+
+    fn submit(&self, seq: u64, fragment: String) {
+        // Blocks when PIPELINE_DEPTH jobs are in flight — the workers are
+        // always draining, so this is backpressure, not a deadlock (the
+        // result channel is never full). A send only fails after every
+        // worker exited, which cannot happen while the job channel is
+        // open.
+        let _ = self
+            .sender
+            .as_ref()
+            .expect("submit is never called after close")
+            .send((seq, fragment));
+    }
+
+    /// Closes the job channel and collects every outstanding result.
+    fn drain(mut self) -> Vec<ParseResult> {
+        self.sender = None;
+        let mut collected = Vec::new();
+        while let Ok(result) = self.results.recv() {
+            collected.push(result);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        collected
+    }
 }
 
 /// The push-based streaming feed ingester (see the module docs).
@@ -189,11 +314,35 @@ pub struct FeedIngester {
     seen: usize,
     /// Entries inserted into the store.
     inserted: usize,
+    /// Entry elements the lenient reader dropped as malformed.
+    skipped: usize,
+    /// The worker pool (`None`: inline parsing).
+    pipeline: Option<ParsePipeline>,
+    /// Results parsed out of order, waiting for their predecessors.
+    pending: BTreeMap<u64, Result<Option<VulnerabilityEntry>, FeedError>>,
+    /// The carve sequence number of the next entry to insert.
+    next_insert: u64,
+    /// The first (in feed order) parse error, once everything before it
+    /// was inserted.
+    failed: Option<FeedError>,
 }
 
 impl FeedIngester {
     /// An empty ingester with the given budget and a lenient reader.
+    /// Parsing is pipelined over a small worker pool when the host has
+    /// more than one core (see [`FeedIngester::with_workers`]).
     pub fn new(budget: IngestBudget) -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .saturating_sub(1)
+            .min(4);
+        Self::with_workers(budget, workers)
+    }
+
+    /// An empty ingester parsing on exactly `workers` pool threads
+    /// (`0`: inline, strictly sequential parsing).
+    pub fn with_workers(budget: IngestBudget, workers: usize) -> Self {
         FeedIngester {
             budget,
             reader: FeedReader::new(),
@@ -203,6 +352,11 @@ impl FeedIngester {
             feed_bytes: 0,
             seen: 0,
             inserted: 0,
+            skipped: 0,
+            pipeline: (workers > 0).then(|| ParsePipeline::start(workers)),
+            pending: BTreeMap::new(),
+            next_insert: 0,
+            failed: None,
         }
     }
 
@@ -230,16 +384,103 @@ impl FeedIngester {
     /// Budget violations ([`IngestError::BodyTooLarge`],
     /// [`IngestError::TooManyEntries`], [`IngestError::EntryTooLarge`]) and
     /// malformed-XML [`IngestError::Feed`] errors abort the ingestion; the
-    /// ingester must be discarded afterwards.
+    /// ingester must be discarded afterwards. With a worker pool, a
+    /// malformed-XML error may surface on a later `push` than the chunk
+    /// that carried the broken entry, or at
+    /// [`finish`](FeedIngester::finish) (see the module docs).
     pub fn push(&mut self, chunk: &[u8]) -> Result<(), IngestError> {
+        self.take_failure()?;
         self.feed_bytes += chunk.len();
         if self.feed_bytes > self.budget.max_bytes {
-            return Err(IngestError::BodyTooLarge {
+            return Err(self.budget_error(IngestError::BodyTooLarge {
                 limit: self.budget.max_bytes,
-            });
+            }));
         }
         self.buffer.extend_from_slice(chunk);
-        self.scan()
+        self.scan()?;
+        self.drain_ready()
+    }
+
+    /// Pulls every already finished worker result (without blocking) and
+    /// settles what arrived in feed order.
+    fn drain_ready(&mut self) -> Result<(), IngestError> {
+        self.collect_ready();
+        self.take_failure()
+    }
+
+    /// The non-failing half of [`FeedIngester::drain_ready`]: harvest
+    /// finished results and fold the in-order prefix into the store. Also
+    /// called after every carved fragment, so parsed entries never pile up
+    /// behind a long-running `push`.
+    fn collect_ready(&mut self) {
+        if let Some(pipeline) = &self.pipeline {
+            while let Ok((seq, result)) = pipeline.results.try_recv() {
+                self.pending.insert(seq, result);
+            }
+        }
+        self.settle_pending();
+    }
+
+    /// Inserts pending results whose predecessors have all been applied,
+    /// strictly in carve order — the loaded store is identical to a
+    /// sequential ingestion.
+    fn settle_pending(&mut self) {
+        while self.failed.is_none() {
+            let Some(result) = self.pending.remove(&self.next_insert) else {
+                break;
+            };
+            self.next_insert += 1;
+            match result {
+                Ok(Some(entry)) => {
+                    self.store.insert_entry(&entry);
+                    self.inserted += 1;
+                }
+                Ok(None) => self.skipped += 1,
+                Err(error) => self.failed = Some(error),
+            }
+        }
+    }
+
+    /// Surfaces the first-in-feed-order parse failure, once.
+    fn take_failure(&mut self) -> Result<(), IngestError> {
+        match self.failed.take() {
+            Some(error) => Err(IngestError::Feed(error)),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks until every already submitted fragment has settled (or a
+    /// failure surfaced). Called before reporting a budget violation:
+    /// everything in flight was carved *earlier* in the feed, so an
+    /// in-flight parse error there must win over the budget error —
+    /// exactly what a sequential ingestion would have reported.
+    fn await_in_flight(&mut self) {
+        loop {
+            self.settle_pending();
+            if self.failed.is_some() || self.next_insert >= self.seen as u64 {
+                return;
+            }
+            let received = match &self.pipeline {
+                Some(pipeline) => pipeline.results.recv().ok(),
+                None => None,
+            };
+            match received {
+                Some((seq, result)) => {
+                    self.pending.insert(seq, result);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Resolves a budget violation against the in-flight parses: an
+    /// earlier (feed-order) parse failure takes precedence.
+    fn budget_error(&mut self, violation: IngestError) -> IngestError {
+        self.await_in_flight();
+        match self.failed.take() {
+            Some(error) => IngestError::Feed(error),
+            None => violation,
+        }
     }
 
     /// Processes every complete entry element currently buffered.
@@ -249,7 +490,7 @@ impl FeedIngester {
                 ScanState::Scanning => match find_entry_open(&self.buffer) {
                     EntryOpen::At(offset) => {
                         self.buffer.drain(..offset);
-                        self.state = ScanState::InEntry;
+                        self.state = ScanState::InEntry(EntryScan::default());
                     }
                     EntryOpen::Partial(offset) => {
                         self.buffer.drain(..offset);
@@ -262,70 +503,90 @@ impl FeedIngester {
                         return Ok(());
                     }
                 },
-                ScanState::InEntry => {
-                    let Some(end) = find_entry_end(&self.buffer) else {
+                ScanState::InEntry(mut entry_scan) => {
+                    let end = find_entry_end(&self.buffer, &mut entry_scan);
+                    self.state = ScanState::InEntry(entry_scan);
+                    let Some(end) = end else {
                         if self.buffer.len() > self.budget.max_entry_bytes {
-                            return Err(IngestError::EntryTooLarge {
+                            return Err(self.budget_error(IngestError::EntryTooLarge {
                                 limit: self.budget.max_entry_bytes,
-                            });
+                            }));
                         }
                         return Ok(());
                     };
                     if end > self.budget.max_entry_bytes {
-                        return Err(IngestError::EntryTooLarge {
+                        return Err(self.budget_error(IngestError::EntryTooLarge {
                             limit: self.budget.max_entry_bytes,
-                        });
+                        }));
                     }
                     self.process_fragment(end)?;
                     self.buffer.drain(..end);
                     self.state = ScanState::Scanning;
+                    // Harvest finished parses between fragments so a large
+                    // single push cannot pile every parsed entry up in
+                    // `pending` — transient memory stays at pipeline depth.
+                    self.collect_ready();
+                    if self.failed.is_some() {
+                        // A parse failure is already settled: stop carving
+                        // (and budget-counting) the rest of the chunk, so
+                        // the feed-order-first error reaches the caller
+                        // instead of being masked by a later budget
+                        // violation — and nothing parses for nothing.
+                        return Ok(());
+                    }
                 }
             }
         }
     }
 
-    /// Parses `self.buffer[..end]` as one entry element and loads it.
+    /// Parses `self.buffer[..end]` as one entry element — on the worker
+    /// pool when one is running, inline otherwise.
     fn process_fragment(&mut self, end: usize) -> Result<(), IngestError> {
         if self.seen >= self.budget.max_entries {
-            return Err(IngestError::TooManyEntries {
+            return Err(self.budget_error(IngestError::TooManyEntries {
                 limit: self.budget.max_entries,
-            });
+            }));
         }
+        let seq = self.seen as u64;
         self.seen += 1;
         let fragment = std::str::from_utf8(&self.buffer[..end])
             .map_err(|_| IngestError::Feed(FeedError::schema(None, "entry is not valid UTF-8")))?;
-        if let Some(entry) = self.reader.read_entry_str(fragment)? {
-            self.store.insert_entry(&entry);
-            self.inserted += 1;
+        match &self.pipeline {
+            Some(pipeline) => pipeline.submit(seq, fragment.to_string()),
+            None => {
+                let parsed = self.reader.read_entry_str(fragment);
+                self.pending.insert(seq, parsed);
+            }
         }
         Ok(())
     }
 
-    /// Finishes the ingestion: fails on a truncated or empty feed,
-    /// classifies unlabelled rows, and returns the loaded dataset.
-    pub fn finish(self) -> Result<IngestOutcome, IngestError> {
-        if self.state == ScanState::InEntry {
+    /// Finishes the ingestion: waits for the worker pool to drain, fails
+    /// on a parse error, a truncated or an empty feed, classifies
+    /// unlabelled rows, and returns the loaded dataset.
+    pub fn finish(mut self) -> Result<IngestOutcome, IngestError> {
+        if let Some(pipeline) = self.pipeline.take() {
+            for (seq, result) in pipeline.drain() {
+                self.pending.insert(seq, result);
+            }
+        }
+        self.settle_pending();
+        self.take_failure()?;
+        if matches!(self.state, ScanState::InEntry(_)) {
             return Err(IngestError::Truncated);
         }
         if self.seen == 0 {
             return Err(IngestError::Empty);
         }
-        let FeedIngester {
-            reader,
-            store,
-            feed_bytes,
-            inserted,
-            ..
-        } = self;
-        let entries = store.vulnerability_count();
-        let mut dataset = StudyDataset::from_store(store);
+        let entries = self.store.vulnerability_count();
+        let mut dataset = StudyDataset::from_store(self.store);
         dataset.classify_unlabelled(&Classifier::with_default_rules());
         Ok(IngestOutcome {
             dataset,
             entries,
-            parsed: inserted,
-            skipped: reader.skipped(),
-            feed_bytes,
+            parsed: self.inserted,
+            skipped: self.skipped,
+            feed_bytes: self.feed_bytes,
         })
     }
 }
@@ -358,33 +619,43 @@ fn find_entry_open(buffer: &[u8]) -> EntryOpen {
 
 /// Given a buffer starting at `<entry`, returns the exclusive end offset of
 /// the complete element (`<entry …/>` or `<entry …>…</entry>`), or `None`
-/// while it is still incomplete.
-fn find_entry_end(buffer: &[u8]) -> Option<usize> {
-    // End of the start tag, honouring quoted attribute values (a `>` is
-    // legal inside them).
-    let mut quote: Option<u8> = None;
-    let mut tag_end = None;
-    for (i, &byte) in buffer.iter().enumerate() {
-        match quote {
-            Some(q) if byte == q => quote = None,
-            Some(_) => {}
-            None => match byte {
-                b'"' | b'\'' => quote = Some(byte),
-                b'>' => {
-                    tag_end = Some(i);
-                    break;
-                }
-                _ => {}
-            },
-        }
-    }
-    let tag_end = tag_end?;
-    if tag_end > 0 && buffer[tag_end - 1] == b'/' {
-        return Some(tag_end + 1); // self-closing
-    }
-    // The matching `</entry>` close tag (entries do not nest in NVD feeds).
+/// while it is still incomplete. `scan` carries the walk's progress across
+/// calls: bytes already examined on an earlier chunk are never re-scanned,
+/// keeping the per-entry cost linear no matter how finely the network
+/// slices the stream.
+fn find_entry_end(buffer: &[u8], scan: &mut EntryScan) -> Option<usize> {
     const CLOSE: &[u8] = b"</entry";
-    let mut from = tag_end + 1;
+    // Phase 1: end of the start tag, honouring quoted attribute values
+    // (a `>` is legal inside them).
+    if scan.tag_end.is_none() {
+        let mut found = None;
+        for (i, &byte) in buffer.iter().enumerate().skip(scan.resume) {
+            match scan.quote {
+                Some(q) if byte == q => scan.quote = None,
+                Some(_) => {}
+                None => match byte {
+                    b'"' | b'\'' => scan.quote = Some(byte),
+                    b'>' => {
+                        found = Some(i);
+                        break;
+                    }
+                    _ => {}
+                },
+            }
+        }
+        let Some(tag_end) = found else {
+            scan.resume = buffer.len();
+            return None;
+        };
+        if tag_end > 0 && buffer[tag_end - 1] == b'/' {
+            return Some(tag_end + 1); // self-closing
+        }
+        scan.tag_end = Some(tag_end);
+        scan.resume = tag_end + 1;
+    }
+    // Phase 2: the matching `</entry>` close tag (entries do not nest in
+    // NVD feeds).
+    let mut from = scan.resume;
     while let Some(position) = find(&buffer[from..], CLOSE) {
         let at = from + position;
         // Skip whitespace between the name and `>`.
@@ -393,11 +664,21 @@ fn find_entry_end(buffer: &[u8]) -> Option<usize> {
             i += 1;
         }
         match buffer.get(i) {
-            None => return None, // `</entry` seen, `>` not yet arrived
+            None => {
+                // `</entry` seen, `>` not yet arrived: resume at the
+                // candidate so the whitespace run is re-checked once the
+                // next chunk lands.
+                scan.resume = at;
+                return None;
+            }
             Some(b'>') => return Some(i + 1),
             Some(_) => from = at + CLOSE.len(), // e.g. `</entryset>`
         }
     }
+    // No candidate: keep a tail that could still become `</entry`.
+    scan.resume = scan
+        .resume
+        .max(buffer.len().saturating_sub(CLOSE.len() - 1));
     None
 }
 
@@ -553,11 +834,128 @@ mod tests {
 
     #[test]
     fn malformed_xml_inside_an_entry_is_a_feed_error() {
-        let mut ingester = FeedIngester::new(IngestBudget::default());
+        // Inline (workers == 0): the error surfaces on the push itself.
+        let mut ingester = FeedIngester::with_workers(IngestBudget::default(), 0);
         let error = ingester
             .push(b"<nvd><entry id=unquoted>x</entry></nvd>")
             .unwrap_err();
         assert!(matches!(error, IngestError::Feed(_)));
         assert_eq!(error.http_status(), 400);
+
+        // Pipelined: the same error surfaces on a push or at finish,
+        // whichever comes first.
+        let mut ingester = FeedIngester::with_workers(IngestBudget::default(), 2);
+        let error = ingester
+            .push(b"<nvd><entry id=unquoted>x</entry></nvd>")
+            .err()
+            .unwrap_or_else(|| ingester.finish().unwrap_err());
+        assert!(matches!(error, IngestError::Feed(_)));
+        assert_eq!(error.http_status(), 400);
+    }
+
+    #[test]
+    fn an_earlier_parse_error_beats_a_later_budget_violation() {
+        // One malformed entry followed by more entries than the remaining
+        // budget: a sequential ingestion reports the parse error (400),
+        // never the budget violation (413) — and so must the pipeline, no
+        // matter how the workers are scheduled.
+        let mut xml = String::from("<nvd><entry id=unquoted>broken</entry>");
+        for i in 0..10 {
+            xml.push_str(&format!(
+                "<entry id=\"CVE-2007-{}\"><vuln:summary>fine</vuln:summary></entry>",
+                i + 1
+            ));
+        }
+        xml.push_str("</nvd>");
+        for workers in [0, 3] {
+            for _ in 0..4 {
+                let mut ingester = FeedIngester::with_workers(
+                    IngestBudget {
+                        max_entries: 4,
+                        ..IngestBudget::default()
+                    },
+                    workers,
+                );
+                let error = ingester
+                    .push(xml.as_bytes())
+                    .err()
+                    .unwrap_or_else(|| ingester.finish().unwrap_err());
+                assert!(
+                    matches!(error, IngestError::Feed(_)),
+                    "workers {workers}: expected the feed-order-first parse error, got {error}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_error_reporting_is_deterministic_by_feed_order() {
+        // Two broken entries: the reported error is always the FIRST one
+        // in feed order, no matter which worker finishes first. The first
+        // broken fragment has mismatched quotes (unterminated attribute),
+        // the second an unclosed tag soup — distinguishable messages.
+        let xml = br#"<nvd>
+          <entry id="CVE-2008-1"><vuln:summary>fine</vuln:summary></entry>
+          <entry id=broken-first>x</entry>
+          <entry id='broken"second>y</entry>
+        </nvd>"#;
+        let mut messages = std::collections::BTreeSet::new();
+        for _ in 0..8 {
+            let mut ingester = FeedIngester::with_workers(IngestBudget::default(), 3);
+            let error = ingester
+                .push(xml)
+                .err()
+                .unwrap_or_else(|| ingester.finish().unwrap_err());
+            messages.insert(error.to_string());
+        }
+        assert_eq!(
+            messages.len(),
+            1,
+            "error reporting must be deterministic: {messages:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_ingestion_loads_an_identical_store() {
+        let xml = feed(120);
+        let sequential = {
+            let mut ingester = FeedIngester::with_workers(IngestBudget::default(), 0);
+            ingester.push(xml.as_bytes()).unwrap();
+            ingester.finish().unwrap()
+        };
+        for workers in [1, 2, 4] {
+            let mut ingester = FeedIngester::with_workers(IngestBudget::default(), workers);
+            for piece in xml.as_bytes().chunks(97) {
+                ingester.push(piece).unwrap();
+            }
+            let outcome = ingester.finish().unwrap();
+            assert_eq!(outcome.entries, sequential.entries, "workers {workers}");
+            assert_eq!(outcome.parsed, sequential.parsed);
+            assert_eq!(outcome.skipped, sequential.skipped);
+            assert_eq!(
+                outcome.dataset.store().vulnerability_count(),
+                sequential.dataset.store().vulnerability_count()
+            );
+            // Row ids are assigned in insertion order: identical iteration
+            // proves the pipeline preserved feed order.
+            for (parallel, reference) in outcome
+                .dataset
+                .store()
+                .rows()
+                .zip(sequential.dataset.store().rows())
+            {
+                assert_eq!(parallel.cve, reference.cve, "workers {workers}");
+                assert_eq!(parallel.os_set, reference.os_set);
+            }
+        }
+
+        // A single whole-feed push: the carver runs far ahead of the
+        // workers, exercising the bounded job queue's backpressure and the
+        // between-fragment result harvesting.
+        let mut ingester = FeedIngester::with_workers(IngestBudget::default(), 2);
+        ingester.push(xml.as_bytes()).unwrap();
+        let outcome = ingester.finish().unwrap();
+        assert_eq!(outcome.entries, sequential.entries);
+        assert_eq!(outcome.parsed, sequential.parsed);
     }
 }

@@ -1,0 +1,68 @@
+//! Proof that the parallel parse pipeline is invisible to consumers: a
+//! multi-megabyte calibrated feed ingested through the worker pool yields
+//! a **byte-identical** combined report to a strictly sequential ingestion
+//! of the same bytes.
+
+use datagen::CalibratedGenerator;
+use nvd_feed::FeedWriter;
+use osdiv_registry::{FeedIngester, IngestBudget};
+
+fn calibrated_feed() -> String {
+    let dataset = CalibratedGenerator::new(42).generate();
+    FeedWriter::new()
+        .write_to_string(dataset.entries())
+        .expect("generated entries serialize")
+}
+
+fn ingest(xml: &str, workers: usize, chunk: usize) -> osdiv_registry::IngestOutcome {
+    let mut ingester = FeedIngester::with_workers(IngestBudget::default(), workers);
+    for piece in xml.as_bytes().chunks(chunk) {
+        ingester
+            .push(piece)
+            .expect("calibrated feeds are well-formed");
+    }
+    ingester.finish().expect("calibrated feeds are complete")
+}
+
+#[test]
+fn parallel_ingestion_report_is_byte_identical_to_sequential() {
+    let xml = calibrated_feed();
+    assert!(
+        xml.len() > 500 * 1024,
+        "the calibrated feed should be big enough to exercise the pipeline ({} bytes)",
+        xml.len()
+    );
+
+    let sequential = ingest(&xml, 0, 64 * 1024);
+    let reference = sequential.into_study();
+    let reference_report = reference
+        .report(osdiv_core::Format::Text)
+        .expect("default configurations are valid");
+
+    for workers in [2, 4] {
+        let outcome = ingest(&xml, workers, 8 * 1024);
+        let study = outcome.into_study();
+        let report = study
+            .report(osdiv_core::Format::Text)
+            .expect("default configurations are valid");
+        assert_eq!(
+            report, reference_report,
+            "{workers}-worker ingestion must render the same report bytes"
+        );
+    }
+}
+
+#[test]
+fn parallel_ingestion_counters_match_sequential() {
+    let xml = calibrated_feed();
+    let sequential = ingest(&xml, 0, 64 * 1024);
+    let parallel = ingest(&xml, 3, 4096);
+    assert_eq!(parallel.entries, sequential.entries);
+    assert_eq!(parallel.parsed, sequential.parsed);
+    assert_eq!(parallel.skipped, sequential.skipped);
+    assert_eq!(parallel.feed_bytes, sequential.feed_bytes);
+    assert_eq!(
+        parallel.dataset.estimated_bytes(),
+        sequential.dataset.estimated_bytes()
+    );
+}

@@ -785,15 +785,17 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Serializes the response. `head_only` suppresses the body (HEAD
-    /// requests) while keeping the `Content-Length` of the full
-    /// representation; 304 responses never carry a body.
+    /// Serializes the response, returning the number of bytes written
+    /// (head plus body — the unit of the `/metrics` byte counter).
+    /// `head_only` suppresses the body (HEAD requests) while keeping the
+    /// `Content-Length` of the full representation; 304 responses never
+    /// carry a body.
     pub fn write_to(
         &self,
         writer: &mut impl Write,
         keep_alive: bool,
         head_only: bool,
-    ) -> io::Result<()> {
+    ) -> io::Result<usize> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nServer: osdiv-serve/{}\r\n",
             self.status,
@@ -810,10 +812,13 @@ impl Response {
             "Connection: close\r\n\r\n"
         });
         writer.write_all(head.as_bytes())?;
+        let mut written = head.len();
         if !head_only && self.status != 304 && !self.body.is_empty() {
             writer.write_all(&self.body)?;
+            written += self.body.len();
         }
-        writer.flush()
+        writer.flush()?;
+        Ok(written)
     }
 }
 

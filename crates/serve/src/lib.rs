@@ -65,6 +65,7 @@
 
 pub mod http;
 pub mod loadgen;
+pub mod metrics;
 pub mod router;
 pub mod server;
 
@@ -73,5 +74,6 @@ pub use http::{
     Response, StreamBody,
 };
 pub use loadgen::{run_loadgen, ClientResponse, LoadReport};
+pub use metrics::ServeMetrics;
 pub use router::{Router, RouterOptions};
 pub use server::{default_threads, Server, ServerHandle, ServerOptions};

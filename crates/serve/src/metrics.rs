@@ -1,0 +1,149 @@
+//! Connection- and request-level serving counters, exposed at
+//! `GET /metrics` in the Prometheus text exposition format (no external
+//! dependencies — plain `name value` lines).
+//!
+//! One [`ServeMetrics`] is shared by the [`Router`](crate::Router) (which
+//! counts requests and render-cache traffic) and the
+//! [`Server`](crate::Server) accept loop and workers (which count accepted
+//! connections and bytes written). All counters are relaxed atomics: the
+//! numbers are operator telemetry, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic serving counters (see the module docs).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// TCP connections the accept loop handed to a worker.
+    connections_accepted: AtomicU64,
+    /// HTTP requests routed (including error responses and `/metrics`
+    /// itself).
+    requests_served: AtomicU64,
+    /// Render-route responses served from the body LRU.
+    cache_hits: AtomicU64,
+    /// Render-route responses that had to render (and were then cached).
+    cache_misses: AtomicU64,
+    /// Response bytes written to sockets (head + body).
+    bytes_out: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one routed request.
+    pub fn record_request(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one render-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one render-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts response bytes written to a socket.
+    pub fn record_bytes_out(&self, bytes: usize) {
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests routed so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Render-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Render-cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Response bytes written so far.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /metrics` body: one `# TYPE` line and one sample per
+    /// counter, Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut body = String::with_capacity(512);
+        let counters = [
+            (
+                "osdiv_connections_accepted",
+                "TCP connections accepted by the server",
+                self.connections_accepted(),
+            ),
+            (
+                "osdiv_requests_served",
+                "HTTP requests routed",
+                self.requests_served(),
+            ),
+            (
+                "osdiv_cache_hits",
+                "render responses served from the body cache",
+                self.cache_hits(),
+            ),
+            (
+                "osdiv_cache_misses",
+                "render responses that had to render",
+                self.cache_misses(),
+            ),
+            (
+                "osdiv_bytes_out",
+                "response bytes written to sockets",
+                self.bytes_out(),
+            ),
+        ];
+        for (name, help, value) in counters {
+            body.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let metrics = ServeMetrics::new();
+        metrics.record_connection();
+        metrics.record_request();
+        metrics.record_request();
+        metrics.record_cache_hit();
+        metrics.record_cache_miss();
+        metrics.record_bytes_out(1500);
+        metrics.record_bytes_out(500);
+        assert_eq!(metrics.connections_accepted(), 1);
+        assert_eq!(metrics.requests_served(), 2);
+        assert_eq!(metrics.cache_hits(), 1);
+        assert_eq!(metrics.cache_misses(), 1);
+        assert_eq!(metrics.bytes_out(), 2000);
+        let body = metrics.render();
+        assert!(body.contains("osdiv_requests_served 2\n"));
+        assert!(body.contains("osdiv_bytes_out 2000\n"));
+        assert!(body.contains("# TYPE osdiv_connections_accepted counter\n"));
+    }
+}

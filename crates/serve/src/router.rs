@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use osdiv_core::{
@@ -47,6 +47,7 @@ use parking_lot::Mutex;
 use tabular::TextTable;
 
 use crate::http::{Body, BodyError, EmptyBody, Request, Response};
+use crate::metrics::ServeMetrics;
 
 /// Router configuration.
 #[derive(Debug, Clone)]
@@ -155,8 +156,7 @@ pub struct Router {
     registry: Arc<StudyRegistry>,
     options: RouterOptions,
     cache: Mutex<LruCache>,
-    requests: AtomicU64,
-    cache_hits: AtomicU64,
+    metrics: Arc<ServeMetrics>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -169,8 +169,7 @@ impl Router {
             registry,
             options,
             cache,
-            requests: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
+            metrics: Arc::new(ServeMetrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -198,14 +197,20 @@ impl Router {
         Arc::clone(&self.shutdown)
     }
 
+    /// The serving counters, shared with the [`crate::Server`] accept
+    /// loop and exposed at `GET /metrics`.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
     /// Total requests handled.
     pub fn request_count(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.metrics.requests_served()
     }
 
     /// Responses served straight from the rendered-body cache.
     pub fn cache_hit_count(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.metrics.cache_hits()
     }
 
     /// Routes a body-less request (see [`Router::handle_with_body`]).
@@ -217,9 +222,16 @@ impl Router {
     /// where the route consumes one (feed ingestion). Never panics on
     /// client input; analysis configuration errors surface as 400s.
     pub fn handle_with_body(&self, request: &Request, body: &mut dyn Body) -> Response {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_request();
         let path = request.path.as_str();
         match path {
+            "/metrics" => match self.check_get(request) {
+                Err(response) => response,
+                Ok(()) => Response::new(200).with_body(
+                    "text/plain; version=0.0.4",
+                    self.metrics.render().into_bytes(),
+                ),
+            },
             "/v1/shutdown" => {
                 if request.method != "POST" {
                     return method_not_allowed("POST");
@@ -515,10 +527,13 @@ impl Router {
         );
         let cached = match self.cache.lock().get(&key) {
             Some(hit) => {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_cache_hit();
                 Some(hit)
             }
-            None => None,
+            None => {
+                self.metrics.record_cache_miss();
+                None
+            }
         };
         let cached = match cached {
             Some(cached) => cached,
@@ -1042,6 +1057,39 @@ mod tests {
                 ))
                 .status(),
             406
+        );
+    }
+
+    #[test]
+    fn metrics_route_reports_counters_in_exposition_format() {
+        let router = test_router();
+        // Miss, then hit, on the render cache.
+        router.handle(&request(
+            "GET /v1/analyses/validity?format=json HTTP/1.1\r\n\r\n",
+        ));
+        router.handle(&request(
+            "GET /v1/analyses/validity?format=json HTTP/1.1\r\n\r\n",
+        ));
+        let response = router.handle(&request("GET /metrics HTTP/1.1\r\n\r\n"));
+        assert_eq!(response.status(), 200);
+        assert!(response
+            .header("content-type")
+            .unwrap()
+            .starts_with("text/plain"));
+        let body = String::from_utf8_lossy(response.body()).to_string();
+        // The /metrics request itself is the third routed request.
+        assert!(body.contains("osdiv_requests_served 3\n"), "{body}");
+        assert!(body.contains("osdiv_cache_hits 1\n"), "{body}");
+        assert!(body.contains("osdiv_cache_misses 1\n"), "{body}");
+        assert!(body.contains("# TYPE osdiv_bytes_out counter\n"), "{body}");
+        // Bytes out and connections are server-side counters — zero when
+        // the router is driven directly.
+        assert!(body.contains("osdiv_connections_accepted 0\n"), "{body}");
+        assert_eq!(
+            router
+                .handle(&request("POST /metrics HTTP/1.1\r\n\r\n"))
+                .status(),
+            405
         );
     }
 

@@ -109,6 +109,7 @@ impl Server {
             }
             match stream {
                 Ok(stream) => {
+                    self.router.metrics().record_connection();
                     // A send only fails after every worker exited, which
                     // cannot happen before the queue is closed below.
                     let _ = sender.send(stream);
@@ -206,6 +207,16 @@ fn handle_connection(
 ) {
     let _ = stream.set_read_timeout(Some(options.read_timeout));
     let _ = stream.set_nodelay(true);
+    let metrics = Arc::clone(router.metrics());
+    let record_write = |written: io::Result<usize>| -> bool {
+        match written {
+            Ok(bytes) => {
+                metrics.record_bytes_out(bytes);
+                true
+            }
+            Err(_) => false,
+        }
+    };
     let mut parser = RequestParser::new();
     let mut served = 0usize;
     let mut chunk = [0u8; 4096];
@@ -218,7 +229,7 @@ fn handle_connection(
                 Ok(Some(request)) => break request,
                 Ok(None) => {}
                 Err(violation) => {
-                    let _ = Response::from(&violation).write_to(&mut stream, false, false);
+                    record_write(Response::from(&violation).write_to(&mut stream, false, false));
                     break 'connection;
                 }
             }
@@ -228,7 +239,11 @@ fn handle_connection(
                     Ok(Some(request)) => break request,
                     Ok(None) => {}
                     Err(violation) => {
-                        let _ = Response::from(&violation).write_to(&mut stream, false, false);
+                        record_write(Response::from(&violation).write_to(
+                            &mut stream,
+                            false,
+                            false,
+                        ));
                         break 'connection;
                     }
                 },
@@ -248,7 +263,7 @@ fn handle_connection(
         let framing = match request.body_framing() {
             Ok(framing) => framing,
             Err(violation) => {
-                let _ = Response::from(&violation).write_to(&mut stream, false, false);
+                record_write(Response::from(&violation).write_to(&mut stream, false, false));
                 break;
             }
         };
@@ -275,6 +290,11 @@ fn handle_connection(
                     Err(BodyError::Violation(violation)) => {
                         response = Response::from(&violation);
                         keep_alive = false;
+                        // The peer may still be mid-upload: without the
+                        // lame-duck half-close below, closing now can RST
+                        // the connection and destroy this 400 before the
+                        // client reads it.
+                        body_pending = true;
                     }
                     Err(BodyError::Io(_)) => {
                         keep_alive = false;
@@ -287,10 +307,7 @@ fn handle_connection(
                 body_pending = true;
             }
         }
-        if response
-            .write_to(&mut stream, keep_alive, request.method == "HEAD")
-            .is_err()
-        {
+        if !record_write(response.write_to(&mut stream, keep_alive, request.method == "HEAD")) {
             break;
         }
         if body_pending {

@@ -299,6 +299,14 @@ impl VulnStore {
         self.access_vector_for(id).is_remote()
     }
 
+    /// Iterates over every vulnerability row joined with its
+    /// remote-exploitability flag — the one-pass input of the analysis
+    /// layer's count-index build, which needs `(os_set, year, part, remote)`
+    /// per row without a per-row index lookup at every call site.
+    pub fn rows_with_remote(&self) -> impl Iterator<Item = (&VulnerabilityRow, bool)> {
+        self.rows().map(|row| (row, self.is_remote(row.id)))
+    }
+
     /// The `os_vuln` rows of a vulnerability (one per affected OS).
     pub fn os_vuln_rows_for(&self, id: VulnId) -> Vec<&OsVulnRow> {
         self.os_vuln_by_vuln
