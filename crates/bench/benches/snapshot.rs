@@ -1,0 +1,64 @@
+//! Persistence benches: serializing the calibrated dataset into the
+//! `OSDV` container, decoding it back (with the pre-built count index and
+//! with a forced lazy rebuild), and the registry-level spill → reload
+//! round trip through a `TenantStore` on disk. The measured numbers are
+//! recorded per PR in CHANGES.md.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::CalibratedGenerator;
+use osdiv_core::{Snapshot, Study, StudyDataset};
+use osdiv_registry::{DatasetSource, TenantStore};
+
+fn calibrated_dataset() -> StudyDataset {
+    let dataset = CalibratedGenerator::new(2011).generate();
+    StudyDataset::from_entries(dataset.entries())
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let dataset = calibrated_dataset();
+    // Pre-build the count index so the write bench measures encoding, not
+    // the one-time index construction (benched separately in `study`).
+    dataset.count_index();
+    c.bench_function("snapshot/to_bytes", |b| {
+        b.iter(|| Snapshot::to_bytes(&dataset, &[]))
+    });
+
+    let bytes = Snapshot::to_bytes(&dataset, &[]);
+    c.bench_function("snapshot/from_bytes_with_index", |b| {
+        b.iter(|| Snapshot::from_bytes(&bytes).unwrap())
+    });
+
+    // Drop the INDEX section by marking it an unknown version: the reader
+    // takes the compatibility path and rebuilds the index on first use.
+    let mut without_index = bytes.clone();
+    without_index[8 + 24 + 2..8 + 24 + 4].copy_from_slice(&99u16.to_le_bytes());
+    c.bench_function("snapshot/from_bytes_rebuilding_index", |b| {
+        b.iter(|| {
+            let snapshot = Snapshot::from_bytes(&without_index).unwrap();
+            assert!(!snapshot.index_loaded);
+            snapshot.dataset.count_index();
+            snapshot
+        })
+    });
+}
+
+fn bench_tenant_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("osdiv-bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TenantStore::open(&dir).unwrap();
+    let study = Arc::new(Study::new(calibrated_dataset()));
+    let source = DatasetSource::Synthetic { seed: 2011 };
+
+    c.bench_function("snapshot/tenant_store_save", |b| {
+        b.iter(|| store.save("bench", &study, &source).unwrap())
+    });
+    c.bench_function("snapshot/tenant_store_load", |b| {
+        b.iter(|| store.load("bench").unwrap())
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_snapshot_codec, bench_tenant_store);
+criterion_main!(benches);

@@ -26,9 +26,14 @@ use osdiv_bench::harness::{study_session_with_seed, EXPERIMENT_SEED};
 use osdiv_core::{
     analysis_sections, figure3_configurations, renderer, AnalysisError, AnalysisId, Format, Params,
     ReleaseAnalysis, ReleaseConfig, Render, Section, SelectionAnalysis, SelectionConfig,
-    ServerProfile, SplitConfig, SplitMatrix, Study, TemporalAnalysis, TemporalConfig, TextRenderer,
+    ServerProfile, Snapshot, SplitConfig, SplitMatrix, Study, TemporalAnalysis, TemporalConfig,
+    TextRenderer,
 };
-use osdiv_registry::{FeedIngester, IngestBudget, RegistryOptions, StudyRegistry};
+use osdiv_registry::persist::source_meta;
+use osdiv_registry::{
+    DatasetSource, FeedIngester, IngestBudget, IngestOutcome, RegistryOptions, StudyRegistry,
+    TenantStore,
+};
 use osdiv_serve::{Router, RouterOptions, Server, ServerOptions};
 use tabular::TextTable;
 
@@ -69,6 +74,10 @@ const COMMANDS: &[(&str, &str)] = &[
         "ingest",
         "stream NVD XML feed files into a dataset summary (see --name)",
     ),
+    (
+        "snapshot",
+        "save, load or inspect .osdv tenant snapshots (see --out)",
+    ),
     ("list", "print the analysis registry"),
     ("help", "show this help"),
 ];
@@ -90,6 +99,9 @@ struct Options {
     max_datasets: usize,
     max_dataset_bytes: usize,
     name: Option<String>,
+    out: Option<String>,
+    data_dir: Option<String>,
+    no_persist: bool,
     files: Vec<String>,
 }
 
@@ -111,6 +123,9 @@ impl Default for Options {
             max_datasets: osdiv_registry::registry::DEFAULT_MAX_DATASETS,
             max_dataset_bytes: osdiv_registry::registry::DEFAULT_MAX_TOTAL_BYTES,
             name: None,
+            out: None,
+            data_dir: None,
+            no_persist: false,
             files: Vec::new(),
         }
     }
@@ -202,6 +217,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
             usage()
         )));
     }
+    if command == "snapshot" {
+        return snapshot_command(&args[1..]);
+    }
     let opts = parse_options(&args[1..])?;
     if command == "list" {
         return Ok(list_analyses(opts.format));
@@ -233,33 +251,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
 /// bounded feed ingester (64 KiB reads — the same no-full-buffering path
 /// the server's PUT route uses) and print a dataset summary.
 fn ingest(opts: &Options) -> Result<String, CliError> {
-    if opts.files.is_empty() {
-        return Err(CliError::Usage(format!(
-            "ingest expects at least one feed file\n\n{}",
-            usage()
-        )));
-    }
     let name = opts.name.clone().unwrap_or_else(|| "ingested".to_string());
-    let mut ingester = FeedIngester::new(IngestBudget {
-        max_bytes: opts.max_dataset_bytes.max(1),
-        ..IngestBudget::default()
-    });
-    let mut chunk = vec![0u8; 64 * 1024];
-    for path in &opts.files {
-        let mut file = std::fs::File::open(path)?;
-        loop {
-            let n = file.read(&mut chunk)?;
-            if n == 0 {
-                break;
-            }
-            ingester
-                .push(&chunk[..n])
-                .map_err(|error| CliError::Usage(format!("error ingesting {path}: {error}")))?;
-        }
-    }
-    let outcome = ingester
-        .finish()
-        .map_err(|error| CliError::Usage(format!("error: {error}")))?;
+    let outcome = ingest_files(opts, "ingest")?;
     let (feed_bytes, entries, parsed, skipped) = (
         outcome.feed_bytes,
         outcome.entries,
@@ -287,30 +280,242 @@ fn ingest(opts: &Options) -> Result<String, CliError> {
     }))
 }
 
+/// Streams every `opts.files` feed through the bounded ingester (64 KiB
+/// reads, never buffering a whole feed) — shared by `ingest` and
+/// `snapshot save`.
+fn ingest_files(opts: &Options, command: &str) -> Result<IngestOutcome, CliError> {
+    if opts.files.is_empty() {
+        return Err(CliError::Usage(format!(
+            "{command} expects at least one feed file\n\n{}",
+            usage()
+        )));
+    }
+    let mut ingester = FeedIngester::new(IngestBudget {
+        max_bytes: opts.max_dataset_bytes.max(1),
+        ..IngestBudget::default()
+    });
+    let mut chunk = vec![0u8; 64 * 1024];
+    for path in &opts.files {
+        let mut file = std::fs::File::open(path)?;
+        loop {
+            let n = file.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            ingester
+                .push(&chunk[..n])
+                .map_err(|error| CliError::Usage(format!("error ingesting {path}: {error}")))?;
+        }
+    }
+    ingester
+        .finish()
+        .map_err(|error| CliError::Usage(format!("error: {error}")))
+}
+
+/// `osdiv snapshot <save|load|inspect>`: the on-disk `.osdv` tenant format
+/// (see docs/SNAPSHOT_FORMAT.md) as a standalone tool — write snapshots
+/// outside any server, verify a backup decodes, or dump the section table
+/// of a file without decoding its payloads.
+fn snapshot_command(args: &[String]) -> Result<String, CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage(format!(
+            "snapshot expects a subcommand: save, load or inspect\n\n{}",
+            usage()
+        )));
+    };
+    let opts = parse_options(&args[1..])?;
+    match sub.as_str() {
+        "save" => snapshot_save(&opts),
+        "load" => snapshot_load(&opts),
+        "inspect" => snapshot_inspect(&opts),
+        other => Err(CliError::Usage(format!(
+            "unknown snapshot subcommand {other:?} (expected save, load or inspect)\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The single `.osdv` file argument of `snapshot load` / `snapshot inspect`.
+fn snapshot_file<'a>(opts: &'a Options, command: &str) -> Result<&'a str, CliError> {
+    match opts.files.as_slice() {
+        [path] => Ok(path),
+        _ => Err(CliError::Usage(format!(
+            "snapshot {command} expects exactly one .osdv file\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// A snapshot decoding error: exit code 1, not a usage error.
+fn corrupt(path: &str, error: impl std::fmt::Display) -> CliError {
+    CliError::Io(std::io::Error::other(format!("{path}: {error}")))
+}
+
+/// `osdiv snapshot save --out <file.osdv> [feed.xml...]`: snapshot the
+/// seed-generated dataset, or the union of the given NVD feeds. The META
+/// section carries the same source annotations `osdiv serve --data-dir`
+/// writes, so the file can be dropped into a data dir as `<name>.osdv`
+/// and recovered as a tenant at the next boot.
+fn snapshot_save(opts: &Options) -> Result<String, CliError> {
+    let Some(out) = &opts.out else {
+        return Err(CliError::Usage(format!(
+            "snapshot save expects --out <file.osdv>\n\n{}",
+            usage()
+        )));
+    };
+    let (study, source) = if opts.files.is_empty() {
+        let study = study_session_with_seed(opts.seed);
+        (study, DatasetSource::Synthetic { seed: opts.seed })
+    } else {
+        let outcome = ingest_files(opts, "snapshot save")?;
+        let source = DatasetSource::Ingested {
+            entries: outcome.entries,
+            skipped: outcome.skipped,
+            feed_bytes: outcome.feed_bytes,
+        };
+        (outcome.into_study(), source)
+    };
+    let bytes = Snapshot::to_bytes(study.dataset(), &source_meta(&source));
+    std::fs::write(out, &bytes)?;
+
+    let mut table = TextTable::new(["Metric", "Value"]);
+    table.push_row(["Snapshot".to_string(), out.clone()]);
+    table.push_row(["File bytes".to_string(), bytes.len().to_string()]);
+    table.push_row([
+        "Distinct vulnerabilities".to_string(),
+        study.dataset().store().vulnerability_count().to_string(),
+    ]);
+    table.push_row(["Valid".to_string(), study.valid_count().to_string()]);
+    for (key, value) in source_meta(&source) {
+        table.push_row([format!("meta:{key}"), value]);
+    }
+    let title = "Snapshot written";
+    let sections = [Section::table(title, table.clone())];
+    Ok(emit(opts.format, &sections, || {
+        format!("{}{}", header(title), table.render())
+    }))
+}
+
+/// `osdiv snapshot load <file.osdv>`: decode the snapshot completely
+/// (every CRC checked, the store reconstructed) and print what it holds —
+/// the "does my backup restore" check.
+fn snapshot_load(opts: &Options) -> Result<String, CliError> {
+    let path = snapshot_file(opts, "load")?;
+    let bytes = std::fs::read(path)?;
+    let snapshot = Snapshot::from_bytes(&bytes).map_err(|error| corrupt(path, error))?;
+    let index_loaded = snapshot.index_loaded;
+    let meta = snapshot.meta.clone();
+    let study = Study::new(snapshot.dataset);
+
+    let mut table = TextTable::new(["Metric", "Value"]);
+    table.push_row(["Snapshot".to_string(), path.to_string()]);
+    table.push_row(["File bytes".to_string(), bytes.len().to_string()]);
+    table.push_row([
+        "Distinct vulnerabilities".to_string(),
+        study.dataset().store().vulnerability_count().to_string(),
+    ]);
+    table.push_row(["Valid".to_string(), study.valid_count().to_string()]);
+    table.push_row([
+        "Count index".to_string(),
+        if index_loaded {
+            "loaded from snapshot".to_string()
+        } else {
+            "absent or unreadable; rebuilt lazily".to_string()
+        },
+    ]);
+    for (key, value) in meta {
+        table.push_row([format!("meta:{key}"), value]);
+    }
+    let title = "Snapshot contents";
+    let sections = [Section::table(title, table.clone())];
+    Ok(emit(opts.format, &sections, || {
+        format!("{}{}", header(title), table.render())
+    }))
+}
+
+/// `osdiv snapshot inspect <file.osdv>`: dump the header and section
+/// table (ids, versions, offsets, lengths, CRC verdicts) without decoding
+/// any payload — the forensic view of docs/SNAPSHOT_FORMAT.md.
+fn snapshot_inspect(opts: &Options) -> Result<String, CliError> {
+    let path = snapshot_file(opts, "inspect")?;
+    let bytes = std::fs::read(path)?;
+    let info = Snapshot::inspect(&bytes).map_err(|error| corrupt(path, error))?;
+
+    let mut table = TextTable::new([
+        "Section", "Id", "Version", "Offset", "Length", "CRC-32", "CRC ok",
+    ]);
+    for section in &info.sections {
+        table.push_row([
+            section.name.to_string(),
+            section.id.to_string(),
+            section.version.to_string(),
+            section.offset.to_string(),
+            section.length.to_string(),
+            format!("{:08x}", section.crc32),
+            if section.crc_ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let title = format!(
+        "Snapshot {path}: format v{}, {} bytes, {} sections",
+        info.format_version,
+        info.total_bytes,
+        info.sections.len()
+    );
+    let sections = [Section::table(title.clone(), table.clone())];
+    Ok(emit(opts.format, &sections, || {
+        format!("{}{}", header(&title), table.render())
+    }))
+}
+
 /// `osdiv serve`: pre-warm the session, bind, and run until shutdown.
+/// With `--data-dir`, ingested tenants persist as `.osdv` snapshots and
+/// crash-recover from ingestion journals at boot; `--no-persist` opens
+/// the same directory read-only (recovered snapshots serve, nothing is
+/// written).
 fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
     let study = Arc::new(study);
     let warmup = std::time::Instant::now();
     study.run_all()?;
-    let registry = Arc::new(StudyRegistry::with_default(
+    let mut registry = StudyRegistry::with_default(
         Arc::clone(&study),
         opts.seed,
         RegistryOptions {
             max_datasets: opts.max_datasets.max(1),
             max_total_bytes: opts.max_dataset_bytes.max(1),
         },
-    ));
+    );
+    let ingest_budget = IngestBudget {
+        max_bytes: opts.max_dataset_bytes.max(1),
+        ..IngestBudget::default()
+    };
+    if let Some(dir) = &opts.data_dir {
+        let store = if opts.no_persist {
+            TenantStore::open_read_only(dir)
+        } else {
+            TenantStore::open(dir)
+                .map_err(|error| std::io::Error::other(format!("--data-dir {dir}: {error}")))?
+        };
+        registry = registry.with_persistence(Arc::new(store));
+        let recovery = registry.recover(&ingest_budget);
+        for (name, error) in &recovery.errors {
+            eprintln!("osdiv-serve: recovery of {name:?}: {error}");
+        }
+        println!(
+            "osdiv-serve: data dir {dir}: {} tenants recovered, {} journals replayed, {} \
+             redundant journals discarded",
+            recovery.recovered.len() + recovery.replayed.len(),
+            recovery.replayed.len(),
+            recovery.discarded_journals.len(),
+        );
+    }
     let router = Arc::new(Router::new(
-        registry,
+        Arc::new(registry),
         RouterOptions {
             seed: opts.seed,
             cache_capacity: 128,
             enable_shutdown: opts.enable_shutdown,
             enable_dataset_delete: opts.enable_dataset_delete,
-            ingest_budget: IngestBudget {
-                max_bytes: opts.max_dataset_bytes.max(1),
-                ..IngestBudget::default()
-            },
+            ingest_budget,
         },
     ));
     let server = Server::bind(
@@ -407,6 +612,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 })?;
             }
             "--name" => opts.name = Some(value("--name")?),
+            "--out" => opts.out = Some(value("--out")?),
+            "--data-dir" => opts.data_dir = Some(value("--data-dir")?),
+            "--no-persist" => opts.no_persist = true,
             other if !other.starts_with('-') => opts.files.push(other.to_string()),
             other => {
                 return Err(CliError::Usage(format!(
@@ -443,8 +651,16 @@ fn usage() -> String {
          --enable-dataset-delete          serve: honour DELETE /v1/datasets/{name}\n  \
          --max-datasets <N>               serve: dataset registry name cap (default: 16)\n  \
          --max-dataset-bytes <BYTES>      serve/ingest: dataset byte budget (default: 256 MiB)\n  \
-         --name <name>                    ingest: label of the summarized dataset\n\nAnalyses (also \
-         subcommands, mirrored at GET /v1/analyses/{id} by `osdiv serve`):\n",
+         --name <name>                    ingest: label of the summarized dataset\n  \
+         --data-dir <dir>                 serve: persist ingested tenants as .osdv snapshots;\n  \
+                                          journals crash-recover and snapshots warm-restart at boot\n  \
+         --no-persist                     serve: open --data-dir read-only (serve snapshots, write nothing)\n  \
+         --out <file.osdv>                snapshot save: output path\n\nSnapshot subcommands \
+         (the on-disk format is specified in docs/SNAPSHOT_FORMAT.md):\n  \
+         snapshot save --out <f> [feeds]  snapshot the seed dataset or the given NVD feeds\n  \
+         snapshot load <f>                fully decode a snapshot (CRC-checked) and summarize it\n  \
+         snapshot inspect <f>             dump the header and section table without decoding payloads\n\n\
+         Analyses (also subcommands, mirrored at GET /v1/analyses/{id} by `osdiv serve`):\n",
     );
     for entry in osdiv_core::registry() {
         out.push_str(&format!(

@@ -1,22 +1,33 @@
 //! CI smoke client for a running `osdiv serve` instance.
 //!
 //! ```sh
-//! osdiv-serve-smoke 127.0.0.1:PORT
+//! osdiv-serve-smoke 127.0.0.1:PORT [full|persist-ingest|persist-verify] [body-file]
 //! ```
 //!
-//! Hits `/v1/healthz`, `/v1/report?format=json` (twice on one keep-alive
-//! connection, the second via `If-None-Match`), a parameterized analysis
-//! endpoint plus its error paths, then exercises the dataset tenancy
-//! loop — generate a small feed with `datagen` + the `nvd-feed` writer,
-//! stream it up as a chunked `PUT /v1/datasets/smoke`, query an analysis
-//! with `?dataset=smoke` (asserting 200 and an ETag distinct from the
-//! default dataset's), `DELETE` it — checks the `/metrics` counters
-//! recorded the run, and finally `POST /v1/shutdown`.
+//! The default `full` mode hits `/v1/healthz`, `/v1/report?format=json`
+//! (twice on one keep-alive connection, the second via `If-None-Match`),
+//! a parameterized analysis endpoint plus its error paths, then exercises
+//! the dataset tenancy loop — generate a small feed with `datagen` + the
+//! `nvd-feed` writer, stream it up as a chunked `PUT /v1/datasets/smoke`,
+//! query an analysis with `?dataset=smoke` (asserting 200 and an ETag
+//! distinct from the default dataset's), `DELETE` it — checks the
+//! `/metrics` counters recorded the run, and finally `POST /v1/shutdown`.
+//!
+//! The persistence pair drives the kill-and-restart leg against a server
+//! started with `--data-dir`: `persist-ingest` streams a deterministic
+//! feed up as `PUT /v1/datasets/persist`, asserts `/metrics` counted one
+//! snapshot write, and saves the rendered analysis document (plus its
+//! ETag) to `body-file` — then CI SIGKILLs the server. After a restart,
+//! `persist-verify` asserts the recovered tenant lists as spilled, that
+//! its document and ETag are byte-identical to the saved ones, and that
+//! the cold boot decoded no snapshot until the first touch
+//! (`osdiv_snapshot_loads 1` only after the GET).
+//!
 //! Exits non-zero with a diagnostic on the first failed expectation; the
 //! workflow then waits on the server process to assert a clean exit.
 //!
 //! The serving side must run with `--enable-shutdown
-//! --enable-dataset-delete`.
+//! --enable-dataset-delete` (and `--data-dir` for the persistence pair).
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -191,18 +202,142 @@ fn run(addr: SocketAddr) -> Result<(), String> {
     Ok(())
 }
 
+/// The deterministic feed both persistence modes agree on: what
+/// `persist-ingest` uploads is exactly what `persist-verify` expects the
+/// restarted server to still serve.
+fn persist_feed() -> Result<String, String> {
+    ParametricGenerator::new(ParametricConfig {
+        vulnerability_count: 200,
+        seed: 11,
+        ..ParametricConfig::default()
+    })
+    .generate()
+    .to_feed_xml()
+    .map_err(|error| format!("FAILED: feed generation: {error}"))
+}
+
+/// The document whose bytes must survive the kill-and-restart.
+const PERSIST_DOC: &str = "/v1/report?dataset=persist&format=json";
+
+/// `persist-ingest`: upload the tenant, prove the snapshot was written,
+/// and save the served document + ETag for the post-restart comparison.
+fn persist_ingest(addr: SocketAddr, body_file: &str) -> Result<(), String> {
+    let io = |error: std::io::Error| format!("FAILED: io error: {error}");
+
+    let feed = persist_feed()?;
+    let chunks: Vec<&[u8]> = feed.as_bytes().chunks(1024).collect();
+    let created =
+        loadgen::request_chunked(addr, "PUT", "/v1/datasets/persist", &[], &chunks).map_err(io)?;
+    check(
+        created.status == 201,
+        &format!(
+            "chunked PUT /v1/datasets/persist answers 201 (got {}: {})",
+            created.status,
+            created.body_string().trim()
+        ),
+    )?;
+
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(
+        metrics.body_string().contains("osdiv_snapshot_writes 1"),
+        "/metrics counts one snapshot write after the PUT",
+    )?;
+
+    let doc = loadgen::get(addr, PERSIST_DOC).map_err(io)?;
+    check(doc.status == 200, "the persisted tenant serves its report")?;
+    let etag = doc
+        .header("etag")
+        .ok_or("FAILED: persisted report has no ETag")?
+        .to_string();
+    let mut saved = etag.clone().into_bytes();
+    saved.push(b'\n');
+    saved.extend_from_slice(&doc.body);
+    std::fs::write(body_file, &saved).map_err(io)?;
+    println!("ok: saved {} byte document, etag {etag}", doc.body.len());
+    // No shutdown: the workflow SIGKILLs the server mid-flight on purpose.
+    Ok(())
+}
+
+/// `persist-verify`: after the restart, the tenant is listed (spilled),
+/// serves byte-identical bytes under the same ETag, and the snapshot was
+/// decoded lazily — not at boot.
+fn persist_verify(addr: SocketAddr, body_file: &str) -> Result<(), String> {
+    let io = |error: std::io::Error| format!("FAILED: io error: {error}");
+    let saved = std::fs::read(body_file).map_err(io)?;
+    let split = saved
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("FAILED: saved body file has no etag line")?;
+    let expected_etag = String::from_utf8_lossy(&saved[..split]).to_string();
+    let expected_body = &saved[split + 1..];
+
+    let list = loadgen::get(addr, "/v1/datasets?format=json").map_err(io)?;
+    check(
+        list.status == 200 && list.body_string().contains("persist"),
+        "the restarted server lists the recovered tenant",
+    )?;
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(
+        metrics.body_string().contains("osdiv_snapshot_loads 0"),
+        "boot recovers the tenant without decoding its snapshot",
+    )?;
+
+    let doc = loadgen::get(addr, PERSIST_DOC).map_err(io)?;
+    check(doc.status == 200, "the recovered tenant serves its report")?;
+    check(
+        doc.header("etag") == Some(expected_etag.as_str()),
+        "the recovered report carries the pre-kill ETag",
+    )?;
+    check(
+        doc.body == expected_body,
+        "the recovered report is byte-identical to the pre-kill document",
+    )?;
+
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(
+        metrics.body_string().contains("osdiv_snapshot_loads 1"),
+        "the first touch decodes exactly one snapshot",
+    )?;
+
+    let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
+    check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let Some(addr) = std::env::args().nth(1) else {
-        eprintln!("usage: osdiv-serve-smoke <addr:port>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!(
+            "usage: osdiv-serve-smoke <addr:port> [full|persist-ingest|persist-verify] [body-file]"
+        );
         return ExitCode::from(2);
     };
     let Ok(addr) = addr.parse::<SocketAddr>() else {
         eprintln!("invalid address {addr:?}");
         return ExitCode::from(2);
     };
-    match run(addr) {
+    let mode = args.get(1).map(String::as_str).unwrap_or("full");
+    let result = match mode {
+        "full" => run(addr),
+        "persist-ingest" | "persist-verify" => {
+            let Some(body_file) = args.get(2) else {
+                eprintln!("{mode} expects a body-file argument");
+                return ExitCode::from(2);
+            };
+            if mode == "persist-ingest" {
+                persist_ingest(addr, body_file)
+            } else {
+                persist_verify(addr, body_file)
+            }
+        }
+        other => {
+            eprintln!("unknown mode {other:?} (expected full, persist-ingest or persist-verify)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
         Ok(()) => {
-            println!("smoke test passed");
+            println!("smoke test passed ({mode})");
             ExitCode::SUCCESS
         }
         Err(message) => {

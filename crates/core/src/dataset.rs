@@ -176,6 +176,12 @@ impl StudyDataset {
         built
     }
 
+    /// Installs a pre-built count index (a snapshot reload) so the first
+    /// query after a warm restart skips the rebuild.
+    pub(crate) fn preload_index(&self, index: Arc<CountIndex>) {
+        *self.index.write() = Some(index);
+    }
+
     /// The underlying store.
     pub fn store(&self) -> &VulnStore {
         &self.store

@@ -214,6 +214,115 @@ impl CountIndex {
         self.years.len()
     }
 
+    /// Serializes the index tables for the snapshot `INDEX` section (see
+    /// `docs/SNAPSHOT_FORMAT.md`): little-endian, years then the
+    /// coarse flag then the three profile table sets in
+    /// [`ServerProfile::ALL`] order.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.coarse));
+        out.extend_from_slice(&(self.years.len() as u32).to_le_bytes());
+        for year in &self.years {
+            out.extend_from_slice(&year.to_le_bytes());
+        }
+        for tables in &self.profiles {
+            for count in &tables.at_least {
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            for table in [&tables.superset, &tables.shared2] {
+                out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+                for value in table.iter() {
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes an `INDEX` section payload written by
+    /// [`encode`](CountIndex::encode). Returns `None` for any malformed
+    /// or dimensionally inconsistent payload — the caller falls back to
+    /// rebuilding the index from the rows, per the snapshot format's
+    /// compatibility promise.
+    pub(crate) fn decode(payload: &[u8]) -> Option<CountIndex> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        impl Reader<'_> {
+            fn u8(&mut self) -> Option<u8> {
+                let value = *self.bytes.get(self.pos)?;
+                self.pos += 1;
+                Some(value)
+            }
+            fn u16(&mut self) -> Option<u16> {
+                let bytes = self.bytes.get(self.pos..self.pos + 2)?;
+                self.pos += 2;
+                Some(u16::from_le_bytes([bytes[0], bytes[1]]))
+            }
+            fn u32(&mut self) -> Option<u32> {
+                let bytes = self.bytes.get(self.pos..self.pos + 4)?;
+                self.pos += 4;
+                Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+            }
+            fn u32_vec(&mut self, expected: usize) -> Option<Vec<u32>> {
+                if self.u32()? as usize != expected {
+                    return None;
+                }
+                let mut values = Vec::with_capacity(expected.min(self.bytes.len() / 4));
+                for _ in 0..expected {
+                    values.push(self.u32()?);
+                }
+                Some(values)
+            }
+        }
+        let mut reader = Reader {
+            bytes: payload,
+            pos: 0,
+        };
+        let coarse = match reader.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let year_count = reader.u32()? as usize;
+        // Years are bounded by the u16 domain; a larger claim is corrupt.
+        if year_count > usize::from(u16::MAX) {
+            return None;
+        }
+        let mut years = Vec::with_capacity(year_count.min(payload.len() / 2));
+        for _ in 0..year_count {
+            years.push(reader.u16()?);
+        }
+        if years.windows(2).any(|pair| pair[0] >= pair[1]) {
+            return None; // must be strictly ascending, as built
+        }
+        if coarse != (years.len() > MAX_YEAR_LAYERS) {
+            return None;
+        }
+        let layers = if years.is_empty() {
+            0
+        } else if coarse {
+            1
+        } else {
+            years.len()
+        };
+        let mut profiles: [ProfileTables; 3] = Default::default();
+        for tables in profiles.iter_mut() {
+            for count in tables.at_least.iter_mut() {
+                *count = reader.u32()?;
+            }
+            tables.superset = reader.u32_vec(layers * MASKS)?;
+            tables.shared2 = reader.u32_vec(layers * MASKS)?;
+        }
+        if reader.pos != payload.len() {
+            return None;
+        }
+        Some(CountIndex {
+            years,
+            coarse,
+            profiles,
+        })
+    }
+
     /// Whether the index degraded to a single whole-range layer (see
     /// [`MAX_YEAR_LAYERS`]).
     pub fn is_coarse(&self) -> bool {

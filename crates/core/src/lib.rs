@@ -70,6 +70,7 @@ pub mod params;
 pub mod releases;
 pub mod render;
 pub mod selection;
+pub mod snapshot;
 pub mod split;
 pub mod study;
 pub mod temporal;
@@ -90,6 +91,7 @@ pub use selection::{
     figure3_configurations, figure3_table, ConfigurationOutcome, ReplicaSelection,
     SelectionAnalysis, SelectionConfig, SelectionCriterion,
 };
+pub use snapshot::{Snapshot, SnapshotError, SnapshotInfo};
 pub use split::{SplitConfig, SplitMatrix};
 pub use study::Study;
 pub use temporal::{TemporalAnalysis, TemporalConfig};

@@ -564,7 +564,23 @@ impl FeedIngester {
     /// Finishes the ingestion: waits for the worker pool to drain, fails
     /// on a parse error, a truncated or an empty feed, classifies
     /// unlabelled rows, and returns the loaded dataset.
-    pub fn finish(mut self) -> Result<IngestOutcome, IngestError> {
+    pub fn finish(self) -> Result<IngestOutcome, IngestError> {
+        self.finish_inner(false).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`finish`](FeedIngester::finish), but a feed that ends in the
+    /// middle of an entry element **drops the partial trailing entry**
+    /// instead of failing — the semantics of replaying a crash-truncated
+    /// ingestion journal, where everything up to the last complete entry
+    /// is trustworthy and the torn tail is not. The returned flag reports
+    /// whether a partial entry was dropped. Parse errors and empty feeds
+    /// still fail: a journal holding a feed the original `PUT` would have
+    /// rejected must not materialize a dataset.
+    pub fn finish_lossy(self) -> Result<(IngestOutcome, bool), IngestError> {
+        self.finish_inner(true)
+    }
+
+    fn finish_inner(mut self, lossy: bool) -> Result<(IngestOutcome, bool), IngestError> {
         if let Some(pipeline) = self.pipeline.take() {
             for (seq, result) in pipeline.drain() {
                 self.pending.insert(seq, result);
@@ -572,7 +588,8 @@ impl FeedIngester {
         }
         self.settle_pending();
         self.take_failure()?;
-        if matches!(self.state, ScanState::InEntry(_)) {
+        let dropped_tail = matches!(self.state, ScanState::InEntry(_));
+        if dropped_tail && !lossy {
             return Err(IngestError::Truncated);
         }
         if self.seen == 0 {
@@ -581,13 +598,16 @@ impl FeedIngester {
         let entries = self.store.vulnerability_count();
         let mut dataset = StudyDataset::from_store(self.store);
         dataset.classify_unlabelled(&Classifier::with_default_rules());
-        Ok(IngestOutcome {
-            dataset,
-            entries,
-            parsed: self.inserted,
-            skipped: self.skipped,
-            feed_bytes: self.feed_bytes,
-        })
+        Ok((
+            IngestOutcome {
+                dataset,
+                entries,
+                parsed: self.inserted,
+                skipped: self.skipped,
+                feed_bytes: self.feed_bytes,
+            },
+            dropped_tail,
+        ))
     }
 }
 
@@ -734,6 +754,32 @@ mod tests {
                 "chunk size {chunk}"
             );
         }
+    }
+
+    #[test]
+    fn finish_lossy_drops_only_the_torn_trailing_entry() {
+        let xml = feed(10);
+        // A strict finish on a feed cut mid-entry fails…
+        let cut = xml.rfind("<entry").unwrap() + 20;
+        let mut ingester = FeedIngester::new(IngestBudget::default());
+        ingester.push(&xml.as_bytes()[..cut]).unwrap();
+        assert!(matches!(ingester.finish(), Err(IngestError::Truncated)));
+        // …a lossy finish keeps the nine complete entries.
+        let mut ingester = FeedIngester::new(IngestBudget::default());
+        ingester.push(&xml.as_bytes()[..cut]).unwrap();
+        let (outcome, dropped) = ingester.finish_lossy().unwrap();
+        assert!(dropped);
+        assert_eq!(outcome.entries, 9);
+        // A clean feed reports no drop.
+        let mut ingester = FeedIngester::new(IngestBudget::default());
+        ingester.push(xml.as_bytes()).unwrap();
+        let (outcome, dropped) = ingester.finish_lossy().unwrap();
+        assert!(!dropped);
+        assert_eq!(outcome.entries, 10);
+        // Still strict about feeds that never completed a single entry.
+        let mut ingester = FeedIngester::new(IngestBudget::default());
+        ingester.push(b"<nvd>").unwrap();
+        assert!(matches!(ingester.finish_lossy(), Err(IngestError::Empty)));
     }
 
     #[test]

@@ -19,9 +19,16 @@
 //!   [`vulnstore::VulnStore`] and finishes into a ready-to-serve
 //!   [`StudyDataset`](osdiv_core::StudyDataset) — all under a configurable
 //!   [`IngestBudget`].
+//! * [`persist`] — [`TenantStore`], the durable side: `OSDV` snapshots
+//!   written the moment an ingested dataset registers, an append-only
+//!   `OSDJ` ingestion journal whose torn tails are truncated (never
+//!   trusted) on replay, and the counters `/metrics` reports. With a
+//!   store attached, eviction *spills* instead of tombstoning and
+//!   [`StudyRegistry::recover`] warm-restarts the whole tenant set from
+//!   disk.
 //!
 //! The server (`osdiv-serve`), the CLI (`osdiv ingest`, `osdiv serve`) and
-//! the tests all share these two types, closing the paper's Section III
+//! the tests all share these types, closing the paper's Section III
 //! loop — from NVD XML data feed to queryable diversity analysis — at
 //! request time instead of build time.
 
@@ -29,10 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod ingest;
+pub mod persist;
 pub mod registry;
 
 pub use ingest::{FeedIngester, IngestBudget, IngestError, IngestOutcome};
+pub use persist::{
+    JournalReplay, JournalWriter, LoadedTenant, PersistError, PersistMetrics, ScanReport,
+    TenantStore,
+};
 pub use registry::{
-    build_synthetic, validate_name, DatasetInfo, DatasetSource, RegistryError, RegistryOptions,
-    StudyRegistry, DEFAULT_DATASET,
+    build_synthetic, validate_name, DatasetInfo, DatasetSource, RecoveryReport, RegistryError,
+    RegistryOptions, StudyRegistry, DEFAULT_DATASET,
 };

@@ -1,0 +1,766 @@
+//! Durable tenant storage: `OSDV` snapshots plus the `OSDJ` ingestion
+//! journal, both living under one data directory.
+//!
+//! [`TenantStore`] owns the directory. Each tenant `name` (already
+//! path-safe — see [`validate_name`]) maps to at most two files:
+//!
+//! * `<name>.osdv` — the versioned, checksummed snapshot written the
+//!   moment an ingested dataset is registered (datasets are immutable
+//!   after that, so no further writes are ever needed);
+//! * `<name>.journal` — the append-only raw-feed journal kept *during*
+//!   a streaming ingestion and deleted once the snapshot is durable. A
+//!   crash mid-`PUT` leaves only the journal; recovery replays it up to
+//!   the last complete record and **truncates — never trusts — a torn
+//!   tail**.
+//!
+//! The journal byte layout (specified in `docs/SNAPSHOT_FORMAT.md`):
+//!
+//! ```text
+//! offset 0  magic "OSDJ"
+//! offset 4  journal format version (u16 LE)
+//! offset 6  records, each:
+//!             +0  payload length (u32 LE)
+//!             +4  payload CRC-32 (u32 LE, IEEE polynomial)
+//!             +8  payload bytes (one ingestion chunk, raw feed XML)
+//! ```
+//!
+//! Snapshots are written to a `.tmp` sibling and atomically renamed into
+//! place, so a `<name>.osdv` file is either absent or complete — a crash
+//! can tear the journal but never the snapshot.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use osdiv_core::snapshot::crc32;
+use osdiv_core::{Snapshot, SnapshotError, Study};
+
+use crate::registry::{validate_name, DatasetSource};
+
+/// File extension of tenant snapshots.
+pub const SNAPSHOT_EXT: &str = "osdv";
+
+/// File extension of ingestion journals.
+pub const JOURNAL_EXT: &str = "journal";
+
+/// The four magic bytes every journal starts with.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"OSDJ";
+
+/// The journal format version this module writes.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// Bytes before the first journal record (magic + format version).
+pub const JOURNAL_HEADER_BYTES: usize = 6;
+
+/// Bytes of framing before each record's payload (length + CRC-32).
+pub const JOURNAL_RECORD_HEADER_BYTES: usize = 8;
+
+/// META keys a tenant snapshot carries so the registry can rebuild the
+/// slot's [`DatasetSource`] without decoding the store payload.
+const META_SOURCE: &str = "source";
+const META_SEED: &str = "seed";
+const META_ENTRIES: &str = "entries";
+const META_SKIPPED: &str = "skipped";
+const META_FEED_BYTES: &str = "feed_bytes";
+
+/// Typed persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// A filesystem operation failed.
+    Io {
+        /// The operation that failed.
+        what: &'static str,
+        /// The underlying error.
+        error: io::Error,
+    },
+    /// The snapshot file is corrupt, truncated or wrong-versioned.
+    Snapshot(SnapshotError),
+    /// The snapshot loaded but its META annotations do not describe a
+    /// dataset source this registry understands.
+    BadMeta {
+        /// The tenant whose snapshot is unusable.
+        name: String,
+    },
+    /// A write was attempted through a read-only store (`--no-persist`).
+    ReadOnly,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { what, error } => write!(f, "{what} failed: {error}"),
+            PersistError::Snapshot(error) => write!(f, "snapshot unusable: {error}"),
+            PersistError::BadMeta { name } => {
+                write!(
+                    f,
+                    "snapshot for {name:?} carries no usable source annotations"
+                )
+            }
+            PersistError::ReadOnly => write!(f, "the tenant store is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { error, .. } => Some(error),
+            PersistError::Snapshot(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for PersistError {
+    fn from(error: SnapshotError) -> Self {
+        PersistError::Snapshot(error)
+    }
+}
+
+/// Monotonic persistence counters, surfaced verbatim on `/metrics`.
+#[derive(Debug, Default)]
+pub struct PersistMetrics {
+    snapshot_writes: AtomicU64,
+    snapshot_loads: AtomicU64,
+    spills: AtomicU64,
+    journal_replays: AtomicU64,
+    journal_truncations: AtomicU64,
+}
+
+impl PersistMetrics {
+    /// Snapshot files written (one per durable ingestion).
+    pub fn snapshot_writes(&self) -> u64 {
+        self.snapshot_writes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files read back into a live session.
+    pub fn snapshot_loads(&self) -> u64 {
+        self.snapshot_loads.load(Ordering::Relaxed)
+    }
+
+    /// Evictions that spilled (kept the snapshot, dropped the memory)
+    /// instead of tombstoning.
+    pub fn spills(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Orphaned journals replayed at boot.
+    pub fn journal_replays(&self) -> u64 {
+        self.journal_replays.load(Ordering::Relaxed)
+    }
+
+    /// Replays that detected (and discarded) a torn trailing record.
+    pub fn journal_truncations(&self) -> u64 {
+        self.journal_truncations.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_spills(&self, n: u64) {
+        self.spills.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_snapshot_write(&self) {
+        self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_snapshot_load(&self) {
+        self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_journal_replay(&self, truncated: bool) {
+        self.journal_replays.fetch_add(1, Ordering::Relaxed);
+        if truncated {
+            self.journal_truncations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A snapshot reconstructed from disk, ready to install in a slot.
+#[derive(Debug)]
+pub struct LoadedTenant {
+    /// The rebuilt session (fresh memo cache; count index pre-seeded when
+    /// the snapshot's `INDEX` section was readable).
+    pub study: Study,
+    /// The source recorded when the tenant was first ingested.
+    pub source: DatasetSource,
+    /// Whether the count index came from the snapshot (`false` means a
+    /// lazy rebuild — the format's compatibility promise, not an error).
+    pub index_loaded: bool,
+}
+
+/// What a directory scan found: tenants with snapshots, and orphaned
+/// journals left by a crash mid-ingestion.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Names with a `<name>.osdv` snapshot, sorted.
+    pub snapshots: Vec<String>,
+    /// Names with a `<name>.journal` file, sorted.
+    pub journals: Vec<String>,
+}
+
+/// A replayed journal: the trustworthy prefix of the feed bytes.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// The concatenated payloads of every complete, CRC-valid record.
+    pub feed: Vec<u8>,
+    /// Complete records recovered.
+    pub records: usize,
+    /// Whether the file ended in a torn (incomplete or CRC-failing)
+    /// record that was discarded.
+    pub truncated_tail: bool,
+}
+
+/// The on-disk side of the registry: snapshot save/load, journal
+/// write/replay and the persistence counters, all scoped to one data
+/// directory.
+#[derive(Debug)]
+pub struct TenantStore {
+    dir: PathBuf,
+    read_only: bool,
+    metrics: PersistMetrics,
+}
+
+impl TenantStore {
+    /// Opens (creating if needed) a writable store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<TenantStore, PersistError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|error| PersistError::Io {
+            what: "creating the data directory",
+            error,
+        })?;
+        Ok(TenantStore {
+            dir,
+            read_only: false,
+            metrics: PersistMetrics::default(),
+        })
+    }
+
+    /// Opens a read-only store at `dir`: existing tenants load, but no
+    /// file is ever created, modified or deleted (the `--no-persist`
+    /// mode). The directory need not exist — scans just come back empty.
+    pub fn open_read_only(dir: impl Into<PathBuf>) -> TenantStore {
+        TenantStore {
+            dir: dir.into(),
+            read_only: true,
+            metrics: PersistMetrics::default(),
+        }
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether writes are refused.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// The persistence counters.
+    pub fn metrics(&self) -> &PersistMetrics {
+        &self.metrics
+    }
+
+    /// The snapshot path for a tenant name.
+    pub fn snapshot_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{SNAPSHOT_EXT}"))
+    }
+
+    /// The journal path for a tenant name.
+    pub fn journal_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{JOURNAL_EXT}"))
+    }
+
+    /// Writes `study` as `<name>.osdv`, annotated with `source`, via a
+    /// temp file and an atomic rename — the file is either absent or
+    /// complete, never torn.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] or I/O failure.
+    pub fn save(
+        &self,
+        name: &str,
+        study: &Study,
+        source: &DatasetSource,
+    ) -> Result<(), PersistError> {
+        if self.read_only {
+            return Err(PersistError::ReadOnly);
+        }
+        let dataset: &osdiv_core::StudyDataset = study;
+        let bytes = Snapshot::to_bytes(dataset, &source_meta(source));
+        let path = self.snapshot_path(name);
+        let tmp = self.dir.join(format!("{name}.{SNAPSHOT_EXT}.tmp"));
+        let io = |what| move |error| PersistError::Io { what, error };
+        fs::write(&tmp, &bytes).map_err(io("writing the snapshot temp file"))?;
+        fs::rename(&tmp, &path).map_err(io("installing the snapshot"))?;
+        self.metrics.record_snapshot_write();
+        Ok(())
+    }
+
+    /// Reads `<name>.osdv` back into a session.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a corrupt/truncated/wrong-version snapshot
+    /// ([`PersistError::Snapshot`]) or unusable annotations
+    /// ([`PersistError::BadMeta`]).
+    pub fn load(&self, name: &str) -> Result<LoadedTenant, PersistError> {
+        let bytes = fs::read(self.snapshot_path(name)).map_err(|error| PersistError::Io {
+            what: "reading the snapshot",
+            error,
+        })?;
+        let snapshot = Snapshot::from_bytes(&bytes)?;
+        let source = source_from_meta(&snapshot.meta).ok_or_else(|| PersistError::BadMeta {
+            name: name.to_string(),
+        })?;
+        self.metrics.record_snapshot_load();
+        Ok(LoadedTenant {
+            study: Study::new(snapshot.dataset),
+            source,
+            index_loaded: snapshot.index_loaded,
+        })
+    }
+
+    /// Reads only the source annotations of `<name>.osdv` — the cheap
+    /// boot-scan path that never decodes the store payload.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`load`](TenantStore::load), minus payload corruption
+    /// (which surfaces on the eventual lazy load instead).
+    pub fn read_source(&self, name: &str) -> Result<DatasetSource, PersistError> {
+        let bytes = fs::read(self.snapshot_path(name)).map_err(|error| PersistError::Io {
+            what: "reading the snapshot",
+            error,
+        })?;
+        let meta = Snapshot::read_meta(&bytes)?;
+        source_from_meta(&meta).ok_or_else(|| PersistError::BadMeta {
+            name: name.to_string(),
+        })
+    }
+
+    /// Lists the tenants (and orphaned journals) on disk. Files whose
+    /// stem is not a valid tenant name are ignored. A missing directory
+    /// answers an empty report.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure while reading the directory.
+    pub fn scan(&self) -> Result<ScanReport, PersistError> {
+        let mut report = ScanReport::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(report),
+            Err(error) => {
+                return Err(PersistError::Io {
+                    what: "scanning the data directory",
+                    error,
+                })
+            }
+        };
+        for entry in entries {
+            let entry = entry.map_err(|error| PersistError::Io {
+                what: "scanning the data directory",
+                error,
+            })?;
+            let path = entry.path();
+            let (Some(stem), Some(ext)) = (
+                path.file_stem().and_then(|s| s.to_str()),
+                path.extension().and_then(|e| e.to_str()),
+            ) else {
+                continue;
+            };
+            if validate_name(stem).is_err() {
+                continue;
+            }
+            match ext {
+                _ if ext == SNAPSHOT_EXT => report.snapshots.push(stem.to_string()),
+                _ if ext == JOURNAL_EXT => report.journals.push(stem.to_string()),
+                _ => {}
+            }
+        }
+        report.snapshots.sort();
+        report.journals.sort();
+        Ok(report)
+    }
+
+    /// Deletes `<name>.osdv` and `<name>.journal` (missing files are
+    /// fine).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] or I/O failure.
+    pub fn remove(&self, name: &str) -> Result<(), PersistError> {
+        if self.read_only {
+            return Err(PersistError::ReadOnly);
+        }
+        for path in [self.snapshot_path(name), self.journal_path(name)] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(error) if error.kind() == io::ErrorKind::NotFound => {}
+                Err(error) => {
+                    return Err(PersistError::Io {
+                        what: "deleting tenant files",
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens a fresh journal for `name`, truncating any leftover one (a
+    /// new `PUT` over a crashed one supersedes the orphan).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] or I/O failure.
+    pub fn journal(&self, name: &str) -> Result<JournalWriter, PersistError> {
+        if self.read_only {
+            return Err(PersistError::ReadOnly);
+        }
+        let path = self.journal_path(name);
+        let io = |what| move |error| PersistError::Io { what, error };
+        let mut file = File::create(&path).map_err(io("creating the journal"))?;
+        let mut header = [0u8; JOURNAL_HEADER_BYTES];
+        header[..4].copy_from_slice(&JOURNAL_MAGIC);
+        header[4..].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        file.write_all(&header)
+            .map_err(io("writing the journal header"))?;
+        Ok(JournalWriter { file, path })
+    }
+
+    /// Replays `<name>.journal`, recovering every complete CRC-valid
+    /// record and discarding the torn tail (if any). Records the replay
+    /// in the metrics. A missing/garbled header yields zero records with
+    /// `truncated_tail` set — the journal never held trustworthy data.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure reading the file.
+    pub fn replay_journal(&self, name: &str) -> Result<JournalReplay, PersistError> {
+        let bytes = fs::read(self.journal_path(name)).map_err(|error| PersistError::Io {
+            what: "reading the journal",
+            error,
+        })?;
+        let replay = parse_journal(&bytes);
+        self.metrics.record_journal_replay(replay.truncated_tail);
+        Ok(replay)
+    }
+
+    /// Deletes `<name>.journal` (missing is fine). No-op when read-only:
+    /// a read-only boot must leave the orphan for a writable one.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn discard_journal(&self, name: &str) -> Result<(), PersistError> {
+        if self.read_only {
+            return Ok(());
+        }
+        match fs::remove_file(self.journal_path(name)) {
+            Ok(()) => Ok(()),
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(error) => Err(PersistError::Io {
+                what: "deleting the journal",
+                error,
+            }),
+        }
+    }
+}
+
+/// An open ingestion journal. Each [`append`](JournalWriter::append) goes
+/// straight to the kernel (no userspace buffering), so a `SIGKILL`
+/// between appends loses at most the record in flight — exactly the torn
+/// tail the replay path truncates.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Appends one feed chunk as a framed, checksummed record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn append(&mut self, chunk: &[u8]) -> io::Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut frame = Vec::with_capacity(JOURNAL_RECORD_HEADER_BYTES + chunk.len());
+        frame.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(chunk).to_le_bytes());
+        frame.extend_from_slice(chunk);
+        self.file.write_all(&frame)
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Deletes the journal — either the ingestion's snapshot is durable
+    /// (commit) or the ingestion failed and there is nothing worth
+    /// replaying (discard). Consumes the writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure deleting the file.
+    pub fn finish(self) -> io::Result<()> {
+        let JournalWriter { file, path } = self;
+        drop(file);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(error) => Err(error),
+        }
+    }
+}
+
+/// Parses journal bytes into the trustworthy prefix (see the module docs
+/// for the framing).
+fn parse_journal(bytes: &[u8]) -> JournalReplay {
+    let mut replay = JournalReplay {
+        feed: Vec::new(),
+        records: 0,
+        truncated_tail: false,
+    };
+    if bytes.len() < JOURNAL_HEADER_BYTES
+        || bytes[..4] != JOURNAL_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != JOURNAL_VERSION
+    {
+        replay.truncated_tail = true;
+        return replay;
+    }
+    let mut pos = JOURNAL_HEADER_BYTES;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + JOURNAL_RECORD_HEADER_BYTES) else {
+            replay.truncated_tail = true;
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        let start = pos + JOURNAL_RECORD_HEADER_BYTES;
+        let Some(payload) = start.checked_add(len).and_then(|end| bytes.get(start..end)) else {
+            replay.truncated_tail = true;
+            break;
+        };
+        if crc32(payload) != expected {
+            // A failed checksum ends the trustworthy prefix: everything
+            // after it may be garbage from the same torn write.
+            replay.truncated_tail = true;
+            break;
+        }
+        replay.feed.extend_from_slice(payload);
+        replay.records += 1;
+        pos = start + len;
+    }
+    replay
+}
+
+/// The META annotations a tenant snapshot carries for `source`.
+pub fn source_meta(source: &DatasetSource) -> Vec<(String, String)> {
+    match source {
+        DatasetSource::Synthetic { seed } => vec![
+            (META_SOURCE.into(), "synthetic".into()),
+            (META_SEED.into(), seed.to_string()),
+        ],
+        DatasetSource::Ingested {
+            entries,
+            skipped,
+            feed_bytes,
+        } => vec![
+            (META_SOURCE.into(), "ingested".into()),
+            (META_ENTRIES.into(), entries.to_string()),
+            (META_SKIPPED.into(), skipped.to_string()),
+            (META_FEED_BYTES.into(), feed_bytes.to_string()),
+        ],
+    }
+}
+
+/// Rebuilds a [`DatasetSource`] from snapshot annotations.
+pub fn source_from_meta(meta: &[(String, String)]) -> Option<DatasetSource> {
+    let get = |key: &str| meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+    match get(META_SOURCE)? {
+        "synthetic" => Some(DatasetSource::Synthetic {
+            seed: get(META_SEED)?.parse().ok()?,
+        }),
+        "ingested" => Some(DatasetSource::Ingested {
+            entries: get(META_ENTRIES)?.parse().ok()?,
+            skipped: get(META_SKIPPED)?.parse().ok()?,
+            feed_bytes: get(META_FEED_BYTES)?.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("osdiv-persist-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_study() -> Study {
+        use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
+        let entries: Vec<_> = (0..4)
+            .map(|i| {
+                VulnerabilityEntry::builder(CveId::new(2007, 10 + i))
+                    .summary("Integer overflow in the kernel scheduler")
+                    .affects_os(OsDistribution::Debian)
+                    .affects_os(OsDistribution::OpenBsd)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        Study::from_entries(&entries)
+    }
+
+    #[test]
+    fn save_load_round_trips_study_and_source() {
+        let dir = temp_dir("roundtrip");
+        let store = TenantStore::open(&dir).unwrap();
+        let study = sample_study();
+        let source = DatasetSource::Ingested {
+            entries: 4,
+            skipped: 1,
+            feed_bytes: 999,
+        };
+        store.save("feed", &study, &source).unwrap();
+        let loaded = store.load("feed").unwrap();
+        assert_eq!(loaded.source, source);
+        assert!(loaded.index_loaded);
+        assert_eq!(loaded.study.valid_count(), study.valid_count());
+        assert_eq!(store.read_source("feed").unwrap(), source);
+        assert_eq!(store.metrics().snapshot_writes(), 1);
+        assert_eq!(store.metrics().snapshot_loads(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_lists_snapshots_and_journals_and_skips_foreign_files() {
+        let dir = temp_dir("scan");
+        let store = TenantStore::open(&dir).unwrap();
+        let study = sample_study();
+        let source = DatasetSource::Synthetic { seed: 3 };
+        store.save("b", &study, &source).unwrap();
+        store.save("a", &study, &source).unwrap();
+        store.journal("crashed").unwrap();
+        fs::write(dir.join("README.txt"), b"not a tenant").unwrap();
+        fs::write(dir.join("UPPER.osdv"), b"bad name").unwrap();
+        let report = store.scan().unwrap();
+        assert_eq!(report.snapshots, ["a", "b"]);
+        assert_eq!(report.journals, ["crashed"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_replays_complete_records_and_truncates_torn_tails() {
+        let dir = temp_dir("journal");
+        let store = TenantStore::open(&dir).unwrap();
+        let mut writer = store.journal("t").unwrap();
+        writer.append(b"<entry>one</entry>").unwrap();
+        writer.append(b"<entry>two</entry>").unwrap();
+        drop(writer); // simulate a crash: file left behind
+
+        // Clean journal: both records, no truncation.
+        let replay = store.replay_journal("t").unwrap();
+        assert_eq!(replay.records, 2);
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay.feed, b"<entry>one</entry><entry>two</entry>");
+
+        // Torn tail: a record header promising more bytes than exist.
+        let path = store.journal_path("t");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(b"partial");
+        fs::write(&path, &bytes).unwrap();
+        let replay = store.replay_journal("t").unwrap();
+        assert_eq!(replay.records, 2, "the complete prefix survives");
+        assert!(replay.truncated_tail);
+
+        // Corrupted payload: CRC mismatch ends the trustworthy prefix.
+        let mut bytes = fs::read(&path).unwrap();
+        let flip = JOURNAL_HEADER_BYTES + JOURNAL_RECORD_HEADER_BYTES + 3;
+        bytes[flip] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let replay = store.replay_journal("t").unwrap();
+        assert_eq!(replay.records, 0, "corruption in record 1 distrusts all");
+        assert!(replay.truncated_tail);
+
+        // Garbage header: zero records, flagged.
+        fs::write(&path, b"garbage").unwrap();
+        let replay = store.replay_journal("t").unwrap();
+        assert_eq!(replay.records, 0);
+        assert!(replay.truncated_tail);
+
+        store.discard_journal("t").unwrap();
+        assert!(!path.exists());
+        assert_eq!(store.metrics().journal_replays(), 4);
+        assert_eq!(store.metrics().journal_truncations(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_stores_load_but_never_write() {
+        let dir = temp_dir("readonly");
+        {
+            let writable = TenantStore::open(&dir).unwrap();
+            writable
+                .save(
+                    "keep",
+                    &sample_study(),
+                    &DatasetSource::Synthetic { seed: 1 },
+                )
+                .unwrap();
+        }
+        let store = TenantStore::open_read_only(&dir);
+        assert!(store.load("keep").is_ok());
+        assert!(matches!(
+            store.save(
+                "nope",
+                &sample_study(),
+                &DatasetSource::Synthetic { seed: 2 }
+            ),
+            Err(PersistError::ReadOnly)
+        ));
+        assert!(matches!(store.journal("nope"), Err(PersistError::ReadOnly)));
+        assert!(matches!(store.remove("keep"), Err(PersistError::ReadOnly)));
+        assert!(store.snapshot_path("keep").exists(), "nothing was deleted");
+        // A read-only store over a missing directory scans empty.
+        let ghost = TenantStore::open_read_only(dir.join("missing"));
+        assert!(ghost.scan().unwrap().snapshots.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_both_files() {
+        let dir = temp_dir("remove");
+        let store = TenantStore::open(&dir).unwrap();
+        store
+            .save("t", &sample_study(), &DatasetSource::Synthetic { seed: 1 })
+            .unwrap();
+        store.journal("t").unwrap();
+        store.remove("t").unwrap();
+        assert!(!store.snapshot_path("t").exists());
+        assert!(!store.journal_path("t").exists());
+        store.remove("t").unwrap(); // idempotent
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

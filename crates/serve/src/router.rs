@@ -218,6 +218,16 @@ impl Router {
         self.handle_with_body(request, &mut EmptyBody)
     }
 
+    /// Whether this request's route streams the request body itself (feed
+    /// ingestion). The server drains every other route's body *before*
+    /// routing, so an oversized upload is rejected before any side effect
+    /// runs.
+    pub fn consumes_body(&self, request: &Request) -> bool {
+        (request.method == "PUT" || request.method == "POST")
+            && single_segment(&request.path, "/v1/datasets/").is_some()
+            && !request.query.iter().any(|(key, _)| key == "seed")
+    }
+
     /// Routes one parsed request to a response, streaming the request body
     /// where the route consumes one (feed ingestion). Never panics on
     /// client input; analysis configuration errors surface as 400s.
@@ -227,10 +237,13 @@ impl Router {
         match path {
             "/metrics" => match self.check_get(request) {
                 Err(response) => response,
-                Ok(()) => Response::new(200).with_body(
-                    "text/plain; version=0.0.4",
-                    self.metrics.render().into_bytes(),
-                ),
+                Ok(()) => {
+                    let mut body = self.metrics.render();
+                    if let Some(store) = self.registry.persistence() {
+                        body.push_str(&persistence_metrics(store.metrics()));
+                    }
+                    Response::new(200).with_body("text/plain; version=0.0.4", body.into_bytes())
+                }
             },
             "/v1/shutdown" => {
                 if request.method != "POST" {
@@ -328,10 +341,15 @@ impl Router {
             };
             let kind = match (&info.source, info.resident) {
                 (_, true) => info.source.kind().to_string(),
-                // A non-resident synthetic spec rebuilds on demand; only a
-                // non-resident ingested dataset is irrecoverably evicted.
+                // A non-resident synthetic spec rebuilds on demand; a
+                // non-resident ingested dataset reloads from its snapshot
+                // when one exists (spilled) and is irrecoverably gone
+                // otherwise (evicted).
                 (DatasetSource::Synthetic { .. }, false) => {
                     format!("{} (lazy)", info.source.kind())
+                }
+                (DatasetSource::Ingested { .. }, false) if info.spilled => {
+                    format!("{} (spilled)", info.source.kind())
                 }
                 (DatasetSource::Ingested { .. }, false) => {
                     format!("{} (evicted)", info.source.kind())
@@ -404,29 +422,71 @@ impl Router {
             });
         }
 
+        // Journal the raw feed chunks as they stream: a crash anywhere
+        // between here and the durable snapshot leaves a replayable
+        // record of the upload instead of nothing. The journal is
+        // deleted once the snapshot is on disk (or the ingestion fails).
+        let mut journal = match self.registry.persistence() {
+            Some(store) if !store.read_only() => match store.journal(name) {
+                Ok(journal) => Some(journal),
+                Err(error) => {
+                    return registry_error_response(&RegistryError::Persistence {
+                        name: name.to_string(),
+                        detail: error.to_string(),
+                    })
+                }
+            },
+            _ => None,
+        };
+        let retire_journal = |journal: &mut Option<osdiv_registry::JournalWriter>| {
+            if let Some(journal) = journal.take() {
+                let _ = journal.finish();
+            }
+        };
+
         // Stream the feed body through the ingester, chunk by chunk.
-        let mut ingester = FeedIngester::new(self.options.ingest_budget.clone());
-        let mut chunk = Vec::new();
-        loop {
-            match body.next_chunk(&mut chunk) {
-                Ok(true) => {
-                    if let Err(error) = ingester.push(&chunk) {
-                        return ingest_error_response(&error);
+        let streamed = (|| -> Result<_, Response> {
+            let mut ingester = FeedIngester::new(self.options.ingest_budget.clone());
+            let mut chunk = Vec::new();
+            loop {
+                match body.next_chunk(&mut chunk) {
+                    Ok(true) => {
+                        if let Some(journal) = journal.as_mut() {
+                            if let Err(error) = journal.append(&chunk) {
+                                return Err(registry_error_response(&RegistryError::Persistence {
+                                    name: name.to_string(),
+                                    detail: format!("journal write failed: {error}"),
+                                }));
+                            }
+                        }
+                        if let Err(error) = ingester.push(&chunk) {
+                            return Err(ingest_error_response(&error));
+                        }
+                    }
+                    Ok(false) => break,
+                    Err(BodyError::Violation(violation)) => return Err(Response::from(&violation)),
+                    Err(BodyError::TooLarge { limit }) => {
+                        return Err(Response::text(
+                            413,
+                            format!("request body exceeds {limit} bytes"),
+                        ))
+                    }
+                    Err(BodyError::Io(_)) => {
+                        return Err(Response::text(400, "request body ended prematurely"))
                     }
                 }
-                Ok(false) => break,
-                Err(BodyError::Violation(violation)) => return Response::from(&violation),
-                Err(BodyError::TooLarge { limit }) => {
-                    return Response::text(413, format!("request body exceeds {limit} bytes"))
-                }
-                Err(BodyError::Io(_)) => {
-                    return Response::text(400, "request body ended prematurely")
-                }
             }
-        }
-        let outcome = match ingester.finish() {
+            ingester
+                .finish()
+                .map_err(|error| ingest_error_response(&error))
+        })();
+        let outcome = match streamed {
             Ok(outcome) => outcome,
-            Err(error) => return ingest_error_response(&error),
+            Err(response) => {
+                // A failed ingestion holds nothing a replay should trust.
+                retire_journal(&mut journal);
+                return response;
+            }
         };
         let (entries, skipped, feed_bytes) = (outcome.entries, outcome.skipped, outcome.feed_bytes);
         let study = Arc::new(outcome.into_study());
@@ -437,8 +497,11 @@ impl Router {
             feed_bytes,
         };
         if let Err(error) = self.registry.insert(name, study, source) {
+            retire_journal(&mut journal);
             return registry_error_response(&error);
         }
+        // insert() wrote the durable snapshot; the journal is redundant.
+        retire_journal(&mut journal);
         Response::new(201).with_body(
             tabular::mime::APPLICATION_JSON,
             format!(
@@ -486,12 +549,13 @@ impl Router {
                 Response::new(200).with_body(
                     tabular::mime::APPLICATION_JSON,
                     format!(
-                        "{{\"dataset\":{:?},\"source\":{:?},{detail},\"resident\":{},\"resident_bytes\":{},\"pinned\":{}}}\n",
+                        "{{\"dataset\":{:?},\"source\":{:?},{detail},\"resident\":{},\"resident_bytes\":{},\"pinned\":{},\"spilled\":{}}}\n",
                         info.name,
                         info.source.kind(),
                         info.resident,
                         info.resident_bytes,
                         info.pinned,
+                        info.spilled,
                     )
                     .into_bytes(),
                 )
@@ -609,7 +673,7 @@ fn error_response(error: &AnalysisError) -> Response {
 }
 
 /// Maps a registry failure to its HTTP status: 404 unknown, 409 taken,
-/// 410 evicted, 507 over capacity, 400 invalid name.
+/// 410 evicted, 507 over capacity, 400 invalid name, 500 persistence.
 fn registry_error_response(error: &RegistryError) -> Response {
     let status = match error {
         RegistryError::NotFound { .. } => 404,
@@ -617,8 +681,49 @@ fn registry_error_response(error: &RegistryError) -> Response {
         RegistryError::Evicted { .. } => 410,
         RegistryError::CapacityExceeded { .. } => 507,
         RegistryError::InvalidName { .. } => 400,
+        RegistryError::Persistence { .. } => 500,
     };
     Response::text(status, format!("error: {error}"))
+}
+
+/// The persistence counters appended to `GET /metrics` when the registry
+/// has durable storage attached (same exposition format as
+/// [`ServeMetrics::render`]).
+fn persistence_metrics(metrics: &osdiv_registry::PersistMetrics) -> String {
+    let counters = [
+        (
+            "osdiv_snapshot_writes",
+            "tenant snapshots written to the data directory",
+            metrics.snapshot_writes(),
+        ),
+        (
+            "osdiv_snapshot_loads",
+            "tenant snapshots read back into live sessions",
+            metrics.snapshot_loads(),
+        ),
+        (
+            "osdiv_spills",
+            "evictions that kept the snapshot and dropped only memory",
+            metrics.spills(),
+        ),
+        (
+            "osdiv_journal_replays",
+            "orphaned ingestion journals replayed at boot",
+            metrics.journal_replays(),
+        ),
+        (
+            "osdiv_journal_truncations",
+            "journal replays that truncated a torn tail",
+            metrics.journal_truncations(),
+        ),
+    ];
+    let mut body = String::with_capacity(512);
+    for (name, help, value) in counters {
+        body.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    }
+    body
 }
 
 /// Maps an ingestion failure: budget violations are 413, malformed feeds

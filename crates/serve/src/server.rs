@@ -268,44 +268,46 @@ fn handle_connection(
             }
         };
         let mut body = StreamBody::new(&mut parser, &mut stream, framing);
-        let mut response = router.handle_with_body(&request, &mut body);
         served += 1;
+        // Routes that do not consume the body get it drained (bounded)
+        // *before* routing: an oversized or malformed upload must be
+        // rejected before the route runs its side effect. Draining after
+        // routing used to register a `?seed=` dataset and then replace
+        // its 201 with a 413 — the side effect without the success.
+        let rejected = if router.consumes_body(&request) || body.finished() {
+            None
+        } else {
+            match body.drain(MAX_BODY_BYTES) {
+                Ok(_) => None,
+                Err(BodyError::TooLarge { .. }) => {
+                    Some(Response::text(413, "request body too large"))
+                }
+                Err(BodyError::Violation(violation)) => Some(Response::from(&violation)),
+                Err(BodyError::Io(_)) => break,
+            }
+        };
+        let rejected_before_routing = rejected.is_some();
+        let response = match rejected {
+            Some(response) => response,
+            None => router.handle_with_body(&request, &mut body),
+        };
         let mut keep_alive = request.keep_alive()
             && served < options.max_keep_alive_requests
-            && !shutdown.load(Ordering::SeqCst);
+            && !shutdown.load(Ordering::SeqCst)
+            && !rejected_before_routing;
         // Whether unread body bytes remain when the response is written —
         // closing such a connection needs the lame-duck dance below.
-        let mut body_pending = false;
-        if !body.finished() {
-            if response.status() < 400 {
-                // A route that ignored its body: drain it (bounded) so the
-                // connection stays in sync for the next request.
-                match body.drain(MAX_BODY_BYTES) {
-                    Ok(_) => {}
-                    Err(BodyError::TooLarge { .. }) => {
-                        response = Response::text(413, "request body too large");
-                        keep_alive = false;
-                        body_pending = true;
-                    }
-                    Err(BodyError::Violation(violation)) => {
-                        response = Response::from(&violation);
-                        keep_alive = false;
-                        // The peer may still be mid-upload: without the
-                        // lame-duck half-close below, closing now can RST
-                        // the connection and destroy this 400 before the
-                        // client reads it.
-                        body_pending = true;
-                    }
-                    Err(BodyError::Io(_)) => {
-                        keep_alive = false;
-                    }
-                }
-            } else {
-                // An error response to a partially read upload: answer,
-                // then close — the unread body makes keep-alive unsound.
-                keep_alive = false;
-                body_pending = true;
-            }
+        let mut body_pending = rejected_before_routing;
+        if !body.finished() && !rejected_before_routing {
+            // Only a consuming route (feed ingestion) leaves the body
+            // unfinished here, and only by failing partway through it:
+            // answer, then close — the unread body makes keep-alive
+            // unsound. The peer may still be mid-upload: without the
+            // lame-duck half-close below, closing now can RST the
+            // connection and destroy the diagnostic before the client
+            // reads it.
+            keep_alive = false;
+            body_pending = true;
         }
         if !record_write(response.write_to(&mut stream, keep_alive, request.method == "HEAD")) {
             break;

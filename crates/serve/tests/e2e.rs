@@ -435,6 +435,30 @@ fn oversized_unconsumed_bodies_answer_413() {
 }
 
 #[test]
+fn rejected_bodies_never_run_the_route_side_effect() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+    // Regression: `PUT /v1/datasets/{name}?seed=` does not consume its
+    // body, so an oversized upload used to register the dataset first and
+    // only then replace the 201 with a 413 — the side effect without the
+    // success. The body is now drained (and rejected) before routing.
+    let huge = vec![b'x'; 80 * 1024];
+    let response =
+        loadgen::request_with_body(addr, "PUT", "/v1/datasets/sneaky?seed=5", &[], &huge).unwrap();
+    assert_eq!(response.status, 413);
+    assert_eq!(
+        loadgen::get(addr, "/v1/report?dataset=sneaky")
+            .unwrap()
+            .status,
+        404,
+        "a rejected request must not have registered the dataset"
+    );
+    let list = loadgen::get(addr, "/v1/datasets?format=json").unwrap();
+    assert!(!list.body_string().contains("sneaky"));
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn loadgen_drives_concurrent_clients_to_completion() {
     let (_, handle) = start_server(false);
     let report = loadgen::run_loadgen(handle.addr(), 4, 25, "/v1/report?format=json");

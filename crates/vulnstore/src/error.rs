@@ -17,6 +17,13 @@ pub enum StoreError {
         /// Description of what was being looked up.
         what: &'static str,
     },
+    /// Decoded tables violate a relational invariant (dangling foreign
+    /// key, duplicate unique key, …) — the input cannot come from a
+    /// well-formed store.
+    Inconsistent {
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -26,6 +33,9 @@ impl fmt::Display for StoreError {
                 write!(f, "vulnerability {id} is already stored")
             }
             StoreError::NotFound { what } => write!(f, "{what} not found"),
+            StoreError::Inconsistent { what } => {
+                write!(f, "inconsistent store tables: {what}")
+            }
         }
     }
 }

@@ -46,12 +46,14 @@
 pub mod concurrent;
 pub mod error;
 pub mod schema;
+pub mod snapshot;
 pub mod store;
 pub mod table;
 
 pub use concurrent::SharedStore;
 pub use error::StoreError;
 pub use schema::{CvssRow, OsRow, OsVulnRow, VulnId, VulnerabilityRow};
+pub use snapshot::{decode_store, encode_store, RowCodecError, STORE_SECTION_VERSION};
 pub use store::VulnStore;
 pub use table::Table;
 

@@ -180,6 +180,75 @@ impl VulnStore {
         }
     }
 
+    /// Reconstructs a store from the three persisted tables, rebuilding
+    /// every derived index from table scan order.
+    ///
+    /// [`insert_entry`](VulnStore::insert_entry) appends `os_vuln` rows
+    /// and pushes into `by_os` in the same loop, so the global `os_vuln`
+    /// table order *is* the per-OS insertion order — a single in-order
+    /// scan reproduces `by_os`, `os_vuln_by_vuln`, `cvss_by_vuln` and
+    /// `by_cve` exactly as ingestion built them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Inconsistent`] when the tables violate a
+    /// relational invariant: row ids out of order, duplicate CVE keys,
+    /// dangling foreign keys, duplicate `(vulnerability, OS)` pairs, an
+    /// `os_set` disagreeing with the join table, or more than one CVSS
+    /// row per vulnerability.
+    pub fn from_rows(
+        vulnerabilities: Vec<VulnerabilityRow>,
+        os_vuln: Vec<OsVulnRow>,
+        cvss: Vec<CvssRow>,
+    ) -> Result<VulnStore, StoreError> {
+        let inconsistent = |what: &'static str| StoreError::Inconsistent { what };
+        let mut store = VulnStore::new();
+        for (position, row) in vulnerabilities.iter().enumerate() {
+            if row.id.index() != position {
+                return Err(inconsistent("vulnerability row id != row position"));
+            }
+            if store.by_cve.insert(row.cve, row.id).is_some() {
+                return Err(inconsistent("duplicate CVE identifier"));
+            }
+        }
+        let vuln_count = vulnerabilities.len();
+        let mut joined_sets = vec![OsSet::new(); vuln_count];
+        for (row_id, row) in os_vuln.iter().enumerate() {
+            if row.vuln.index() >= vuln_count {
+                return Err(inconsistent(
+                    "os_vuln row references a missing vulnerability",
+                ));
+            }
+            if joined_sets[row.vuln.index()].contains(row.os) {
+                return Err(inconsistent("duplicate (vulnerability, OS) join row"));
+            }
+            joined_sets[row.vuln.index()].insert(row.os);
+            store.by_os[row.os.index()].push(row.vuln);
+            store
+                .os_vuln_by_vuln
+                .entry(row.vuln)
+                .or_default()
+                .push(row_id);
+        }
+        for (row, joined) in vulnerabilities.iter().zip(&joined_sets) {
+            if row.os_set != *joined {
+                return Err(inconsistent("os_set disagrees with the os_vuln join table"));
+            }
+        }
+        for (row_id, row) in cvss.iter().enumerate() {
+            if row.vuln.index() >= vuln_count {
+                return Err(inconsistent("cvss row references a missing vulnerability"));
+            }
+            if store.cvss_by_vuln.insert(row.vuln, row_id).is_some() {
+                return Err(inconsistent("more than one cvss row per vulnerability"));
+            }
+        }
+        store.vulnerabilities.extend(vulnerabilities);
+        store.os_vuln.extend(os_vuln);
+        store.cvss.extend(cvss);
+        Ok(store)
+    }
+
     // ------------------------------------------------------------------
     // Row access
     // ------------------------------------------------------------------
@@ -305,6 +374,18 @@ impl VulnStore {
     /// per row without a per-row index lookup at every call site.
     pub fn rows_with_remote(&self) -> impl Iterator<Item = (&VulnerabilityRow, bool)> {
         self.rows().map(|row| (row, self.is_remote(row.id)))
+    }
+
+    /// Iterates over the whole `os_vuln` join table in insertion order —
+    /// the order [`VulnStore::from_rows`] rebuilds the per-OS indexes
+    /// from, so serializing this scan round-trips the store exactly.
+    pub fn os_vuln_rows(&self) -> impl Iterator<Item = &OsVulnRow> {
+        self.os_vuln.iter()
+    }
+
+    /// Iterates over the whole `cvss` table in insertion order.
+    pub fn cvss_rows(&self) -> impl Iterator<Item = &CvssRow> {
+        self.cvss.iter()
     }
 
     /// The `os_vuln` rows of a vulnerability (one per affected OS).
