@@ -96,6 +96,7 @@ struct Options {
     threads: usize,
     enable_shutdown: bool,
     enable_dataset_delete: bool,
+    ingest_token: Option<String>,
     max_datasets: usize,
     max_dataset_bytes: usize,
     name: Option<String>,
@@ -120,6 +121,7 @@ impl Default for Options {
             threads: osdiv_serve::default_threads(),
             enable_shutdown: false,
             enable_dataset_delete: false,
+            ingest_token: None,
             max_datasets: osdiv_registry::registry::DEFAULT_MAX_DATASETS,
             max_dataset_bytes: osdiv_registry::registry::DEFAULT_MAX_TOTAL_BYTES,
             name: None,
@@ -516,6 +518,12 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
             enable_shutdown: opts.enable_shutdown,
             enable_dataset_delete: opts.enable_dataset_delete,
             ingest_budget,
+            // Flag wins over the environment; both unset leaves the
+            // mutating dataset routes open (pre-0.7 behaviour).
+            ingest_token: opts
+                .ingest_token
+                .clone()
+                .or_else(|| std::env::var("OSDIV_INGEST_TOKEN").ok()),
         },
     ));
     let server = Server::bind(
@@ -598,6 +606,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--enable-shutdown" => opts.enable_shutdown = true,
             "--enable-dataset-delete" => opts.enable_dataset_delete = true,
+            "--ingest-token" => opts.ingest_token = Some(value("--ingest-token")?),
             "--max-datasets" => {
                 let raw = value("--max-datasets")?;
                 opts.max_datasets =
@@ -649,6 +658,8 @@ fn usage() -> String {
          --threads <N>                    serve: worker threads\n  \
          --enable-shutdown                serve: honour POST /v1/shutdown\n  \
          --enable-dataset-delete          serve: honour DELETE /v1/datasets/{name}\n  \
+         --ingest-token <TOKEN>           serve: require `Authorization: Bearer <TOKEN>` on\n                                   \
+         mutating dataset routes (env: OSDIV_INGEST_TOKEN)\n  \
          --max-datasets <N>               serve: dataset registry name cap (default: 16)\n  \
          --max-dataset-bytes <BYTES>      serve/ingest: dataset byte budget (default: 256 MiB)\n  \
          --name <name>                    ingest: label of the summarized dataset\n  \

@@ -1,0 +1,120 @@
+//! Always-on fuzz harness for the chunked transfer-coding decoder. The
+//! decoder must never panic, must produce identical output however the
+//! input is sliced, and its work counter must stay linear in the bytes
+//! fed — the complexity contract `complexity_guard.rs` pins at scale.
+
+use osdiv_serve::http::ChunkedDecoder;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn corpus(dir: &str) -> Vec<(String, Vec<u8>)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpora")
+        .join(dir);
+    let mut paths: Vec<_> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("corpus {} unreadable: {e}", root.display()))
+        .map(|entry| entry.expect("corpus entry").path())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus {dir} must not be empty");
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let bytes = std::fs::read(&path).expect("corpus file readable");
+            (name, bytes)
+        })
+        .collect()
+}
+
+fn mutate(seed: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    for _ in 0..rng.gen_range(1..=6usize) {
+        match rng.gen_range(0u32..3) {
+            0 if !bytes.is_empty() => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(0u32..=255) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..=bytes.len());
+                bytes.insert(i, rng.gen_range(0u32..=255) as u8);
+            }
+            _ if !bytes.is_empty() => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            _ => {}
+        }
+    }
+    bytes
+}
+
+/// Decodes `input` in `piece`-byte feeds. Returns the decoded payload and
+/// an outcome tag, or the violation; also asserts the linear-work bound.
+fn drive(input: &[u8], piece: usize) -> Result<(Vec<u8>, bool), String> {
+    let mut decoder = ChunkedDecoder::new();
+    let mut sink = Vec::new();
+    let mut fed = 0u64;
+    for chunk in input.chunks(piece.max(1)) {
+        fed += chunk.len() as u64;
+        let mut consumed = 0;
+        while consumed < chunk.len() && !decoder.is_done() {
+            match decoder.decode(&chunk[consumed..], &mut sink) {
+                Ok(0) => break,
+                Ok(n) => consumed += n,
+                Err(violation) => return Err(format!("{violation:?}")),
+            }
+        }
+        // The decoder never examines more than a constant per byte fed
+        // (re-checks at chunk-boundary CRLFs are bounded).
+        assert!(
+            decoder.work() <= 2 * fed + 16,
+            "work {} superlinear in fed {fed}",
+            decoder.work()
+        );
+        if decoder.is_done() {
+            break;
+        }
+    }
+    Ok((sink, decoder.is_done()))
+}
+
+#[test]
+fn corpus_streams_never_panic_and_slice_consistently() {
+    for (name, bytes) in corpus("chunked") {
+        let whole = drive(&bytes, usize::MAX);
+        for piece in [1, 2, 3, 5] {
+            assert_eq!(
+                drive(&bytes, piece),
+                whole,
+                "{name} differs at piece={piece}"
+            );
+        }
+        if let Ok((payload, _)) = &whole {
+            assert!(
+                payload.len() <= bytes.len(),
+                "{name}: decoded payload cannot exceed the wire bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_streams_never_panic() {
+    let seeds = corpus("chunked");
+    let mut rng = StdRng::seed_from_u64(0x05D1_FBAD_C0DE_0002);
+    for round in 0..150 {
+        let (_, seed) = &seeds[round % seeds.len()];
+        let mutant = mutate(seed, &mut rng);
+        let whole = drive(&mutant, usize::MAX);
+        assert_eq!(
+            drive(&mutant, 1),
+            whole,
+            "slicing must not change the outcome"
+        );
+    }
+}

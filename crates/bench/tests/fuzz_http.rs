@@ -1,0 +1,101 @@
+//! Always-on fuzz harness for the HTTP request-head parser: every corpus
+//! file plus seeded deterministic mutations of it, fed whole and split at
+//! adversarial boundaries. The parser must never panic — malformed input
+//! is a `HttpViolation`, not a crash — and must behave identically no
+//! matter how the bytes are sliced.
+
+use osdiv_serve::http::RequestParser;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn corpus(dir: &str) -> Vec<(String, Vec<u8>)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpora")
+        .join(dir);
+    let mut paths: Vec<_> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("corpus {} unreadable: {e}", root.display()))
+        .map(|entry| entry.expect("corpus entry").path())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus {dir} must not be empty");
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let bytes = std::fs::read(&path).expect("corpus file readable");
+            (name, bytes)
+        })
+        .collect()
+}
+
+fn mutate(seed: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    for _ in 0..rng.gen_range(1..=8usize) {
+        match rng.gen_range(0u32..4) {
+            0 if !bytes.is_empty() => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(0u32..=255) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..=bytes.len());
+                bytes.insert(i, rng.gen_range(0u32..=255) as u8);
+            }
+            2 if !bytes.is_empty() => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            _ => {
+                let keep = bytes.len() / 2;
+                bytes.truncate(keep);
+            }
+        }
+    }
+    bytes
+}
+
+/// Feeds `input` to a fresh parser, optionally in `piece`-byte slices.
+/// Returns a coarse outcome fingerprint for cross-slicing comparison.
+fn drive(input: &[u8], piece: usize) -> String {
+    let mut parser = RequestParser::new();
+    for chunk in input.chunks(piece.max(1)) {
+        match parser.feed(chunk) {
+            Ok(Some(request)) => {
+                return format!("parsed {} {}", request.method, request.path);
+            }
+            Ok(None) => continue,
+            Err(violation) => return format!("violation {violation:?}"),
+        }
+    }
+    "incomplete".to_string()
+}
+
+#[test]
+fn corpus_heads_never_panic_and_slice_consistently() {
+    for (name, bytes) in corpus("http") {
+        let whole = drive(&bytes, usize::MAX);
+        for piece in [1, 2, 3, 7] {
+            assert_eq!(
+                drive(&bytes, piece),
+                whole,
+                "{name} differs at piece={piece}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_heads_never_panic() {
+    let seeds = corpus("http");
+    let mut rng = StdRng::seed_from_u64(0x05D1_FBAD_C0DE_0001);
+    for round in 0..120 {
+        let (_, seed) = &seeds[round % seeds.len()];
+        let mutant = mutate(seed, &mut rng);
+        let whole = drive(&mutant, usize::MAX);
+        let byte_wise = drive(&mutant, 1);
+        assert_eq!(byte_wise, whole, "slicing must not change the outcome");
+    }
+}

@@ -160,16 +160,41 @@ pub fn crc32(bytes: &[u8]) -> u32 {
                 };
                 bit += 1;
             }
-            table[i] = crc;
+            table[i] = crc; // guard: allow(index) — const-eval table build, i < 256 by loop bound
             i += 1;
         }
         table
     };
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in bytes {
+        // guard: allow(index) — index is masked `& 0xFF`, table length is 256
         crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
     }
     !crc
+}
+
+/// Reads a little-endian `u16` at `pos`, `None` past the end.
+fn le_u16(bytes: &[u8], pos: usize) -> Option<u16> {
+    bytes
+        .get(pos..pos.checked_add(2)?)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map(u16::from_le_bytes)
+}
+
+/// Reads a little-endian `u32` at `pos`, `None` past the end.
+fn le_u32(bytes: &[u8], pos: usize) -> Option<u32> {
+    bytes
+        .get(pos..pos.checked_add(4)?)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+}
+
+/// Reads a little-endian `u64` at `pos`, `None` past the end.
+fn le_u64(bytes: &[u8], pos: usize) -> Option<u64> {
+    bytes
+        .get(pos..pos.checked_add(8)?)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .map(u64::from_le_bytes)
 }
 
 /// A loaded snapshot: the dataset (with its count index pre-seeded when
@@ -225,12 +250,14 @@ impl Snapshot {
         ];
         let mut out = Vec::with_capacity(
             HEADER_BYTES
+                // guard: allow(arith) — exactly three fixed sections, cannot overflow
                 + sections.len() * SECTION_ENTRY_BYTES
                 + sections.iter().map(|(_, _, p)| p.len()).sum::<usize>(),
         );
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&(sections.len() as u16).to_le_bytes());
+        // guard: allow(arith) — exactly three fixed sections, cannot overflow
         let mut offset = (HEADER_BYTES + sections.len() * SECTION_ENTRY_BYTES) as u64;
         for (id, version, payload) in &sections {
             out.extend_from_slice(&id.to_le_bytes());
@@ -408,42 +435,47 @@ impl SectionEntry {
 
 /// Parses the fixed header and the section table.
 fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionEntry>, SnapshotError> {
-    if bytes.len() < HEADER_BYTES {
-        if !bytes.starts_with(&MAGIC[..bytes.len().min(4)]) || bytes.len() < 4 {
-            return Err(if bytes.len() >= 4 {
-                SnapshotError::BadMagic
-            } else {
-                SnapshotError::Truncated { what: "header" }
-            });
-        }
-        return Err(SnapshotError::Truncated { what: "header" });
-    }
-    if bytes[..4] != MAGIC {
+    let truncated_header = || SnapshotError::Truncated { what: "header" };
+    let Some(magic) = bytes.get(..4) else {
+        return Err(truncated_header());
+    };
+    if magic != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let format_version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let format_version = le_u16(bytes, 4).ok_or_else(truncated_header)?;
     if format_version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion {
             what: "snapshot container",
             found: format_version,
         });
     }
-    let count = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
-    let table_end = HEADER_BYTES + count * SECTION_ENTRY_BYTES;
-    if bytes.len() < table_end {
-        return Err(SnapshotError::Truncated {
+    let count = le_u16(bytes, 6).ok_or_else(truncated_header)? as usize;
+    let table = count
+        .checked_mul(SECTION_ENTRY_BYTES)
+        .and_then(|table_bytes| HEADER_BYTES.checked_add(table_bytes))
+        .and_then(|table_end| bytes.get(HEADER_BYTES..table_end))
+        .ok_or(SnapshotError::Truncated {
             what: "section table",
-        });
-    }
+        })?;
     let mut sections = Vec::with_capacity(count);
-    for i in 0..count {
-        let entry = &bytes[HEADER_BYTES + i * SECTION_ENTRY_BYTES..];
+    for entry in table.chunks_exact(SECTION_ENTRY_BYTES) {
+        let parsed = le_u16(entry, 0).zip(le_u16(entry, 2)).zip(
+            le_u64(entry, 4)
+                .zip(le_u64(entry, 12))
+                .zip(le_u32(entry, 20)),
+        );
+        let Some(((id, version), ((offset, length), crc32))) = parsed else {
+            // Unreachable: chunks_exact yields full 24-byte entries.
+            return Err(SnapshotError::Truncated {
+                what: "section table",
+            });
+        };
         sections.push(SectionEntry {
-            id: u16::from_le_bytes([entry[0], entry[1]]),
-            version: u16::from_le_bytes([entry[2], entry[3]]),
-            offset: u64::from_le_bytes(entry[4..12].try_into().expect("8 bytes")),
-            length: u64::from_le_bytes(entry[12..20].try_into().expect("8 bytes")),
-            crc32: u32::from_le_bytes(entry[20..24].try_into().expect("4 bytes")),
+            id,
+            version,
+            offset,
+            length,
+            crc32,
         });
     }
     Ok(sections)
@@ -453,9 +485,9 @@ fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionEntry>, SnapshotError> {
 fn decode_meta(payload: &[u8]) -> Option<Vec<(String, String)>> {
     let mut pos = 0usize;
     let read_u32 = |pos: &mut usize| -> Option<u32> {
-        let bytes = payload.get(*pos..*pos + 4)?;
-        *pos += 4;
-        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        let value = le_u32(payload, *pos)?;
+        *pos = pos.checked_add(4)?;
+        Some(value)
     };
     let count = read_u32(&mut pos)?;
     let mut pairs = Vec::new();

@@ -1,0 +1,518 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for the guard's
+//! token-level rules: comments (line + nested block), strings with escapes,
+//! raw strings (`r#"…"#`, any `#` count), byte strings/chars, and the
+//! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`).
+//!
+//! The lexer also harvests guard *waivers* from line comments
+//! (`// guard: allow(<rule>) — <reason>`), recording whether the comment
+//! trails code (waives its own line) or stands alone (waives the next line
+//! of code).
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`buffer`, `let`, `fn`, `self`, …).
+    Ident,
+    /// A lifetime (`'a`) — lexed so `'a'` char literals never confuse it.
+    Lifetime,
+    /// String / raw-string / byte-string / char / byte literal.
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Punctuation; multi-char operators the rules must distinguish
+    /// (`->`, `-=`, `..=`, `::`, …) are emitted as one token.
+    Punct,
+}
+
+/// One lexed token, tagged with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A waiver comment: `// guard: allow(<rule>) — <reason>`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// The reason text after the separator; empty means "missing".
+    pub reason: String,
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// The line of code the waiver applies to (same line for trailing
+    /// comments, the next code line for standalone ones — resolved by
+    /// [`lex`] once the whole file is tokenized).
+    pub applies_to: u32,
+}
+
+/// A fully lexed file: tokens plus resolved waivers.
+#[derive(Debug)]
+pub struct FileLex {
+    pub tokens: Vec<Token>,
+    pub waivers: Vec<Waiver>,
+}
+
+/// Multi-char operators emitted as single tokens (longest match first).
+const OPERATORS: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "-=", "+=", "*=", "/=", "%=", "&&", "||",
+    "<<", ">>", "..",
+];
+
+/// The marker a waiver comment must start with (after `//`).
+const WAIVER_PREFIX: &str = "guard: allow(";
+
+/// Lexes a Rust source file. Never fails: unterminated constructs simply
+/// consume the rest of the input (the compiler is the arbiter of validity —
+/// the guard only needs to not misclassify what *does* compile).
+pub fn lex(source: &str) -> FileLex {
+    let bytes = source.as_bytes();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut pending: Vec<Waiver> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether any token has been emitted on the current line (decides
+    // trailing vs standalone for waiver comments).
+    let mut line_has_code = false;
+
+    macro_rules! bump_line {
+        () => {{
+            line += 1;
+            line_has_code = false;
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                i += 1;
+                bump_line!();
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: scan to end of line, harvesting waivers.
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                let text = source.get(start..end).unwrap_or("");
+                if let Some(mut waiver) = parse_waiver(text, line) {
+                    if line_has_code {
+                        waiver.applies_to = line;
+                        waivers.push(waiver);
+                    } else {
+                        pending.push(waiver); // resolved at next code token
+                    }
+                }
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        bump_line!();
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let (token, next, newlines) = lex_string_like(source, bytes, i, line);
+                emit(
+                    &mut tokens,
+                    &mut pending,
+                    &mut waivers,
+                    token,
+                    &mut line_has_code,
+                );
+                for _ in 0..newlines {
+                    line += 1;
+                }
+                if newlines > 0 {
+                    line_has_code = false;
+                }
+                i = next;
+            }
+            b'"' => {
+                let (token, next, newlines) = lex_string_like(source, bytes, i, line);
+                emit(
+                    &mut tokens,
+                    &mut pending,
+                    &mut waivers,
+                    token,
+                    &mut line_has_code,
+                );
+                for _ in 0..newlines {
+                    line += 1;
+                }
+                if newlines > 0 {
+                    line_has_code = false;
+                }
+                i = next;
+            }
+            b'\'' => {
+                let (token, next) = lex_quote(source, bytes, i, line);
+                emit(
+                    &mut tokens,
+                    &mut pending,
+                    &mut waivers,
+                    token,
+                    &mut line_has_code,
+                );
+                i = next;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a number's `.` from eating `..` ranges or method
+                    // calls on literals (`1.min(x)`).
+                    if bytes[i] == b'.' && !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                let token = Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_string(),
+                    line,
+                };
+                emit(
+                    &mut tokens,
+                    &mut pending,
+                    &mut waivers,
+                    token,
+                    &mut line_has_code,
+                );
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let token = Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                };
+                emit(
+                    &mut tokens,
+                    &mut pending,
+                    &mut waivers,
+                    token,
+                    &mut line_has_code,
+                );
+            }
+            _ => {
+                let rest = &source[i..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                let text = match op {
+                    Some(op) => (*op).to_string(),
+                    None => {
+                        // One byte of punctuation (multi-byte UTF-8 chars
+                        // only occur inside strings/comments in valid Rust;
+                        // pass stray bytes through one at a time).
+                        let ch_len = utf8_len(b);
+                        source.get(i..i + ch_len).unwrap_or("?").to_string()
+                    }
+                };
+                let advance = text.len();
+                let token = Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                };
+                emit(
+                    &mut tokens,
+                    &mut pending,
+                    &mut waivers,
+                    token,
+                    &mut line_has_code,
+                );
+                i += advance;
+            }
+        }
+    }
+
+    // Standalone waivers with no code after them waive nothing; keep them
+    // recorded (applies_to stays on the comment line) so reasons are still
+    // audited.
+    waivers.append(&mut pending);
+    waivers.sort_by_key(|w| (w.applies_to, w.comment_line));
+    FileLex { tokens, waivers }
+}
+
+/// Emits a token, resolving any pending standalone waivers to its line.
+fn emit(
+    tokens: &mut Vec<Token>,
+    pending: &mut Vec<Waiver>,
+    waivers: &mut Vec<Waiver>,
+    token: Token,
+    line_has_code: &mut bool,
+) {
+    if !pending.is_empty() {
+        for mut waiver in pending.drain(..) {
+            waiver.applies_to = token.line;
+            waivers.push(waiver);
+        }
+    }
+    *line_has_code = true;
+    tokens.push(token);
+}
+
+/// Parses `guard: allow(<rule>) <sep> <reason>` out of a line comment body.
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    let comment = comment.trim_start();
+    let rest = comment.strip_prefix(WAIVER_PREFIX)?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':', ' '])
+        .trim()
+        .to_string();
+    Some(Waiver {
+        rule,
+        reason,
+        comment_line: line,
+        applies_to: line,
+    })
+}
+
+/// Is `r`/`b` at `i` the start of a raw/byte string or byte char —
+/// as opposed to a plain identifier like `rows` or `bytes`?
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Accept the prefixes r" r#" br" b" b' rb" (rb isn't real Rust but
+    // costs nothing).
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    let mut k = j;
+    while k < bytes.len() && bytes[k] == b'#' {
+        k += 1;
+    }
+    match bytes.get(k) {
+        Some(b'"') => true,
+        // b'x' byte literal (only valid straight after `b`).
+        Some(b'\'') => k == j && j == i + 1 && bytes[i] == b'b',
+        _ => false,
+    }
+}
+
+/// Lexes a string-ish literal starting at `i`: plain, raw (any `#` count),
+/// byte, or byte-char. Returns the token, the index after it, and how many
+/// newlines it spanned.
+fn lex_string_like(source: &str, bytes: &[u8], i: usize, line: u32) -> (Token, usize, u32) {
+    let start = i;
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        j += 1;
+    }
+    let raw = source[start..j].contains('r');
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    let mut newlines = 0u32;
+    if bytes.get(j) == Some(&b'\'') {
+        // b'x' byte literal.
+        let (token, next) = lex_quote(source, bytes, j, line);
+        let _ = token;
+        let text = source.get(start..next).unwrap_or("").to_string();
+        return (
+            Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+            },
+            next,
+            0,
+        );
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    j += 1; // opening quote
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                // A raw string only closes on `"` followed by its hashes.
+                let closes = if raw {
+                    bytes[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|b| **b == b'#')
+                        .count()
+                        == hashes
+                } else {
+                    true
+                };
+                if closes {
+                    j += 1 + if raw { hashes } else { 0 };
+                    break;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let text = source
+        .get(start..j.min(bytes.len()))
+        .unwrap_or("")
+        .to_string();
+    (
+        Token {
+            kind: TokenKind::Literal,
+            text,
+            line,
+        },
+        j.min(bytes.len()),
+        newlines,
+    )
+}
+
+/// Lexes from a `'`: either a char literal (`'a'`, `'\n'`, `'\''`) or a
+/// lifetime (`'a`, `'static`).
+fn lex_quote(source: &str, bytes: &[u8], i: usize, line: u32) -> (Token, usize) {
+    // Escape ⇒ char literal.
+    if bytes.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        if j < bytes.len() {
+            j += utf8_len(bytes[j]); // the escaped char
+        }
+        // Consume to the closing quote (covers \u{…} and friends).
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        let end = (j + 1).min(bytes.len());
+        return (
+            Token {
+                kind: TokenKind::Literal,
+                text: source.get(i..end).unwrap_or("'").to_string(),
+                line,
+            },
+            end,
+        );
+    }
+    // `'X'` (one char then a quote) ⇒ char literal.
+    if let Some(&c) = bytes.get(i + 1) {
+        let char_len = utf8_len(c);
+        if bytes.get(i + 1 + char_len) == Some(&b'\'') {
+            let end = i + 2 + char_len;
+            return (
+                Token {
+                    kind: TokenKind::Literal,
+                    text: source.get(i..end).unwrap_or("'").to_string(),
+                    line,
+                },
+                end,
+            );
+        }
+    }
+    // Otherwise a lifetime: consume the identifier after the quote.
+    let mut j = i + 1;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    (
+        Token {
+            kind: TokenKind::Lifetime,
+            text: source.get(i..j).unwrap_or("'").to_string(),
+            line,
+        },
+        j,
+    )
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b & 0xE0 == 0xC0 => 2,
+        b if b & 0xF0 == 0xE0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_do_not_leak_tokens() {
+        let src = r##"
+// line comment with buffer[0] and .unwrap()
+/* block /* nested */ still comment buffer[1] */
+let s = "escaped \" quote [2]";
+let r = r#"raw "quoted" [3]"#;
+let b = b"bytes[4]";
+let c = '\'';
+let l: &'static str = "x";
+fn f<'a>(x: &'a [u8]) {}
+"##;
+        let toks = texts(src);
+        assert!(!toks.iter().any(|t| t.contains("unwrap")));
+        assert!(toks.contains(&"'static".to_string()));
+        assert!(toks.contains(&"'a".to_string()));
+        // The bracket tokens that survive are code brackets only.
+        let brackets = toks.iter().filter(|t| *t == "[").count();
+        assert_eq!(brackets, 1, "only the `&'a [u8]` slice type bracket");
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = texts("a -= b; c -> d; e ..= f; g .. h; i - j");
+        assert!(toks.contains(&"-=".to_string()));
+        assert!(toks.contains(&"->".to_string()));
+        assert!(toks.contains(&"..=".to_string()));
+        assert!(toks.contains(&"..".to_string()));
+        assert!(toks.contains(&"-".to_string()));
+    }
+
+    #[test]
+    fn waivers_attach_to_their_code_line() {
+        let src = "\
+let a = x[0]; // guard: allow(index) — pinned fixture
+// guard: allow(panic) — next line
+let b = y.unwrap();
+";
+        let lex = lex(src);
+        let index = lex.waivers.iter().find(|w| w.rule == "index").unwrap();
+        assert_eq!(index.applies_to, 1);
+        assert_eq!(index.reason, "pinned fixture");
+        let panic = lex.waivers.iter().find(|w| w.rule == "panic").unwrap();
+        assert_eq!(panic.comment_line, 2);
+        assert_eq!(panic.applies_to, 3);
+    }
+
+    #[test]
+    fn waiver_reason_accepts_plain_dash_and_flags_empty() {
+        let w = parse_waiver("guard: allow(arith) - wraps by design", 1).unwrap();
+        assert_eq!(w.reason, "wraps by design");
+        let w = parse_waiver("guard: allow(arith)", 1).unwrap();
+        assert!(w.reason.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Golden fixture: unguarded length/offset arithmetic the `arith` rule
+//! flags — the class of bug where a short frame makes `len - header`
+//! underflow. Expected findings: 3.
+
+pub fn split_tail(buffer: &[u8], keep: usize) -> usize {
+    buffer.len() - keep
+}
+
+pub fn record_end(offset: usize, count: usize, record_bytes: usize) -> usize {
+    offset + count * record_bytes
+}
+
+pub fn consume(remaining: &mut usize, taken: usize) {
+    *remaining -= taken;
+}

@@ -1,0 +1,22 @@
+//! Golden fixture: an unclamped request parameter feeding an allocation
+//! and a loop bound — the resource-exhaustion shape the `clamp` rule
+//! exists for. Expected findings: 1 (one per unclamped binding).
+
+use std::collections::BTreeMap;
+
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    pub fn parse(&self, key: &str) -> Option<usize> {
+        self.0.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+pub fn histogram(params: &Params) -> Vec<u64> {
+    let buckets = params.parse("buckets").unwrap_or(8);
+    let mut counts = Vec::with_capacity(buckets);
+    for _ in 0..buckets {
+        counts.push(0);
+    }
+    counts
+}

@@ -1,0 +1,14 @@
+//! Golden fixture: bare slice/array indexing the `index` rule flags.
+//! Expected findings: 4.
+
+pub fn version_byte(header: &[u8]) -> u8 {
+    header[4]
+}
+
+pub fn tail(frame: &[u8], start: usize) -> &[u8] {
+    &frame[start..]
+}
+
+pub fn pair(words: &[&str]) -> (&str, &str) {
+    (words[0], words[1])
+}

@@ -1,0 +1,21 @@
+//! Golden fixture: a write guard held across a parse call — the lock
+//! rule's target shape (readers stalled behind ingestion-length work).
+//! Expected findings: 1.
+
+use std::sync::RwLock;
+
+pub struct Store {
+    inner: RwLock<Vec<String>>,
+}
+
+impl Store {
+    pub fn reload(&self, feed: &str) {
+        let mut guard = self.inner.write().unwrap();
+        let rows = parse_feed(feed);
+        guard.extend(rows);
+    }
+}
+
+fn parse_feed(feed: &str) -> Vec<String> {
+    feed.lines().map(str::to_string).collect()
+}

@@ -1,0 +1,21 @@
+//! Golden fixture: every panic-capable construct the `panic` rule flags.
+//! Expected findings: 6 (unwrap, expect, panic!, todo!, unimplemented!,
+//! unreachable!).
+
+pub fn lookup(map: &std::collections::HashMap<String, u32>, key: &str) -> u32 {
+    *map.get(key).unwrap()
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().expect("caller validated")
+}
+
+pub fn dispatch(kind: u8) -> &'static str {
+    match kind {
+        0 => "zero",
+        1 => panic!("one is not supported"),
+        2 => todo!(),
+        3 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,13 @@
+//! Golden fixture: malformed waivers are themselves findings and do NOT
+//! suppress the violation they sit on. Expected findings under the
+//! `index` rule: 2 × `waiver` + 2 × `index`.
+
+pub fn head(bytes: &[u8]) -> u8 {
+    // guard: allow(index)
+    bytes[0]
+}
+
+pub fn second(bytes: &[u8]) -> u8 {
+    // guard: allow(frobnicate) — no such rule
+    bytes[1]
+}

@@ -1,0 +1,21 @@
+//! Golden fixture: guarded counterparts of `bad/arith.rs`, plus
+//! arithmetic over non-length values the rule must leave alone.
+//! Expected findings: 0.
+
+pub fn split_tail(buffer: &[u8], keep: usize) -> usize {
+    buffer.len().saturating_sub(keep)
+}
+
+pub fn record_end(offset: usize, count: usize, record_bytes: usize) -> Option<usize> {
+    count
+        .checked_mul(record_bytes)
+        .and_then(|bytes| offset.checked_add(bytes))
+}
+
+pub fn consume(remaining: &mut usize, taken: usize) {
+    *remaining = remaining.saturating_sub(taken);
+}
+
+pub fn scaled(value: u64, factor: u64) -> u64 {
+    value * factor
+}

@@ -1,0 +1,31 @@
+//! Golden fixture: clamped counterparts of `bad/clamp.rs` — clamping in
+//! the binding statement and clamping on a later line both count.
+//! Expected findings: 0.
+
+use std::collections::BTreeMap;
+
+const MAX_BUCKETS: usize = 64;
+const MAX_WINDOW: usize = 256;
+
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    pub fn parse(&self, key: &str) -> Option<usize> {
+        self.0.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+pub fn histogram(params: &Params) -> Vec<u64> {
+    let buckets = params.parse("buckets").unwrap_or(8).min(MAX_BUCKETS);
+    let mut counts = Vec::with_capacity(buckets);
+    for _ in 0..buckets {
+        counts.push(0);
+    }
+    counts
+}
+
+pub fn window(params: &Params) -> Vec<u64> {
+    let size = params.parse("size").unwrap_or(16);
+    let size = size.min(MAX_WINDOW);
+    vec![0; size]
+}

@@ -1,0 +1,22 @@
+//! Golden fixture: indexing-free counterparts of `bad/index.rs`, plus
+//! bracket uses (patterns, literals, types) the rule must not confuse
+//! with indexing. Expected findings: 0.
+
+pub fn version_byte(header: &[u8]) -> u8 {
+    header.get(4).copied().unwrap_or(0)
+}
+
+pub fn tail(frame: &[u8], start: usize) -> &[u8] {
+    frame.get(start..).unwrap_or_default()
+}
+
+pub fn pair(words: &[&str]) -> (&str, &str) {
+    let first = words.first().copied().unwrap_or("");
+    let second = words.get(1).copied().unwrap_or("");
+    (first, second)
+}
+
+pub fn swap(values: (u8, u8)) -> [u8; 2] {
+    let [a, b] = [values.1, values.0];
+    [a, b]
+}

@@ -1,0 +1,35 @@
+//! Golden fixture: lock-disciplined counterparts of `bad/lock.rs` —
+//! parse before taking the guard, or drop the guard first (both
+//! block-scoping and explicit `drop` count). Expected findings: 0.
+
+use std::sync::RwLock;
+
+pub struct Store {
+    inner: RwLock<Vec<String>>,
+}
+
+impl Store {
+    pub fn reload(&self, feed: &str) {
+        let rows = parse_feed(feed);
+        {
+            let mut guard = self.inner.write().unwrap();
+            guard.extend(rows);
+        }
+        self.notify();
+    }
+
+    pub fn swap(&self, feed: &str) {
+        let mut guard = self.inner.write().unwrap();
+        guard.clear();
+        drop(guard);
+        let rows = parse_feed(feed);
+        let mut guard = self.inner.write().unwrap();
+        guard.extend(rows);
+    }
+
+    fn notify(&self) {}
+}
+
+fn parse_feed(feed: &str) -> Vec<String> {
+    feed.lines().map(str::to_string).collect()
+}

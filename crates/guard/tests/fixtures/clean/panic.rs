@@ -1,0 +1,34 @@
+//! Golden fixture: panic-free counterparts of `bad/panic.rs`, plus the
+//! deliberate blind spots — `#[cfg(test)]` items and reason-carrying
+//! waivers — that must NOT fire. Expected findings: 0, waivers: 1.
+
+pub fn lookup(map: &std::collections::HashMap<String, u32>, key: &str) -> u32 {
+    map.get(key).copied().unwrap_or_default()
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().unwrap_or(0)
+}
+
+pub fn dispatch(kind: u8) -> &'static str {
+    debug_assert!(kind < 4, "asserts are assertions, not crashes");
+    match kind {
+        0 => "zero",
+        1 => "one",
+        _ => "other",
+    }
+}
+
+pub fn startup(path: &str) -> String {
+    // guard: allow(panic) — startup-only config read, not attacker-facing
+    std::fs::read_to_string(path).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_unwrap() {
+        let value: u32 = "7".parse().unwrap();
+        assert_eq!(value, 7);
+    }
+}

@@ -1,0 +1,12 @@
+//! Golden fixture: well-formed waivers — standalone (applies to the next
+//! code line) and trailing (applies to its own line) — suppress exactly
+//! their rule. Expected findings: 0, waivers: 2.
+
+pub fn head(bytes: &[u8]) -> u8 {
+    // guard: allow(index) — fixture: caller asserts the frame is non-empty
+    bytes[0]
+}
+
+pub fn magic(bytes: &[u8]) -> u8 {
+    bytes[3] // guard: allow(index) — fixture: length checked at entry
+}

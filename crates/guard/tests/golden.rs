@@ -1,0 +1,154 @@
+//! Golden-fixture tests: each rule is pinned by a bad/clean fixture pair
+//! under `tests/fixtures/`. The bad fixture must trip the rule (this is
+//! the proof that the guard *can* fail — a gate that cannot fail gates
+//! nothing), the clean fixture must not.
+
+use osdiv_guard::rules::{check_source, Report, Rule};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|error| panic!("fixture {} unreadable: {error}", path.display()))
+}
+
+fn check(name: &str, rules: &[Rule]) -> Report {
+    check_source(name, &fixture(name), rules)
+}
+
+fn rule_count(report: &Report, rule: &str) -> usize {
+    report.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn panic_rule_trips_on_bad_and_passes_clean() {
+    let bad = check("bad/panic.rs", &[Rule::Panic]);
+    assert_eq!(
+        rule_count(&bad, "panic"),
+        6,
+        "bad/panic.rs seeds unwrap, expect, panic!, todo!, unimplemented!, unreachable!: {:?}",
+        bad.violations
+    );
+    let clean = check("clean/panic.rs", &[Rule::Panic]);
+    assert_eq!(clean.violations, vec![], "clean/panic.rs must pass");
+    assert_eq!(
+        clean.waivers.len(),
+        1,
+        "the startup unwrap is waived with a reason"
+    );
+}
+
+#[test]
+fn cfg_test_items_are_exempt() {
+    // clean/panic.rs ends with a #[cfg(test)] module full of unwraps and
+    // asserts; the panic rule must not look inside it.
+    let clean = check("clean/panic.rs", &[Rule::Panic]);
+    assert!(
+        !clean.violations.iter().any(|v| v.line > 26),
+        "no finding may point into the cfg(test) module: {:?}",
+        clean.violations
+    );
+}
+
+#[test]
+fn index_rule_trips_on_bad_and_passes_clean() {
+    let bad = check("bad/index.rs", &[Rule::Index]);
+    assert_eq!(
+        rule_count(&bad, "index"),
+        4,
+        "bad/index.rs seeds 4 bare index expressions: {:?}",
+        bad.violations
+    );
+    let clean = check("clean/index.rs", &[Rule::Index]);
+    assert_eq!(
+        clean.violations,
+        vec![],
+        "slice patterns, array literals and types are not indexing"
+    );
+}
+
+#[test]
+fn arith_rule_trips_on_bad_and_passes_clean() {
+    let bad = check("bad/arith.rs", &[Rule::Arith]);
+    assert_eq!(
+        rule_count(&bad, "arith"),
+        3,
+        "bad/arith.rs seeds len-sub, count-mul and remaining-sub-assign: {:?}",
+        bad.violations
+    );
+    let clean = check("clean/arith.rs", &[Rule::Arith]);
+    assert_eq!(
+        clean.violations,
+        vec![],
+        "saturating/checked forms and non-length operands must pass"
+    );
+}
+
+#[test]
+fn clamp_rule_trips_on_bad_and_passes_clean() {
+    let bad = check("bad/clamp.rs", &[Rule::Clamp]);
+    assert_eq!(
+        rule_count(&bad, "clamp"),
+        1,
+        "bad/clamp.rs seeds one unclamped params binding: {:?}",
+        bad.violations
+    );
+    let clean = check("clean/clamp.rs", &[Rule::Clamp]);
+    assert_eq!(
+        clean.violations,
+        vec![],
+        "binding-statement and later-line clamps both count"
+    );
+}
+
+#[test]
+fn lock_rule_trips_on_bad_and_passes_clean() {
+    let bad = check("bad/lock.rs", &[Rule::Lock]);
+    assert_eq!(
+        rule_count(&bad, "lock"),
+        1,
+        "bad/lock.rs holds a write guard across parse_feed: {:?}",
+        bad.violations
+    );
+    let clean = check("clean/lock.rs", &[Rule::Lock]);
+    assert_eq!(
+        clean.violations,
+        vec![],
+        "block-scoped and drop()-released guards must pass"
+    );
+}
+
+#[test]
+fn malformed_waivers_are_findings_and_do_not_suppress() {
+    let bad = check("bad/waiver.rs", &[Rule::Index]);
+    assert_eq!(
+        rule_count(&bad, "waiver"),
+        2,
+        "reason-less and unknown-rule waivers are findings: {:?}",
+        bad.violations
+    );
+    assert_eq!(
+        rule_count(&bad, "index"),
+        2,
+        "a malformed waiver must not suppress the violation under it"
+    );
+    assert_eq!(bad.waivers.len(), 0, "nothing was legitimately waived");
+}
+
+#[test]
+fn wellformed_waivers_suppress_and_are_recorded() {
+    let clean = check("clean/waiver.rs", &[Rule::Index]);
+    assert_eq!(
+        clean.violations,
+        vec![],
+        "standalone and trailing waivers both suppress: {:?}",
+        clean.violations
+    );
+    assert_eq!(clean.waivers.len(), 2);
+    assert!(
+        clean.waivers.iter().all(|w| !w.reason.is_empty()),
+        "every recorded waiver carries its reason"
+    );
+}

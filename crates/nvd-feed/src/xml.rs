@@ -90,7 +90,16 @@ impl<'a> XmlReader<'a> {
     }
 
     fn starts_with(&self, prefix: &[u8]) -> bool {
-        self.input[self.pos..].starts_with(prefix)
+        self.input
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(prefix))
+    }
+
+    /// The input bytes in `start..end`. Positions come from the reader's
+    /// own cursor, so the empty fallback is never observed — it exists so
+    /// an internal inconsistency degrades to a parse error, not a panic.
+    fn slice(&self, start: usize, end: usize) -> &'a [u8] {
+        self.input.get(start..end).unwrap_or_default()
     }
 
     fn skip_until(&mut self, marker: &[u8]) -> Result<(), FeedError> {
@@ -137,7 +146,7 @@ impl<'a> XmlReader<'a> {
                     self.pos += b"<![CDATA[".len();
                     let start = self.pos;
                     self.skip_until(b"]]>")?;
-                    let text = std::str::from_utf8(&self.input[start..self.pos - 3])
+                    let text = std::str::from_utf8(self.slice(start, self.pos.saturating_sub(3)))
                         .map_err(|_| self.err("CDATA section is not valid UTF-8"))?;
                     if text.trim().is_empty() {
                         continue;
@@ -168,7 +177,7 @@ impl<'a> XmlReader<'a> {
             while self.pos < self.input.len() && self.peek() != Some(b'<') {
                 self.pos += 1;
             }
-            let raw = std::str::from_utf8(&self.input[start..self.pos])
+            let raw = std::str::from_utf8(self.slice(start, self.pos))
                 .map_err(|_| self.err("character data is not valid UTF-8"))?;
             if raw.trim().is_empty() {
                 continue;
@@ -227,7 +236,7 @@ impl<'a> XmlReader<'a> {
                     if self.pos >= self.input.len() {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    let raw = std::str::from_utf8(self.slice(start, self.pos))
                         .map_err(|_| self.err("attribute value is not valid UTF-8"))?;
                     self.pos += 1;
                     attributes.push((attr_name, unescape(raw)));
@@ -249,8 +258,8 @@ impl<'a> XmlReader<'a> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos])
-            .expect("name characters are ASCII")
+        Ok(std::str::from_utf8(self.slice(start, self.pos))
+            .map_err(|_| self.err("element name is not valid UTF-8"))?
             .to_string())
     }
 
@@ -285,7 +294,7 @@ impl<'a> XmlReader<'a> {
                         }
                         return Ok(text);
                     }
-                    depth -= 1;
+                    depth = depth.saturating_sub(1);
                 }
                 None => return Err(self.err(format!("missing end tag </{name}>"))),
             }
@@ -305,7 +314,7 @@ impl<'a> XmlReader<'a> {
                 }) => depth += 1,
                 Some(XmlEvent::StartElement { .. }) => {}
                 Some(XmlEvent::Text(_)) => {}
-                Some(XmlEvent::EndElement { .. }) if depth > 0 => depth -= 1,
+                Some(XmlEvent::EndElement { .. }) if depth > 0 => depth = depth.saturating_sub(1),
                 Some(XmlEvent::EndElement { .. }) => return Ok(()),
                 None => return Err(self.err(format!("missing end tag </{name}>"))),
             }
@@ -328,13 +337,16 @@ pub fn unescape(raw: &str) -> String {
     if !raw.contains('&') {
         return raw.to_string();
     }
+    // Every split offset below comes from `find` on `&`/`;` (both ASCII),
+    // so the `.get(…)` lookups cannot miss; the empty fallbacks only make
+    // that fact local instead of spanning the loop.
     let mut out = String::with_capacity(raw.len());
     let mut rest = raw;
     while let Some(amp) = rest.find('&') {
-        out.push_str(&rest[..amp]);
-        rest = &rest[amp..];
+        out.push_str(rest.get(..amp).unwrap_or_default());
+        rest = rest.get(amp..).unwrap_or_default();
         if let Some(semi) = rest.find(';') {
-            let entity = &rest[1..semi];
+            let entity = rest.get(1..semi).unwrap_or_default();
             let replacement = match entity {
                 "lt" => Some('<'),
                 "gt" => Some('>'),
@@ -350,16 +362,16 @@ pub fn unescape(raw: &str) -> String {
             match replacement {
                 Some(ch) => {
                     out.push(ch);
-                    rest = &rest[semi + 1..];
+                    rest = rest.get(semi + 1..).unwrap_or_default();
                 }
                 None => {
                     out.push('&');
-                    rest = &rest[1..];
+                    rest = rest.get(1..).unwrap_or_default();
                 }
             }
         } else {
             out.push('&');
-            rest = &rest[1..];
+            rest = rest.get(1..).unwrap_or_default();
         }
     }
     out.push_str(rest);
@@ -476,6 +488,7 @@ impl XmlWriter {
             self.depth > 0,
             "XmlWriter::close called with no open element"
         );
+        // guard: allow(arith) — guarded by the assert above; the writer is not attacker-facing
         self.depth -= 1;
         self.indent();
         self.buffer.push_str("</");

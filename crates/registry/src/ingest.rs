@@ -233,7 +233,12 @@ impl ParsePipeline {
                     // done by the coordinator from the `Ok(None)` results.
                     let mut reader = FeedReader::new();
                     loop {
-                        let job = { jobs.lock().expect("no panics hold the job lock").recv() };
+                        let job = match jobs.lock() {
+                            Ok(jobs) => jobs.recv(),
+                            // A sibling worker panicked holding the lock;
+                            // exit rather than propagate the poison.
+                            Err(_) => return,
+                        };
                         match job {
                             Err(_) => return, // channel closed: ingestion over
                             Ok((seq, fragment)) => {
@@ -260,11 +265,10 @@ impl ParsePipeline {
         // result channel is never full). A send only fails after every
         // worker exited, which cannot happen while the job channel is
         // open.
-        let _ = self
-            .sender
-            .as_ref()
-            .expect("submit is never called after close")
-            .send((seq, fragment));
+        let Some(sender) = self.sender.as_ref() else {
+            return; // submit is never called after close
+        };
+        let _ = sender.send((seq, fragment));
     }
 
     /// Closes the job channel and collects every outstanding result.
@@ -325,6 +329,10 @@ pub struct FeedIngester {
     /// The first (in feed order) parse error, once everything before it
     /// was inserted.
     failed: Option<FeedError>,
+    /// Bytes examined by the boundary scanner — a work counter for the
+    /// complexity-guard tests. Scanning must stay linear in feed size no
+    /// matter how finely the network slices the stream.
+    scan_work: u64,
 }
 
 impl FeedIngester {
@@ -357,7 +365,15 @@ impl FeedIngester {
             pending: BTreeMap::new(),
             next_insert: 0,
             failed: None,
+            scan_work: 0,
         }
+    }
+
+    /// Bytes examined by the entry-boundary scanner so far. Linear in
+    /// [`feed_bytes`](FeedIngester::feed_bytes) by construction; the
+    /// complexity-guard tests pin that property.
+    pub fn scan_work(&self) -> u64 {
+        self.scan_work
     }
 
     /// Feed bytes consumed so far.
@@ -487,7 +503,7 @@ impl FeedIngester {
     fn scan(&mut self) -> Result<(), IngestError> {
         loop {
             match self.state {
-                ScanState::Scanning => match find_entry_open(&self.buffer) {
+                ScanState::Scanning => match find_entry_open(&self.buffer, &mut self.scan_work) {
                     EntryOpen::At(offset) => {
                         self.buffer.drain(..offset);
                         self.state = ScanState::InEntry(EntryScan::default());
@@ -499,12 +515,12 @@ impl FeedIngester {
                     EntryOpen::None => {
                         // Keep only a tail that could still become `<entry`.
                         let keep = self.buffer.len().min(b"<entry".len() - 1);
-                        self.buffer.drain(..self.buffer.len() - keep);
+                        self.buffer.drain(..self.buffer.len().saturating_sub(keep));
                         return Ok(());
                     }
                 },
                 ScanState::InEntry(mut entry_scan) => {
-                    let end = find_entry_end(&self.buffer, &mut entry_scan);
+                    let end = find_entry_end(&self.buffer, &mut entry_scan, &mut self.scan_work);
                     self.state = ScanState::InEntry(entry_scan);
                     let Some(end) = end else {
                         if self.buffer.len() > self.budget.max_entry_bytes {
@@ -547,10 +563,19 @@ impl FeedIngester {
                 limit: self.budget.max_entries,
             }));
         }
+        if std::str::from_utf8(self.buffer.get(..end).unwrap_or_default()).is_err() {
+            // Resolve against in-flight parses before surfacing: an entry
+            // *earlier* in the feed may still be parsing on a worker, and
+            // its error must win — exactly as a sequential ingestion
+            // would report it. (Checked before a seq is allocated, so
+            // `await_in_flight` never waits on a never-submitted parse.)
+            let error = IngestError::Feed(FeedError::schema(None, "entry is not valid UTF-8"));
+            return Err(self.budget_error(error));
+        }
         let seq = self.seen as u64;
         self.seen += 1;
-        let fragment = std::str::from_utf8(&self.buffer[..end])
-            .map_err(|_| IngestError::Feed(FeedError::schema(None, "entry is not valid UTF-8")))?;
+        let fragment =
+            std::str::from_utf8(self.buffer.get(..end).unwrap_or_default()).unwrap_or_default();
         match &self.pipeline {
             Some(pipeline) => pipeline.submit(seq, fragment.to_string()),
             None => {
@@ -623,17 +648,19 @@ enum EntryOpen {
 
 /// Finds the next `<entry` open tag — as an element named exactly `entry`,
 /// not a longer name like `<entryset`.
-fn find_entry_open(buffer: &[u8]) -> EntryOpen {
+fn find_entry_open(buffer: &[u8], work: &mut u64) -> EntryOpen {
     const OPEN: &[u8] = b"<entry";
     let mut from = 0;
-    while let Some(position) = find(&buffer[from..], OPEN) {
+    while let Some(position) = find(buffer.get(from..).unwrap_or_default(), OPEN) {
         let at = from + position;
+        *work += (position + OPEN.len()) as u64;
         match buffer.get(at + OPEN.len()) {
             None => return EntryOpen::Partial(at),
             Some(b' ' | b'\t' | b'\r' | b'\n' | b'>' | b'/') => return EntryOpen::At(at),
             Some(_) => from = at + OPEN.len(),
         }
     }
+    *work += buffer.len().saturating_sub(from) as u64;
     EntryOpen::None
 }
 
@@ -643,13 +670,14 @@ fn find_entry_open(buffer: &[u8]) -> EntryOpen {
 /// calls: bytes already examined on an earlier chunk are never re-scanned,
 /// keeping the per-entry cost linear no matter how finely the network
 /// slices the stream.
-fn find_entry_end(buffer: &[u8], scan: &mut EntryScan) -> Option<usize> {
+fn find_entry_end(buffer: &[u8], scan: &mut EntryScan, work: &mut u64) -> Option<usize> {
     const CLOSE: &[u8] = b"</entry";
     // Phase 1: end of the start tag, honouring quoted attribute values
     // (a `>` is legal inside them).
     if scan.tag_end.is_none() {
         let mut found = None;
         for (i, &byte) in buffer.iter().enumerate().skip(scan.resume) {
+            *work += 1;
             match scan.quote {
                 Some(q) if byte == q => scan.quote = None,
                 Some(_) => {}
@@ -667,7 +695,7 @@ fn find_entry_end(buffer: &[u8], scan: &mut EntryScan) -> Option<usize> {
             scan.resume = buffer.len();
             return None;
         };
-        if tag_end > 0 && buffer[tag_end - 1] == b'/' {
+        if tag_end.checked_sub(1).and_then(|i| buffer.get(i)) == Some(&b'/') {
             return Some(tag_end + 1); // self-closing
         }
         scan.tag_end = Some(tag_end);
@@ -676,12 +704,14 @@ fn find_entry_end(buffer: &[u8], scan: &mut EntryScan) -> Option<usize> {
     // Phase 2: the matching `</entry>` close tag (entries do not nest in
     // NVD feeds).
     let mut from = scan.resume;
-    while let Some(position) = find(&buffer[from..], CLOSE) {
+    while let Some(position) = find(buffer.get(from..).unwrap_or_default(), CLOSE) {
         let at = from + position;
+        *work += (position + CLOSE.len()) as u64;
         // Skip whitespace between the name and `>`.
         let mut i = at + CLOSE.len();
         while matches!(buffer.get(i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
             i += 1;
+            *work += 1;
         }
         match buffer.get(i) {
             None => {
@@ -696,6 +726,7 @@ fn find_entry_end(buffer: &[u8], scan: &mut EntryScan) -> Option<usize> {
         }
     }
     // No candidate: keep a tail that could still become `</entry`.
+    *work += buffer.len().saturating_sub(from) as u64;
     scan.resume = scan
         .resume
         .max(buffer.len().saturating_sub(CLOSE.len() - 1));

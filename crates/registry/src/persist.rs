@@ -209,6 +209,9 @@ pub struct JournalReplay {
     /// Whether the file ended in a torn (incomplete or CRC-failing)
     /// record that was discarded.
     pub truncated_tail: bool,
+    /// Bytes of journal examined during the replay — a work counter for
+    /// the complexity-guard tests (replay must stay linear in file size).
+    pub work: u64,
 }
 
 /// The on-disk side of the registry: snapshot save/load, journal
@@ -428,9 +431,9 @@ impl TenantStore {
         let path = self.journal_path(name);
         let io = |what| move |error| PersistError::Io { what, error };
         let mut file = File::create(&path).map_err(io("creating the journal"))?;
-        let mut header = [0u8; JOURNAL_HEADER_BYTES];
-        header[..4].copy_from_slice(&JOURNAL_MAGIC);
-        header[4..].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        let mut header = Vec::with_capacity(JOURNAL_HEADER_BYTES);
+        header.extend_from_slice(&JOURNAL_MAGIC);
+        header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
         file.write_all(&header)
             .map_err(io("writing the journal header"))?;
         Ok(JournalWriter { file, path })
@@ -532,27 +535,41 @@ fn parse_journal(bytes: &[u8]) -> JournalReplay {
         feed: Vec::new(),
         records: 0,
         truncated_tail: false,
+        work: 0,
     };
-    if bytes.len() < JOURNAL_HEADER_BYTES
-        || bytes[..4] != JOURNAL_MAGIC
-        || u16::from_le_bytes([bytes[4], bytes[5]]) != JOURNAL_VERSION
-    {
+    let le_u32 = |pos: usize| -> Option<u32> {
+        bytes
+            .get(pos..pos.checked_add(4)?)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .map(u32::from_le_bytes)
+    };
+    let header_ok = bytes.get(..4) == Some(JOURNAL_MAGIC.as_slice())
+        && bytes
+            .get(4..JOURNAL_HEADER_BYTES)
+            .and_then(|s| <[u8; 2]>::try_from(s).ok())
+            .map(u16::from_le_bytes)
+            == Some(JOURNAL_VERSION);
+    if !header_ok {
         replay.truncated_tail = true;
         return replay;
     }
+    replay.work = JOURNAL_HEADER_BYTES as u64;
     let mut pos = JOURNAL_HEADER_BYTES;
     while pos < bytes.len() {
-        let Some(header) = bytes.get(pos..pos + JOURNAL_RECORD_HEADER_BYTES) else {
+        let header = le_u32(pos).zip(pos.checked_add(4).and_then(&le_u32));
+        let Some((len, expected)) = header else {
             replay.truncated_tail = true;
             break;
         };
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
-        let start = pos + JOURNAL_RECORD_HEADER_BYTES;
-        let Some(payload) = start.checked_add(len).and_then(|end| bytes.get(start..end)) else {
+        let payload = pos
+            .checked_add(JOURNAL_RECORD_HEADER_BYTES)
+            .and_then(|start| start.checked_add(len as usize).map(|end| (start, end)))
+            .and_then(|(start, end)| bytes.get(start..end).map(|payload| (payload, end)));
+        let Some((payload, end)) = payload else {
             replay.truncated_tail = true;
             break;
         };
+        replay.work += (JOURNAL_RECORD_HEADER_BYTES + payload.len()) as u64;
         if crc32(payload) != expected {
             // A failed checksum ends the trustworthy prefix: everything
             // after it may be garbage from the same torn write.
@@ -561,7 +578,7 @@ fn parse_journal(bytes: &[u8]) -> JournalReplay {
         }
         replay.feed.extend_from_slice(payload);
         replay.records += 1;
-        pos = start + len;
+        pos = end;
     }
     replay
 }

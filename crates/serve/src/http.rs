@@ -175,7 +175,9 @@ impl RequestParser {
                 if end > MAX_HEAD_BYTES {
                     return Err(HttpViolation::HeadTooLarge);
                 }
-                let request = parse_head(&self.buffer[..end])?;
+                // `end` is the match offset `find` just returned; an empty
+                // fallback would simply parse as a 400.
+                let request = parse_head(self.buffer.get(..end).unwrap_or_default())?;
                 self.buffer.drain(..end + 4);
                 Ok(Some(request))
             }
@@ -380,7 +382,7 @@ impl<'a, R: Read> StreamBody<'a, R> {
                 "connection closed inside the request body",
             )));
         }
-        self.parser.feed_raw(&chunk[..n]);
+        self.parser.feed_raw(chunk.get(..n).unwrap_or(&chunk));
         Ok(())
     }
 }
@@ -399,7 +401,7 @@ impl<R: Read> Body for StreamBody<'_, R> {
                 FramingState::Length { remaining } => {
                     let take = (*remaining).min(self.parser.buffered());
                     let taken = self.parser.take_body(take);
-                    *remaining -= taken.len();
+                    *remaining = remaining.saturating_sub(taken.len());
                     out.extend_from_slice(&taken);
                     return Ok(true);
                 }
@@ -439,6 +441,10 @@ pub struct ChunkedDecoder {
     /// Partial chunk-size or trailer line carried across feeds.
     line: Vec<u8>,
     trailer_bytes: usize,
+    /// Bytes examined across all `decode` calls — a work counter for the
+    /// complexity-guard tests. Decoding must stay linear in input size no
+    /// matter how the input is split across feeds.
+    work: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -470,12 +476,18 @@ impl ChunkedDecoder {
             state: ChunkState::Size,
             line: Vec::new(),
             trailer_bytes: 0,
+            work: 0,
         }
     }
 
     /// Whether the final terminator has been consumed.
     pub fn is_done(&self) -> bool {
         self.state == ChunkState::Done
+    }
+
+    /// Total bytes examined so far (the complexity-guard work metric).
+    pub fn work(&self) -> u64 {
+        self.work
     }
 
     /// Decodes as much of `input` as possible, appending payload bytes to
@@ -496,30 +508,37 @@ impl ChunkedDecoder {
                     };
                 }
                 ChunkState::Data(remaining) => {
-                    let take = remaining.min(input.len() - pos);
-                    sink.extend_from_slice(&input[pos..pos + take]);
+                    let take = remaining.min(input.len().saturating_sub(pos));
+                    let Some(payload) = pos.checked_add(take).and_then(|end| input.get(pos..end))
+                    else {
+                        break; // unreachable: take is clamped to the input
+                    };
+                    sink.extend_from_slice(payload);
                     pos += take;
-                    self.state = match remaining - take {
+                    self.work += take as u64;
+                    self.state = match remaining.saturating_sub(take) {
                         0 => ChunkState::DataCr,
                         left => ChunkState::Data(left),
                     };
                 }
                 ChunkState::DataCr => {
-                    if input[pos] != b'\r' {
+                    if input.get(pos) != Some(&b'\r') {
                         return Err(HttpViolation::BadRequest(
                             "chunk payload is not terminated by CRLF".to_string(),
                         ));
                     }
                     pos += 1;
+                    self.work += 1;
                     self.state = ChunkState::DataLf;
                 }
                 ChunkState::DataLf => {
-                    if input[pos] != b'\n' {
+                    if input.get(pos) != Some(&b'\n') {
                         return Err(HttpViolation::BadRequest(
                             "chunk payload is not terminated by CRLF".to_string(),
                         ));
                     }
                     pos += 1;
+                    self.work += 1;
                     self.state = ChunkState::Size;
                 }
                 ChunkState::Trailer => {
@@ -551,9 +570,9 @@ impl ChunkedDecoder {
         pos: &mut usize,
         cap: usize,
     ) -> Result<Option<Vec<u8>>, HttpViolation> {
-        while *pos < input.len() {
-            let byte = input[*pos];
+        while let Some(&byte) = input.get(*pos) {
             *pos += 1;
+            self.work += 1;
             if byte == b'\n' {
                 if self.line.last() != Some(&b'\r') {
                     return Err(HttpViolation::BadRequest(
@@ -582,7 +601,7 @@ fn parse_chunk_size(line: &[u8]) -> Result<usize, HttpViolation> {
         ))
     };
     let digits = match line.iter().position(|&b| b == b';') {
-        Some(semi) => &line[..semi],
+        Some(semi) => line.get(..semi).unwrap_or(line),
         None => line,
     };
     let digits = std::str::from_utf8(digits).map_err(|_| bad())?.trim();
@@ -835,6 +854,7 @@ pub fn reason(status: u16) -> &'static str {
         201 => "Created",
         304 => "Not Modified",
         400 => "Bad Request",
+        401 => "Unauthorized",
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",

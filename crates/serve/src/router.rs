@@ -64,6 +64,12 @@ pub struct RouterOptions {
     pub enable_dataset_delete: bool,
     /// Budget every feed ingestion runs under.
     pub ingest_budget: IngestBudget,
+    /// Bearer token required on mutating dataset routes (`PUT`/`POST`/
+    /// `DELETE /v1/datasets/{name}`). `None` (the default) leaves them
+    /// open — the pre-0.7 behaviour. Checked before any body byte is
+    /// consumed: an unauthorized upload is refused outright and its body
+    /// discarded by the server's drain path.
+    pub ingest_token: Option<String>,
 }
 
 impl Default for RouterOptions {
@@ -74,6 +80,7 @@ impl Default for RouterOptions {
             enable_shutdown: false,
             enable_dataset_delete: false,
             ingest_budget: IngestBudget::default(),
+            ingest_token: None,
         }
     }
 }
@@ -226,6 +233,24 @@ impl Router {
         (request.method == "PUT" || request.method == "POST")
             && single_segment(&request.path, "/v1/datasets/").is_some()
             && !request.query.iter().any(|(key, _)| key == "seed")
+            // An unauthorized upload never reaches the ingester: the
+            // route does not consume the body, so the server's bounded
+            // drain (and lame-duck close) disposes of it and the 401
+            // goes out without reading a single feed byte.
+            && self.ingest_authorized(request)
+    }
+
+    /// Whether the request may mutate datasets: no token configured, or a
+    /// matching `Authorization: Bearer <token>` header presented.
+    fn ingest_authorized(&self, request: &Request) -> bool {
+        let Some(expected) = self.options.ingest_token.as_deref() else {
+            return true;
+        };
+        request
+            .header("authorization")
+            .and_then(|value| value.strip_prefix("Bearer "))
+            .map(str::trim)
+            == Some(expected)
     }
 
     /// Routes one parsed request to a response, streaming the request body
@@ -371,6 +396,11 @@ impl Router {
 
     /// `PUT`/`POST`/`DELETE`/`GET /v1/datasets/{name}`.
     fn dataset_route(&self, name: &str, request: &Request, body: &mut dyn Body) -> Response {
+        let mutating = matches!(request.method.as_str(), "PUT" | "POST" | "DELETE");
+        if mutating && !self.ingest_authorized(request) {
+            return Response::text(401, "missing or invalid ingestion token")
+                .with_header("WWW-Authenticate", "Bearer realm=\"osdiv-ingest\"");
+        }
         match request.method.as_str() {
             "PUT" | "POST" => self.create_dataset(name, request, body),
             "DELETE" => self.delete_dataset(name),

@@ -274,6 +274,104 @@ fn feed_xml() -> Vec<u8> {
 }
 
 #[test]
+fn ingest_token_gates_mutating_dataset_routes() {
+    let router = Arc::new(Router::with_study(
+        study(),
+        RouterOptions {
+            seed: SEED,
+            cache_capacity: 8,
+            enable_dataset_delete: true,
+            ingest_token: Some("s3cret".to_string()),
+            ..RouterOptions::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router,
+        ServerOptions {
+            threads: 2,
+            read_timeout: Duration::from_secs(1),
+            max_keep_alive_requests: 100,
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Read routes stay open without a token.
+    assert_eq!(
+        loadgen::get(addr, "/v1/datasets?format=json")
+            .unwrap()
+            .status,
+        200
+    );
+
+    // An unauthorized upload (whole body on the wire) is refused without
+    // ingesting a byte: the route refuses to consume the body, so it
+    // rides the server's drain-before-route path and the 401 goes out.
+    let xml = feed_xml();
+    let rejected = loadgen::request_with_body(addr, "PUT", "/v1/datasets/feed", &[], &xml).unwrap();
+    assert_eq!(rejected.status, 401, "{}", rejected.body_string());
+    assert_eq!(
+        rejected.header("www-authenticate"),
+        Some("Bearer realm=\"osdiv-ingest\"")
+    );
+    assert_eq!(
+        loadgen::get(addr, "/v1/datasets/feed").unwrap().status,
+        404,
+        "nothing was ingested"
+    );
+
+    // Wrong token over chunked framing: same refusal, same clean state.
+    let chunks: Vec<&[u8]> = xml.chunks(97).collect();
+    let wrong = loadgen::request_chunked(
+        addr,
+        "PUT",
+        "/v1/datasets/feed",
+        &[("Authorization", "Bearer nope")],
+        &chunks,
+    )
+    .unwrap();
+    assert_eq!(wrong.status, 401);
+    assert_eq!(loadgen::get(addr, "/v1/datasets/feed").unwrap().status, 404);
+
+    // DELETE is gated by the same token.
+    assert_eq!(
+        loadgen::request(addr, "DELETE", "/v1/datasets/feed", &[])
+            .unwrap()
+            .status,
+        401
+    );
+
+    // The right token ingests and deletes normally.
+    let created = loadgen::request_chunked(
+        addr,
+        "PUT",
+        "/v1/datasets/feed",
+        &[("Authorization", "Bearer s3cret")],
+        &chunks,
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_string());
+    assert_eq!(
+        loadgen::get(addr, "/v1/analyses/validity?dataset=feed")
+            .unwrap()
+            .status,
+        200
+    );
+    let deleted = loadgen::request(
+        addr,
+        "DELETE",
+        "/v1/datasets/feed",
+        &[("Authorization", "Bearer s3cret")],
+    )
+    .unwrap();
+    assert_eq!(deleted.status, 200);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn chunked_feed_upload_becomes_queryable_through_every_analysis_route() {
     let (_, handle) = start_server(false);
     let addr = handle.addr();

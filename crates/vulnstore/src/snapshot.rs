@@ -96,28 +96,32 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], RowCodecError> {
-        let end = self
+        let slice = self
             .pos
             .checked_add(n)
-            .filter(|&end| end <= self.bytes.len())
+            .and_then(|end| self.bytes.get(self.pos..end))
             .ok_or(RowCodecError::Truncated { what })?;
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
+        self.pos += n;
         Ok(slice)
     }
 
     fn u8(&mut self, what: &'static str) -> Result<u8, RowCodecError> {
-        Ok(self.take(1, what)?[0])
+        self.take(1, what)?
+            .first()
+            .copied()
+            .ok_or(RowCodecError::Truncated { what })
     }
 
     fn u16(&mut self, what: &'static str) -> Result<u16, RowCodecError> {
-        let bytes = self.take(2, what)?;
-        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+        <[u8; 2]>::try_from(self.take(2, what)?)
+            .map(u16::from_le_bytes)
+            .map_err(|_| RowCodecError::Truncated { what })
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, RowCodecError> {
-        let bytes = self.take(4, what)?;
-        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        <[u8; 4]>::try_from(self.take(4, what)?)
+            .map(u32::from_le_bytes)
+            .map_err(|_| RowCodecError::Truncated { what })
     }
 
     fn string(&mut self, what: &'static str) -> Result<String, RowCodecError> {
