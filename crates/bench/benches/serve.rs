@@ -2,6 +2,12 @@
 //! socket, ETag revalidation, and a multi-client loadgen throughput number
 //! (requests/sec) for `/v1/report` served from the memoized `Study` — the
 //! serving datapoint of the perf trajectory in CHANGES.md.
+//!
+//! The roundtrip benches run with observability fully on (per-route and
+//! per-stage histograms, request-id minting), so their numbers *are* the
+//! with-instrumentation figures; `obs/histogram_record` isolates the cost
+//! of one histogram sample to show why the overhead stays in the noise.
+//! The open-loop leg prints coordinated-omission-immune p50/p99/p999.
 
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -10,9 +16,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::CalibratedGenerator;
-use osdiv_core::Study;
-use osdiv_serve::loadgen::{read_response, run_loadgen, write_request};
-use osdiv_serve::{Router, RouterOptions, Server, ServerHandle, ServerOptions};
+use osdiv_core::{LatencyHistogram, Study};
+use osdiv_serve::loadgen::{read_response, run_loadgen, run_open_loop, write_request};
+use osdiv_serve::{OpenLoopConfig, Router, RouterOptions, Server, ServerHandle, ServerOptions};
 
 fn start_server() -> ServerHandle {
     let dataset = CalibratedGenerator::new(2011).generate();
@@ -35,6 +41,24 @@ fn start_server() -> ServerHandle {
     )
     .expect("an ephemeral loop-back port is bindable");
     server.spawn()
+}
+
+fn bench_histogram_record(c: &mut Criterion) {
+    // The cost every request pays per recorded sample: two relaxed
+    // fetch_adds on a log-bucketed atomic array. Sub-10ns keeps the
+    // always-on route+stage instrumentation inside the roundtrip noise.
+    let histogram = LatencyHistogram::new();
+    let mut sample = 17u64;
+    c.bench_function("obs/histogram_record", |b| {
+        b.iter(|| {
+            sample = sample
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493)
+                % 60_000;
+            histogram.record_us(sample);
+            histogram.total()
+        })
+    });
 }
 
 fn bench_serving(c: &mut Criterion) {
@@ -100,6 +124,20 @@ fn bench_serving(c: &mut Criterion) {
         assert_eq!(report.errors, 0, "loadgen must not drop requests");
     }
 
+    // Open-loop tail latency: arrivals fire on a Poisson schedule whether
+    // or not earlier responses came back, so the p99/p999 include any
+    // queueing delay the server causes (no coordinated omission).
+    let open = run_open_loop(
+        addr,
+        &OpenLoopConfig {
+            rate_per_sec: 2_000.0,
+            duration: Duration::from_secs(2),
+            ..OpenLoopConfig::default()
+        },
+    );
+    println!("serve/open_loop_report_json: {}", open.summary());
+    assert_eq!(open.errors, 0, "the open-loop run must not drop requests");
+
     handle
         .shutdown()
         .expect("the bench server shuts down cleanly");
@@ -108,6 +146,6 @@ fn bench_serving(c: &mut Criterion) {
 criterion_group!(
     name = serve;
     config = Criterion::default().sample_size(10);
-    targets = bench_serving
+    targets = bench_histogram_record, bench_serving
 );
 criterion_main!(serve);

@@ -103,6 +103,8 @@ struct Options {
     out: Option<String>,
     data_dir: Option<String>,
     no_persist: bool,
+    access_log: Option<String>,
+    slow_request_ms: Option<u64>,
     files: Vec<String>,
 }
 
@@ -128,6 +130,8 @@ impl Default for Options {
             out: None,
             data_dir: None,
             no_persist: false,
+            access_log: None,
+            slow_request_ms: None,
             files: Vec::new(),
         }
     }
@@ -490,6 +494,18 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
         max_bytes: opts.max_dataset_bytes.max(1),
         ..IngestBudget::default()
     };
+    // The structured event log (`--access-log`): `-` streams JSON lines
+    // to stdout, anything else appends to the file. Shared by the
+    // router's lifecycle events, the server's access lines and the
+    // recovery events below.
+    let access_log = match opts.access_log.as_deref() {
+        None => None,
+        Some("-") => Some(Arc::new(osdiv_core::EventLog::stdout())),
+        Some(path) => Some(Arc::new(
+            osdiv_core::EventLog::append_to(std::path::Path::new(path))
+                .map_err(|error| std::io::Error::other(format!("--access-log {path}: {error}")))?,
+        )),
+    };
     if let Some(dir) = &opts.data_dir {
         let store = if opts.no_persist {
             TenantStore::open_read_only(dir)
@@ -501,6 +517,29 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
         let recovery = registry.recover(&ingest_budget);
         for (name, error) in &recovery.errors {
             eprintln!("osdiv-serve: recovery of {name:?}: {error}");
+        }
+        if let Some(log) = &access_log {
+            let emit = |event: &str, dataset: &str, detail: Option<&str>| {
+                let mut line = osdiv_core::JsonLine::new();
+                line.str_field("event", event);
+                line.str_field("dataset", dataset);
+                if let Some(detail) = detail {
+                    line.str_field("detail", detail);
+                }
+                log.emit(&line.finish());
+            };
+            for name in &recovery.recovered {
+                emit("tenant_recovered", name, None);
+            }
+            for name in &recovery.replayed {
+                emit("journal_replayed", name, None);
+            }
+            for name in &recovery.discarded_journals {
+                emit("journal_discarded", name, None);
+            }
+            for (name, error) in &recovery.errors {
+                emit("recovery_error", name, Some(&error.to_string()));
+            }
         }
         println!(
             "osdiv-serve: data dir {dir}: {} tenants recovered, {} journals replayed, {} \
@@ -524,6 +563,11 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
                 .ingest_token
                 .clone()
                 .or_else(|| std::env::var("OSDIV_INGEST_TOKEN").ok()),
+            access_log,
+            slow_request_us: opts
+                .slow_request_ms
+                .map(|ms| ms.saturating_mul(1_000))
+                .unwrap_or(osdiv_serve::DEFAULT_SLOW_REQUEST_US),
         },
     ));
     let server = Server::bind(
@@ -624,6 +668,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--out" => opts.out = Some(value("--out")?),
             "--data-dir" => opts.data_dir = Some(value("--data-dir")?),
             "--no-persist" => opts.no_persist = true,
+            "--access-log" => opts.access_log = Some(value("--access-log")?),
+            "--slow-request-ms" => {
+                let raw = value("--slow-request-ms")?;
+                opts.slow_request_ms =
+                    Some(raw.parse().map_err(|_| {
+                        CliError::Usage(format!("invalid --slow-request-ms {raw:?}"))
+                    })?);
+            }
             other if !other.starts_with('-') => opts.files.push(other.to_string()),
             other => {
                 return Err(CliError::Usage(format!(
@@ -666,6 +718,9 @@ fn usage() -> String {
          --data-dir <dir>                 serve: persist ingested tenants as .osdv snapshots;\n  \
                                           journals crash-recover and snapshots warm-restart at boot\n  \
          --no-persist                     serve: open --data-dir read-only (serve snapshots, write nothing)\n  \
+         --access-log <PATH|->            serve: structured JSON-lines access/event log\n                                   \
+         (one line per request; `-` = stdout; see docs/OBSERVABILITY.md)\n  \
+         --slow-request-ms <N>            serve: log requests taking ≥ N ms as slow_request events (default: 500)\n  \
          --out <file.osdv>                snapshot save: output path\n\nSnapshot subcommands \
          (the on-disk format is specified in docs/SNAPSHOT_FORMAT.md):\n  \
          snapshot save --out <f> [feeds]  snapshot the seed dataset or the given NVD feeds\n  \

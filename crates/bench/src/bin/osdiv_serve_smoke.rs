@@ -1,7 +1,7 @@
 //! CI smoke client for a running `osdiv serve` instance.
 //!
 //! ```sh
-//! osdiv-serve-smoke 127.0.0.1:PORT [full|persist-ingest|persist-verify] [body-file]
+//! osdiv-serve-smoke 127.0.0.1:PORT [full|persist-ingest|persist-verify|loadgen] [args...]
 //! ```
 //!
 //! The default `full` mode hits `/v1/healthz`, `/v1/report?format=json`
@@ -12,6 +12,17 @@
 //! query an analysis with `?dataset=smoke` (asserting 200 and an ETag
 //! distinct from the default dataset's), `DELETE` it — checks the
 //! `/metrics` counters recorded the run, and finally `POST /v1/shutdown`.
+//! Along the way it asserts every response carries an `X-Request-Id`
+//! (unique across a pipelined burst) and lints the whole `/metrics`
+//! exposition: every line parses, every histogram's `le` buckets ascend
+//! and accumulate, and each `+Inf` bucket agrees with its `_count`.
+//!
+//! The `loadgen` mode drives the open-loop Poisson harness
+//! ([`loadgen::run_open_loop`]) against the cached report route and
+//! writes a machine-readable `BENCH_serve.json`
+//! (`osdiv-serve-smoke ADDR loadgen [out-file] [rate] [seconds]`) with
+//! the offered/achieved rate, p50/p90/p99/p999, and the cache-hit ratio
+//! scraped from `/metrics` — then shuts the server down.
 //!
 //! The persistence pair drives the kill-and-restart leg against a server
 //! started with `--data-dir`: `persist-ingest` streams a deterministic
@@ -29,13 +40,15 @@
 //! The serving side must run with `--enable-shutdown
 //! --enable-dataset-delete` (and `--data-dir` for the persistence pair).
 
+use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use datagen::{ParametricConfig, ParametricGenerator};
-use osdiv_serve::loadgen::{self, read_response, write_request};
+use osdiv_core::JsonLine;
+use osdiv_serve::loadgen::{self, read_response, write_request, OpenLoopConfig};
 
 fn check(condition: bool, label: &str) -> Result<(), String> {
     if condition {
@@ -44,6 +57,178 @@ fn check(condition: bool, label: &str) -> Result<(), String> {
     } else {
         Err(format!("FAILED: {label}"))
     }
+}
+
+/// Splits a `key="value",...` label body into pairs, honouring `\"`
+/// escapes inside values.
+fn parse_labels(labels: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value is unquoted: {rest:?}"));
+        }
+        let mut close = None;
+        let mut escaped = false;
+        for (pos, c) in after.char_indices().skip(1) {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(pos);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| format!("unterminated label value: {rest:?}"))?;
+        pairs.push((key, after[1..close].to_string()));
+        rest = &after[close + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// A stable key for one histogram series: family name plus its sorted
+/// labels (the `le` pair already removed for bucket samples).
+fn series_key(family: &str, pairs: &[(String, String)]) -> String {
+    let mut rendered: Vec<String> = pairs
+        .iter()
+        .map(|(key, val)| format!("{key}={val}"))
+        .collect();
+    rendered.sort();
+    format!("{family}{{{}}}", rendered.join(","))
+}
+
+/// Lints a Prometheus text exposition: every line must be a HELP/TYPE
+/// comment or a parseable sample, every histogram's `le` boundaries must
+/// ascend with cumulative counts, the final bucket must be `+Inf` and
+/// agree with the `_count` series, and every bucket family must also
+/// expose a `_sum`. Returns the number of distinct histogram series.
+fn lint_exposition(exposition: &str) -> Result<usize, String> {
+    let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    let mut sums: HashMap<String, f64> = HashMap::new();
+    for (number, line) in exposition.lines().enumerate() {
+        let lineno = number + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if !(comment.starts_with("HELP ") || comment.starts_with("TYPE ")) {
+                return Err(format!(
+                    "FAILED: /metrics line {lineno} is neither HELP nor TYPE: {line:?}"
+                ));
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').ok_or_else(|| {
+            format!("FAILED: /metrics line {lineno} has no sample value: {line:?}")
+        })?;
+        let value: f64 = value.parse().map_err(|_| {
+            format!("FAILED: /metrics line {lineno} value does not parse: {line:?}")
+        })?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!(
+                "FAILED: /metrics line {lineno} sample is negative or non-finite: {line:?}"
+            ));
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((name, tail)) => {
+                let labels = tail.strip_suffix('}').ok_or_else(|| {
+                    format!("FAILED: /metrics line {lineno} has unbalanced braces: {line:?}")
+                })?;
+                (name, labels)
+            }
+            None => (series, ""),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!(
+                "FAILED: /metrics line {lineno} metric name is malformed: {line:?}"
+            ));
+        }
+        let pairs = parse_labels(labels)
+            .map_err(|error| format!("FAILED: /metrics line {lineno}: {error}"))?;
+        if let Some(family) = name.strip_suffix("_bucket") {
+            let mut le = None;
+            let mut others = Vec::new();
+            for (key, val) in pairs {
+                if key == "le" {
+                    le = Some(if val == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        val.parse().map_err(|_| {
+                            format!("FAILED: /metrics line {lineno} le does not parse: {line:?}")
+                        })?
+                    });
+                } else {
+                    others.push((key, val));
+                }
+            }
+            let le = le.ok_or_else(|| {
+                format!("FAILED: /metrics line {lineno} bucket has no le label: {line:?}")
+            })?;
+            buckets
+                .entry(series_key(family, &others))
+                .or_default()
+                .push((le, value));
+        } else if let Some(family) = name.strip_suffix("_count") {
+            counts.insert(series_key(family, &pairs), value);
+        } else if let Some(family) = name.strip_suffix("_sum") {
+            sums.insert(series_key(family, &pairs), value);
+        }
+    }
+    if buckets.is_empty() {
+        return Err("FAILED: /metrics exposes no histogram series".to_string());
+    }
+    for (series, entries) in &buckets {
+        for pair in entries.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(format!("FAILED: {series} le boundaries do not ascend"));
+            }
+            if pair[0].1 > pair[1].1 {
+                return Err(format!("FAILED: {series} bucket counts are not cumulative"));
+            }
+        }
+        let last = entries.last().expect("bucket series is non-empty");
+        if !last.0.is_infinite() {
+            return Err(format!("FAILED: {series} does not end with a +Inf bucket"));
+        }
+        let count = counts
+            .get(series)
+            .copied()
+            .ok_or_else(|| format!("FAILED: {series} has buckets but no _count"))?;
+        if last.1 != count {
+            return Err(format!(
+                "FAILED: {series} +Inf bucket {} disagrees with _count {count}",
+                last.1
+            ));
+        }
+        if !sums.contains_key(series) {
+            return Err(format!("FAILED: {series} has buckets but no _sum"));
+        }
+    }
+    Ok(buckets.len())
+}
+
+/// The value of a label-free sample in an exposition body.
+fn scrape_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let tail = line.strip_prefix(name)?;
+        tail.strip_prefix(' ')?.parse().ok()
+    })
 }
 
 fn run(addr: SocketAddr) -> Result<(), String> {
@@ -94,7 +279,40 @@ fn run(addr: SocketAddr) -> Result<(), String> {
         revalidated.status == 304,
         "keep-alive revalidation answers 304",
     )?;
+    check(
+        report.header("x-request-id").is_some() && revalidated.header("x-request-id").is_some(),
+        "every response carries an X-Request-Id",
+    )?;
+    check(
+        report.header("x-request-id") != revalidated.header("x-request-id"),
+        "keep-alive requests get distinct X-Request-Ids",
+    )?;
     drop(reader);
+
+    // 2b. A pipelined burst: three requests written back-to-back before
+    //     reading — each response still gets its own unique request id.
+    let stream = TcpStream::connect(addr).map_err(io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(io)?;
+    let mut reader = BufReader::new(stream);
+    for _ in 0..3 {
+        write_request(reader.get_mut(), "GET", "/v1/healthz", &[]).map_err(io)?;
+    }
+    let mut request_ids = Vec::new();
+    for _ in 0..3 {
+        let response = read_response(&mut reader).map_err(io)?;
+        check(response.status == 200, "pipelined healthz answers 200")?;
+        let id = response
+            .header("x-request-id")
+            .ok_or("FAILED: pipelined response is missing X-Request-Id")?;
+        request_ids.push(id.to_string());
+    }
+    drop(reader);
+    check(
+        request_ids.iter().collect::<HashSet<_>>().len() == request_ids.len(),
+        "pipelined responses carry unique X-Request-Ids",
+    )?;
 
     // 3. A parameterized analysis endpoint and its error paths.
     let temporal = loadgen::get(
@@ -194,6 +412,37 @@ fn run(addr: SocketAddr) -> Result<(), String> {
     check(
         !exposition.contains("osdiv_bytes_out 0\n"),
         "/metrics counted response bytes",
+    )?;
+    let histogram_series = lint_exposition(&exposition)?;
+    println!("ok: /metrics exposition lints clean ({histogram_series} histogram series)");
+    for family in [
+        "osdiv_request_duration_seconds",
+        "osdiv_stage_duration_seconds",
+    ] {
+        check(
+            exposition.contains(&format!("# TYPE {family} histogram")),
+            &format!("/metrics exposes the {family} histogram"),
+        )?;
+    }
+    check(
+        exposition.contains("osdiv_request_duration_seconds_count{route=\"report\"}"),
+        "the request histogram observed the report route",
+    )?;
+    check(
+        exposition.contains("osdiv_stage_duration_seconds_count{stage=\"render\"}"),
+        "the stage histogram observed a render",
+    )?;
+    check(
+        exposition.contains("osdiv_stage_duration_seconds_count{stage=\"ingest_parse\"}"),
+        "the stage histogram observed the feed ingest",
+    )?;
+    check(
+        exposition.contains("osdiv_build_info{version=\""),
+        "/metrics exposes osdiv_build_info",
+    )?;
+    check(
+        exposition.contains("# TYPE osdiv_uptime_seconds gauge"),
+        "/metrics exposes osdiv_uptime_seconds",
     )?;
 
     // 7. Graceful shutdown.
@@ -304,11 +553,76 @@ fn persist_verify(addr: SocketAddr, body_file: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `loadgen`: drive the open-loop Poisson harness against the cached
+/// report route, lint `/metrics`, and write a machine-readable
+/// `BENCH_serve.json` artifact — then shut the server down.
+fn run_loadgen_bench(
+    addr: SocketAddr,
+    out_file: &str,
+    rate_per_sec: f64,
+    seconds: f64,
+) -> Result<(), String> {
+    let io = |error: std::io::Error| format!("FAILED: io error: {error}");
+
+    // Warm the render cache so the run measures steady-state serving.
+    let warm = loadgen::get(addr, "/v1/report?format=json").map_err(io)?;
+    check(warm.status == 200, "warmup report answers 200")?;
+
+    let config = OpenLoopConfig {
+        rate_per_sec,
+        duration: Duration::from_secs_f64(seconds),
+        ..OpenLoopConfig::default()
+    };
+    let report = loadgen::run_open_loop(addr, &config);
+    println!("open-loop: {}", report.summary());
+    check(report.ok > 0, "open-loop run completed requests")?;
+    check(
+        report.errors == 0,
+        &format!("open-loop run had no errors (got {})", report.errors),
+    )?;
+
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(metrics.status == 200, "GET /metrics answers 200")?;
+    let exposition = metrics.body_string();
+    let histogram_series = lint_exposition(&exposition)?;
+    println!("ok: /metrics exposition lints clean ({histogram_series} histogram series)");
+    let hits = scrape_value(&exposition, "osdiv_cache_hits").unwrap_or(0.0);
+    let misses = scrape_value(&exposition, "osdiv_cache_misses").unwrap_or(0.0);
+    let lookups = hits + misses;
+    let hit_ratio = if lookups > 0.0 { hits / lookups } else { 0.0 };
+
+    let mut line = JsonLine::new();
+    line.str_field("schema", "osdiv-bench-serve/1");
+    line.str_field("path", &config.path);
+    line.f64_field("target_rate_per_sec", config.rate_per_sec);
+    line.f64_field("duration_secs", config.duration.as_secs_f64());
+    line.u64_field("connections", config.connections as u64);
+    line.u64_field("requests_total", report.total as u64);
+    line.u64_field("requests_ok", report.ok as u64);
+    line.u64_field("errors", report.errors as u64);
+    line.f64_field("elapsed_secs", report.elapsed.as_secs_f64());
+    line.f64_field("achieved_rate_per_sec", report.achieved_rate());
+    line.u64_field("p50_us", report.quantile_us(0.50));
+    line.u64_field("p90_us", report.quantile_us(0.90));
+    line.u64_field("p99_us", report.quantile_us(0.99));
+    line.u64_field("p999_us", report.quantile_us(0.999));
+    line.f64_field("mean_us", report.latency.mean_us());
+    line.f64_field("cache_hit_ratio", hit_ratio);
+    let mut payload = line.finish();
+    payload.push('\n');
+    std::fs::write(out_file, payload).map_err(io)?;
+    println!("ok: wrote {out_file}");
+
+    let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
+    check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first() else {
         eprintln!(
-            "usage: osdiv-serve-smoke <addr:port> [full|persist-ingest|persist-verify] [body-file]"
+            "usage: osdiv-serve-smoke <addr:port> [full|persist-ingest|persist-verify|loadgen] [args...]"
         );
         return ExitCode::from(2);
     };
@@ -330,8 +644,33 @@ fn main() -> ExitCode {
                 persist_verify(addr, body_file)
             }
         }
+        "loadgen" => {
+            let out_file = args
+                .get(2)
+                .map(String::as_str)
+                .unwrap_or("BENCH_serve.json");
+            let rate_per_sec = match args.get(3).map(|raw| raw.parse::<f64>()) {
+                None => 1_000.0,
+                Some(Ok(rate)) if rate > 0.0 => rate,
+                Some(_) => {
+                    eprintln!("loadgen rate must be a positive number");
+                    return ExitCode::from(2);
+                }
+            };
+            let seconds = match args.get(4).map(|raw| raw.parse::<f64>()) {
+                None => 2.0,
+                Some(Ok(seconds)) if seconds > 0.0 => seconds,
+                Some(_) => {
+                    eprintln!("loadgen seconds must be a positive number");
+                    return ExitCode::from(2);
+                }
+            };
+            run_loadgen_bench(addr, out_file, rate_per_sec, seconds)
+        }
         other => {
-            eprintln!("unknown mode {other:?} (expected full, persist-ingest or persist-verify)");
+            eprintln!(
+                "unknown mode {other:?} (expected full, persist-ingest, persist-verify or loadgen)"
+            );
             return ExitCode::from(2);
         }
     };

@@ -65,6 +65,7 @@ pub mod classes;
 pub mod dataset;
 pub mod index;
 pub mod kway;
+pub mod obs;
 pub mod pairwise;
 pub mod params;
 pub mod releases;
@@ -83,6 +84,7 @@ pub use classes::{ClassDistribution, ValidityDistribution};
 pub use dataset::{Period, ServerProfile, StudyDataset};
 pub use index::CountIndex;
 pub use kway::{KWayAnalysis, KWayConfig, KWayRow};
+pub use obs::{EventLog, HistogramSnapshot, JsonLine, LatencyHistogram};
 pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseConfig, PairwiseSummary, PartBreakdownRow};
 pub use params::{FromParams, Params};
 pub use releases::{ReleaseAnalysis, ReleaseConfig, ReleasePairRow};

@@ -1,0 +1,627 @@
+//! Dependency-free observability primitives: a lock-free log-bucketed
+//! latency histogram, Prometheus histogram rendering, and a structured
+//! JSON-lines event log.
+//!
+//! # The histogram
+//!
+//! [`LatencyHistogram`] records durations in **microseconds** into a fixed
+//! table of relaxed [`AtomicU64`] buckets — recording is wait-free, never
+//! allocates, and takes `&self`, so one histogram is safely shared across
+//! every worker thread of a server. The bucket layout is HDR-style
+//! log-linear:
+//!
+//! * values `0..64` µs land in one exact bucket each;
+//! * every octave above (`64..128`, `128..256`, …) is split into 64
+//!   linear sub-buckets, bounding the relative quantile error by
+//!   `1/64 ≈ 1.6%` (about two significant digits);
+//! * the range is capped at [`MAX_TRACKED_US`] (60 s) — longer values
+//!   clamp into the last bucket, with the exact total still available
+//!   through the `_sum` term.
+//!
+//! That is 64 + 20·64 = 1344 buckets, ~10.5 KiB per histogram.
+//!
+//! [`HistogramSnapshot`] is a point-in-time copy for reading: quantiles
+//! ([`quantile_us`](HistogramSnapshot::quantile_us)), the mean, and the
+//! Prometheus histogram exposition
+//! ([`render_prometheus`](HistogramSnapshot::render_prometheus)) all work
+//! on the snapshot so a scrape observes one consistent view.
+//!
+//! # The event log
+//!
+//! [`EventLog`] writes one JSON object per line (built with [`JsonLine`],
+//! escaped by [`json_escape_into`]) to a file or stdout. Request-derived
+//! strings pass through the escaper, so a hostile path or header can never
+//! break the line framing of the log.
+
+use std::fmt;
+use std::io::{self, LineWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// The histogram range cap in microseconds (60 s). Longer values clamp
+/// into the final bucket; `_sum` keeps the exact total.
+pub const MAX_TRACKED_US: u64 = 60_000_000;
+
+/// Exact one-microsecond buckets below the first octave.
+const LINEAR_BUCKETS: usize = 64;
+
+/// Log-linear octaves covering `64 µs .. 2^26 µs` (the cap rounds into the
+/// last one): exponents 6 through 25 inclusive.
+const OCTAVES: usize = 20;
+
+/// Total bucket table length.
+const BUCKET_TABLE: usize = LINEAR_BUCKETS + OCTAVES * LINEAR_BUCKETS;
+
+/// Coarse `le` boundaries (in microseconds) used for the Prometheus
+/// exposition — the in-process resolution stays 1/64, but a scrape gets a
+/// conventional ~22-bucket series from 5 µs to 60 s.
+pub const PROMETHEUS_BOUNDS_US: [u64; 22] = [
+    5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+/// The fine-bucket slot a (clamped) microsecond value lands in.
+fn bucket_slot(value_us: u64) -> usize {
+    let value = value_us.min(MAX_TRACKED_US);
+    if value < LINEAR_BUCKETS as u64 {
+        value as usize
+    } else {
+        // 64 ≤ value < 2^26, so the leading-bit exponent is 6..=25.
+        let exponent = 63 - value.leading_zeros() as usize;
+        let shift = exponent - 6;
+        LINEAR_BUCKETS + shift * LINEAR_BUCKETS + ((value >> shift) as usize & 63)
+    }
+}
+
+/// The largest microsecond value that lands in `slot` (the inclusive
+/// upper edge of the fine bucket).
+fn bucket_limit(slot: usize) -> u64 {
+    if slot < LINEAR_BUCKETS {
+        slot as u64
+    } else {
+        let shift = (slot - LINEAR_BUCKETS) / LINEAR_BUCKETS;
+        let sub = (slot - LINEAR_BUCKETS) % LINEAR_BUCKETS;
+        (((LINEAR_BUCKETS + sub + 1) as u64) << shift) - 1 // guard: allow(arith) — sub < 64 and shift ≤ 19: the shift tops out at 129 << 19 < 2^27 and is ≥ 65, so neither overflow nor underflow is possible.
+    }
+}
+
+/// A lock-free, log-bucketed latency histogram (see the module docs for
+/// the bucket layout). Recording is wait-free and allocation-free; reads
+/// go through [`snapshot`](LatencyHistogram::snapshot).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("total", &self.total.load(Ordering::Relaxed))
+            .field("sum_us", &self.sum_us.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKET_TABLE).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `value_us` microseconds. Values past
+    /// [`MAX_TRACKED_US`] clamp into the last bucket but contribute their
+    /// exact value to the sum.
+    pub fn record_us(&self, value_us: u64) {
+        self.sum_us.fetch_add(value_us, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(bucket_slot(value_us)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation of a [`Duration`] (saturating to the u64
+    /// microsecond range).
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds every observation of `other` into `self`. Merging while both
+    /// histograms keep recording is safe; the merge then lands somewhere
+    /// between the two instants it spans.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let filled = theirs.load(Ordering::Relaxed);
+            if filled > 0 {
+                mine.fetch_add(filled, Ordering::Relaxed);
+            }
+        }
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile queries and rendering. Buckets
+    /// are read bucket-by-bucket while writers proceed, so the copy is
+    /// only approximately atomic — fine for monitoring, which is its job.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .collect();
+        // Derive the totals from the copied buckets so the snapshot is
+        // internally consistent (sum/total race one increment otherwise).
+        let counted: u64 = buckets.iter().sum();
+        let mut sum_us = self.sum_us.load(Ordering::Relaxed);
+        let total = self.total.load(Ordering::Relaxed);
+        if counted < total {
+            // A writer got between our bucket pass and the total load;
+            // scale the sum back onto the counted population.
+            sum_us = if total > 0 {
+                (sum_us / total.max(1)) * counted // guard: allow(arith) — average-times-counted under a positive total; division first, no overflow.
+            } else {
+                0
+            };
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us,
+            total: counted,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], internally consistent
+/// (its `_count` always equals the bucket total).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum_us: u64,
+    total: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of observations in the snapshot.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact sum of every recorded microsecond value.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean recorded value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile in microseconds (`q` clamps into `0.0..=1.0`):
+    /// the upper edge of the first bucket whose cumulative population
+    /// reaches `ceil(q · total)`, so the answer over-reports by at most
+    /// one bucket width (≈1.6% relative). Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let goal = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let goal = goal.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (slot, filled) in self.buckets.iter().enumerate() {
+            seen += filled;
+            if seen >= goal {
+                return bucket_limit(slot);
+            }
+        }
+        MAX_TRACKED_US
+    }
+
+    /// Appends the Prometheus histogram exposition for this snapshot:
+    /// cumulative `{name}_bucket{…,le="…"}` lines over
+    /// [`PROMETHEUS_BOUNDS_US`] plus `+Inf`, then `{name}_sum` (seconds)
+    /// and `{name}_count`. `labels` is either empty or a ready-made
+    /// `key="value"` list without braces. A fine bucket counts under a
+    /// boundary only when it fits entirely, so the series is conservative
+    /// by at most one fine bucket (≈1.6%) and always monotone.
+    pub fn render_prometheus(&self, name: &str, labels: &str, out: &mut String) {
+        let mut fine = self.buckets.iter().copied().enumerate().peekable();
+        let mut cumulative = 0u64;
+        for bound in PROMETHEUS_BOUNDS_US {
+            while let Some(&(slot, filled)) = fine.peek() {
+                if bucket_limit(slot) > bound {
+                    break;
+                }
+                cumulative += filled;
+                fine.next();
+            }
+            out.push_str(name);
+            out.push_str("_bucket{");
+            if !labels.is_empty() {
+                out.push_str(labels);
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            push_seconds(out, bound);
+            out.push_str("\"} ");
+            push_u64(out, cumulative);
+            out.push('\n');
+        }
+        out.push_str(name);
+        out.push_str("_bucket{");
+        if !labels.is_empty() {
+            out.push_str(labels);
+            out.push(',');
+        }
+        out.push_str("le=\"+Inf\"} ");
+        push_u64(out, self.total);
+        out.push('\n');
+        out.push_str(name);
+        out.push_str("_sum");
+        push_label_block(out, labels);
+        out.push(' ');
+        push_seconds(out, self.sum_us);
+        out.push('\n');
+        out.push_str(name);
+        out.push_str("_count");
+        push_label_block(out, labels);
+        out.push(' ');
+        push_u64(out, self.total);
+        out.push('\n');
+    }
+}
+
+/// Appends `{labels}` when labels are present (for `_sum`/`_count` lines).
+fn push_label_block(out: &mut String, labels: &str) {
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+}
+
+/// Appends a decimal u64.
+fn push_u64(out: &mut String, value: u64) {
+    use fmt::Write as _;
+    let _ = write!(out, "{value}");
+}
+
+/// Appends a microsecond quantity as decimal **seconds** with no float
+/// round-trip: `17` → `0.000017`, `2_500_000` → `2.5`, `60_000_000` → `60`.
+fn push_seconds(out: &mut String, us: u64) {
+    use fmt::Write as _;
+    let whole = us / 1_000_000;
+    let frac = us % 1_000_000;
+    if frac == 0 {
+        let _ = write!(out, "{whole}");
+    } else {
+        let digits = format!("{frac:06}");
+        let _ = write!(out, "{whole}.{}", digits.trim_end_matches('0'));
+    }
+}
+
+/// Escapes `value` into `out` as the interior of a JSON string literal:
+/// quotes and backslashes are escaped, control characters become `\uXXXX`
+/// (with the conventional short forms for `\n`, `\r`, `\t`). Multi-byte
+/// UTF-8 passes through unchanged — the output is valid JSON whatever the
+/// (request-derived) input was.
+pub fn json_escape_into(out: &mut String, value: &str) {
+    use fmt::Write as _;
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            control if control < ' ' => {
+                let _ = write!(out, "\\u{:04x}", control as u32);
+            }
+            other => out.push(other),
+        }
+    }
+}
+
+/// Builds one JSON object on a single line, field by field. Keys and
+/// string values both pass through [`json_escape_into`].
+///
+/// ```
+/// use osdiv_core::obs::JsonLine;
+/// let mut line = JsonLine::new();
+/// line.str_field("event", "request");
+/// line.u64_field("status", 200);
+/// assert_eq!(line.finish(), r#"{"event":"request","status":200}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonLine {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonLine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonLine {
+    /// An empty object, opened.
+    pub fn new() -> Self {
+        JsonLine {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        json_escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str_field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push('"');
+        json_escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, name: &str, value: u64) {
+        use fmt::Write as _;
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a float field (JSON number; non-finite values become 0).
+    pub fn f64_field(&mut self, name: &str, value: f64) {
+        use fmt::Write as _;
+        self.key(name);
+        let value = if value.is_finite() { value } else { 0.0 };
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A shared sink for JSON-lines events (the access log, lifecycle
+/// events). Writes are serialized by a mutex and line-buffered;
+/// [`emit`](EventLog::emit) is best-effort — a full disk must never take
+/// the serving path down with it.
+pub struct EventLog {
+    writer: Mutex<LineWriter<Box<dyn Write + Send>>>,
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog").finish_non_exhaustive()
+    }
+}
+
+impl EventLog {
+    /// An event log over an arbitrary writer.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        EventLog {
+            writer: Mutex::new(LineWriter::new(writer)),
+        }
+    }
+
+    /// An event log appending to standard output.
+    pub fn stdout() -> Self {
+        Self::to_writer(Box::new(io::stdout()))
+    }
+
+    /// An event log appending to the file at `path` (created if missing).
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Writes one event line (the newline is added here). Errors are
+    /// swallowed by design: observability must not fail the observed.
+    pub fn emit(&self, line: &str) {
+        let mut writer = self.writer.lock();
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_and_log_slots_roundtrip_their_limits() {
+        for slot in 0..BUCKET_TABLE {
+            let limit = bucket_limit(slot);
+            assert_eq!(
+                bucket_slot(limit.min(MAX_TRACKED_US)),
+                if limit >= MAX_TRACKED_US {
+                    bucket_slot(MAX_TRACKED_US)
+                } else {
+                    slot
+                },
+                "slot {slot} limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_limits_are_strictly_increasing() {
+        let mut previous = None;
+        for slot in 0..BUCKET_TABLE {
+            let limit = bucket_limit(slot);
+            if let Some(prev) = previous {
+                assert!(limit > prev, "slot {slot}: {limit} <= {prev}");
+            }
+            previous = Some(limit);
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        // Above the linear region, every bucket's width is at most 1/64
+        // of its lower edge.
+        for slot in LINEAR_BUCKETS..BUCKET_TABLE {
+            let hi = bucket_limit(slot);
+            let lo = bucket_limit(slot - 1) + 1;
+            let width = hi - lo + 1;
+            assert!(
+                width * 64 <= lo + 64,
+                "slot {slot}: width {width} vs lower edge {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_and_sum_are_exact_on_small_values() {
+        let hist = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 10, 63] {
+            hist.record_us(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.sum_us(), 79);
+        assert_eq!(snap.quantile_us(0.0), 1);
+        assert_eq!(snap.quantile_us(0.5), 3);
+        assert_eq!(snap.quantile_us(1.0), 63);
+    }
+
+    #[test]
+    fn values_past_the_cap_clamp_but_keep_their_exact_sum() {
+        let hist = LatencyHistogram::new();
+        hist.record_us(10 * MAX_TRACKED_US);
+        let snap = hist.snapshot();
+        assert_eq!(snap.total(), 1);
+        assert_eq!(snap.sum_us(), 10 * MAX_TRACKED_US);
+        assert!(snap.quantile_us(1.0) <= bucket_limit(BUCKET_TABLE - 1));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_consistent() {
+        let hist = LatencyHistogram::new();
+        for v in [3u64, 17, 90, 1_500, 40_000, 2_000_000] {
+            hist.record_us(v);
+        }
+        let mut out = String::new();
+        hist.snapshot()
+            .render_prometheus("test_hist", "route=\"x\"", &mut out);
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in out.lines() {
+            if let Some(rest) = line.strip_prefix("test_hist_bucket{route=\"x\",le=\"") {
+                let value: u64 = rest
+                    .split("\"} ")
+                    .nth(1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("bucket line parses");
+                assert!(value >= last, "non-monotone at {line:?}");
+                last = value;
+                bucket_lines += 1;
+            }
+        }
+        assert_eq!(bucket_lines, PROMETHEUS_BOUNDS_US.len() + 1);
+        assert_eq!(last, 6, "+Inf equals the count");
+        assert!(out.contains("test_hist_count{route=\"x\"} 6"));
+        assert!(out.contains("test_hist_sum{route=\"x\"} 2.04161"));
+    }
+
+    #[test]
+    fn seconds_formatting_has_no_float_roundtrip() {
+        let mut out = String::new();
+        push_seconds(&mut out, 17);
+        out.push(' ');
+        push_seconds(&mut out, 2_500_000);
+        out.push(' ');
+        push_seconds(&mut out, 60_000_000);
+        assert_eq!(out, "0.000017 2.5 60");
+    }
+
+    #[test]
+    fn json_lines_escape_hostile_strings() {
+        let mut line = JsonLine::new();
+        line.str_field("path", "/v1/\"evil\"\\\n\u{1}");
+        line.u64_field("status", 400);
+        line.bool_field("slow", false);
+        assert_eq!(
+            line.finish(),
+            "{\"path\":\"/v1/\\\"evil\\\"\\\\\\n\\u0001\",\"status\":400,\"slow\":false}"
+        );
+    }
+
+    #[test]
+    fn event_log_writes_one_line_per_emit() {
+        use std::sync::{Arc, Mutex as StdMutex};
+
+        #[derive(Clone)]
+        struct Sink(Arc<StdMutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let bytes = Arc::new(StdMutex::new(Vec::new()));
+        let log = EventLog::to_writer(Box::new(Sink(Arc::clone(&bytes))));
+        log.emit("{\"a\":1}");
+        log.emit("{\"b\":2}");
+        log.flush();
+        let written = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        assert_eq!(written, "{\"a\":1}\n{\"b\":2}\n");
+    }
+}

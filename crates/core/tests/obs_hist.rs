@@ -1,0 +1,186 @@
+//! Accuracy and concurrency suite for [`osdiv_core::obs::LatencyHistogram`]:
+//! histogram quantiles must track exact sorted-sample percentiles within
+//! the documented relative error, the Prometheus series must stay
+//! cumulative and self-consistent for arbitrary inputs, and concurrent
+//! recording (and merging) must lose nothing versus sequential recording.
+
+use std::sync::Arc;
+use std::thread;
+
+use osdiv_core::obs::{LatencyHistogram, MAX_TRACKED_US, PROMETHEUS_BOUNDS_US};
+use proptest::prelude::*;
+
+/// The exact `q`-percentile of a sample: the value at rank
+/// `ceil(q * n)` (1-based) of the sorted sample — the same rank the
+/// histogram answers with a bucket upper edge.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    let rank = rank.clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram answers with the upper edge of the bucket holding the
+/// exact answer, so it may over-report by one bucket width: ≈1/64 of the
+/// value above the linear region, 0 below it.
+fn within_bucket_error(reported: u64, exact: u64) -> bool {
+    let exact = exact.min(MAX_TRACKED_US);
+    // Never under the exact answer…
+    if reported < exact {
+        return false;
+    }
+    // …and over by at most one sub-bucket (1/64 relative, rounded up),
+    // which is 0 in the exact linear region.
+    let slack = if exact < 64 { 0 } else { exact / 64 + 1 };
+    reported <= exact + slack
+}
+
+proptest! {
+    #[test]
+    fn quantiles_track_exact_percentiles(
+        values in proptest::collection::vec(0u64..MAX_TRACKED_US, 1..400),
+        quantile_permille in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let mut values = values;
+        let hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record_us(v);
+        }
+        values.sort_unstable();
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.total(), values.len() as u64);
+        prop_assert_eq!(snap.sum_us(), values.iter().sum::<u64>());
+        for &permille in &quantile_permille {
+            let q = permille as f64 / 1000.0;
+            let exact = exact_quantile(&values, q);
+            let reported = snap.quantile_us(q);
+            prop_assert!(
+                within_bucket_error(reported, exact),
+                "q={} exact={} reported={}",
+                q,
+                exact,
+                reported
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_series_is_cumulative_and_consistent(
+        values in proptest::collection::vec(0u64..(2 * MAX_TRACKED_US), 0..200),
+    ) {
+        let hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record_us(v);
+        }
+        let mut out = String::new();
+        hist.snapshot().render_prometheus("h", "", &mut out);
+
+        let mut cumulative = Vec::new();
+        let mut count = None;
+        for line in out.lines() {
+            if let Some(rest) = line.strip_prefix("h_bucket{le=\"") {
+                let v: u64 = rest.split("\"} ").nth(1).unwrap().parse().unwrap();
+                cumulative.push(v);
+            } else if let Some(rest) = line.strip_prefix("h_count ") {
+                count = Some(rest.parse::<u64>().unwrap());
+            }
+        }
+        // One line per boundary plus +Inf, monotone, ending at _count.
+        prop_assert_eq!(cumulative.len(), PROMETHEUS_BOUNDS_US.len() + 1);
+        prop_assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(cumulative.last().copied(), Some(values.len() as u64));
+        prop_assert_eq!(count, Some(values.len() as u64));
+    }
+}
+
+#[test]
+fn concurrent_recording_equals_sequential() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+
+    let shared = Arc::new(LatencyHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&shared);
+            thread::spawn(move || {
+                // A deterministic per-thread value stream spanning the
+                // whole bucket range.
+                for i in 0..PER_THREAD {
+                    hist.record_us((t * PER_THREAD + i) * 977 % (2 * MAX_TRACKED_US));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let sequential = LatencyHistogram::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            sequential.record_us((t * PER_THREAD + i) * 977 % (2 * MAX_TRACKED_US));
+        }
+    }
+
+    let concurrent_snap = shared.snapshot();
+    let sequential_snap = sequential.snapshot();
+    assert_eq!(concurrent_snap.total(), THREADS * PER_THREAD);
+    assert_eq!(concurrent_snap.total(), sequential_snap.total());
+    assert_eq!(concurrent_snap.sum_us(), sequential_snap.sum_us());
+    let mut concurrent_out = String::new();
+    let mut sequential_out = String::new();
+    concurrent_snap.render_prometheus("h", "", &mut concurrent_out);
+    sequential_snap.render_prometheus("h", "", &mut sequential_out);
+    assert_eq!(concurrent_out, sequential_out);
+}
+
+#[test]
+fn merged_shards_equal_one_histogram() {
+    let merged = LatencyHistogram::new();
+    let reference = LatencyHistogram::new();
+    let shards: Vec<Arc<LatencyHistogram>> =
+        (0..4).map(|_| Arc::new(LatencyHistogram::new())).collect();
+    let handles: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(s, shard)| {
+            let shard = Arc::clone(shard);
+            thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    shard.record_us((s as u64 * 10_000 + i) * 31 % 1_000_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    for s in 0..4u64 {
+        for i in 0..10_000 {
+            reference.record_us((s * 10_000 + i) * 31 % 1_000_000);
+        }
+    }
+    for shard in &shards {
+        merged.merge_from(shard);
+    }
+    let merged_snap = merged.snapshot();
+    let reference_snap = reference.snapshot();
+    assert_eq!(merged_snap.total(), reference_snap.total());
+    assert_eq!(merged_snap.sum_us(), reference_snap.sum_us());
+    for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+        assert_eq!(merged_snap.quantile_us(q), reference_snap.quantile_us(q));
+    }
+}
+
+#[test]
+fn recording_takes_shared_references_only() {
+    // The hot path is `&self` over relaxed atomics: this compiles exactly
+    // because no lock or &mut is involved, and a pre-sized bucket table
+    // means no allocation either (the assertion is the signature itself).
+    let hist = LatencyHistogram::new();
+    let borrow_a = &hist;
+    let borrow_b = &hist;
+    borrow_a.record_us(10);
+    borrow_b.record_us(20);
+    assert_eq!(hist.snapshot().total(), 2);
+}

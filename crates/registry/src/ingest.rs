@@ -47,6 +47,7 @@ use std::fmt;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use classify::Classifier;
 use nvd_feed::{FeedError, FeedReader};
@@ -149,6 +150,22 @@ impl From<FeedError> for IngestError {
     }
 }
 
+/// Where one ingestion's wall-clock time went, in microseconds —
+/// recorded per stage so a slow `PUT` can be attributed to boundary
+/// carving, XML parsing or store insertion (exposed as the
+/// `osdiv_stage_duration_seconds{stage="ingest_*"}` histograms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStageMicros {
+    /// Carving `<entry>` boundaries out of the byte stream (everything in
+    /// `push`/`finish` not attributed to the other two stages).
+    pub carve_us: u64,
+    /// Parsing carved fragments: inline parse time, or — pipelined — the
+    /// time the coordinator spent blocked on the worker pool.
+    pub parse_us: u64,
+    /// Inserting parsed entries into the store, in feed order.
+    pub insert_us: u64,
+}
+
 /// What a completed ingestion produced.
 #[derive(Debug)]
 pub struct IngestOutcome {
@@ -164,6 +181,8 @@ pub struct IngestOutcome {
     pub skipped: usize,
     /// Feed bytes consumed.
     pub feed_bytes: usize,
+    /// Per-stage wall-clock attribution of the ingestion.
+    pub stages: IngestStageMicros,
 }
 
 impl IngestOutcome {
@@ -333,6 +352,20 @@ pub struct FeedIngester {
     /// complexity-guard tests. Scanning must stay linear in feed size no
     /// matter how finely the network slices the stream.
     scan_work: u64,
+    /// Wall-clock µs spent inside `push`/`finish` overall; carve time is
+    /// this minus the parse and insert attributions below.
+    push_us: u64,
+    /// Wall-clock µs spent parsing fragments — inline parse time, or the
+    /// coordinator blocked on the worker pool (submit backpressure,
+    /// result waits, final drain).
+    parse_us: u64,
+    /// Wall-clock µs spent settling parsed entries into the store.
+    insert_us: u64,
+}
+
+/// Microseconds elapsed since `started`, saturating.
+fn micros_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 impl FeedIngester {
@@ -366,6 +399,9 @@ impl FeedIngester {
             next_insert: 0,
             failed: None,
             scan_work: 0,
+            push_us: 0,
+            parse_us: 0,
+            insert_us: 0,
         }
     }
 
@@ -405,6 +441,15 @@ impl FeedIngester {
     /// that carried the broken entry, or at
     /// [`finish`](FeedIngester::finish) (see the module docs).
     pub fn push(&mut self, chunk: &[u8]) -> Result<(), IngestError> {
+        let started = Instant::now();
+        let pushed = self.push_chunk(chunk);
+        self.push_us += micros_since(started);
+        pushed
+    }
+
+    /// The body of [`push`](FeedIngester::push), wrapped so the public
+    /// entry point can attribute its wall-clock time to the carve stage.
+    fn push_chunk(&mut self, chunk: &[u8]) -> Result<(), IngestError> {
         self.take_failure()?;
         self.feed_bytes += chunk.len();
         if self.feed_bytes > self.budget.max_bytes {
@@ -415,6 +460,17 @@ impl FeedIngester {
         self.buffer.extend_from_slice(chunk);
         self.scan()?;
         self.drain_ready()
+    }
+
+    /// Where this ingestion's wall-clock time has gone so far. Carve time
+    /// is everything inside `push`/`finish` not spent parsing or
+    /// inserting, so the three stages sum to the total ingest time.
+    pub fn stage_micros(&self) -> IngestStageMicros {
+        IngestStageMicros {
+            carve_us: self.push_us.saturating_sub(self.parse_us + self.insert_us),
+            parse_us: self.parse_us,
+            insert_us: self.insert_us,
+        }
     }
 
     /// Pulls every already finished worker result (without blocking) and
@@ -441,6 +497,7 @@ impl FeedIngester {
     /// strictly in carve order — the loaded store is identical to a
     /// sequential ingestion.
     fn settle_pending(&mut self) {
+        let started = Instant::now();
         while self.failed.is_none() {
             let Some(result) = self.pending.remove(&self.next_insert) else {
                 break;
@@ -455,6 +512,7 @@ impl FeedIngester {
                 Err(error) => self.failed = Some(error),
             }
         }
+        self.insert_us += micros_since(started);
     }
 
     /// Surfaces the first-in-feed-order parse failure, once.
@@ -476,10 +534,12 @@ impl FeedIngester {
             if self.failed.is_some() || self.next_insert >= self.seen as u64 {
                 return;
             }
+            let waited = Instant::now();
             let received = match &self.pipeline {
                 Some(pipeline) => pipeline.results.recv().ok(),
                 None => None,
             };
+            self.parse_us += micros_since(waited);
             match received {
                 Some((seq, result)) => {
                     self.pending.insert(seq, result);
@@ -576,6 +636,7 @@ impl FeedIngester {
         self.seen += 1;
         let fragment =
             std::str::from_utf8(self.buffer.get(..end).unwrap_or_default()).unwrap_or_default();
+        let parse_started = Instant::now();
         match &self.pipeline {
             Some(pipeline) => pipeline.submit(seq, fragment.to_string()),
             None => {
@@ -583,6 +644,7 @@ impl FeedIngester {
                 self.pending.insert(seq, parsed);
             }
         }
+        self.parse_us += micros_since(parse_started);
         Ok(())
     }
 
@@ -606,12 +668,16 @@ impl FeedIngester {
     }
 
     fn finish_inner(mut self, lossy: bool) -> Result<(IngestOutcome, bool), IngestError> {
+        let finish_started = Instant::now();
         if let Some(pipeline) = self.pipeline.take() {
+            let drain_started = Instant::now();
             for (seq, result) in pipeline.drain() {
                 self.pending.insert(seq, result);
             }
+            self.parse_us += micros_since(drain_started);
         }
         self.settle_pending();
+        self.push_us += micros_since(finish_started);
         self.take_failure()?;
         let dropped_tail = matches!(self.state, ScanState::InEntry(_));
         if dropped_tail && !lossy {
@@ -620,6 +686,7 @@ impl FeedIngester {
         if self.seen == 0 {
             return Err(IngestError::Empty);
         }
+        let stages = self.stage_micros();
         let entries = self.store.vulnerability_count();
         let mut dataset = StudyDataset::from_store(self.store);
         dataset.classify_unlabelled(&Classifier::with_default_rules());
@@ -630,6 +697,7 @@ impl FeedIngester {
                 parsed: self.inserted,
                 skipped: self.skipped,
                 feed_bytes: self.feed_bytes,
+                stages,
             },
             dropped_tail,
         ))

@@ -39,7 +39,7 @@ pub mod ingest;
 pub mod persist;
 pub mod registry;
 
-pub use ingest::{FeedIngester, IngestBudget, IngestError, IngestOutcome};
+pub use ingest::{FeedIngester, IngestBudget, IngestError, IngestOutcome, IngestStageMicros};
 pub use persist::{
     JournalReplay, JournalWriter, LoadedTenant, PersistError, PersistMetrics, ScanReport,
     TenantStore,

@@ -35,7 +35,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use osdiv_core::snapshot::crc32;
-use osdiv_core::{Snapshot, SnapshotError, Study};
+use osdiv_core::{LatencyHistogram, Snapshot, SnapshotError, Study};
 
 use crate::registry::{validate_name, DatasetSource};
 
@@ -119,7 +119,8 @@ impl From<SnapshotError> for PersistError {
     }
 }
 
-/// Monotonic persistence counters, surfaced verbatim on `/metrics`.
+/// Monotonic persistence counters (and fsync-path latency histograms),
+/// surfaced verbatim on `/metrics`.
 #[derive(Debug, Default)]
 pub struct PersistMetrics {
     snapshot_writes: AtomicU64,
@@ -127,6 +128,8 @@ pub struct PersistMetrics {
     spills: AtomicU64,
     journal_replays: AtomicU64,
     journal_truncations: AtomicU64,
+    snapshot_write_latency: LatencyHistogram,
+    journal_append_latency: LatencyHistogram,
 }
 
 impl PersistMetrics {
@@ -154,6 +157,25 @@ impl PersistMetrics {
     /// Replays that detected (and discarded) a torn trailing record.
     pub fn journal_truncations(&self) -> u64 {
         self.journal_truncations.load(Ordering::Relaxed)
+    }
+
+    /// Latency of snapshot writes (temp-file write plus atomic rename),
+    /// recorded once per durable save.
+    pub fn snapshot_write_latency(&self) -> &LatencyHistogram {
+        &self.snapshot_write_latency
+    }
+
+    /// Latency of journal record appends, recorded once per ingested
+    /// chunk by the serving layer.
+    pub fn journal_append_latency(&self) -> &LatencyHistogram {
+        &self.journal_append_latency
+    }
+
+    /// Records one journal append taking `micros`. Public because the
+    /// append goes through a standalone [`JournalWriter`], so the caller
+    /// owns the timing span.
+    pub fn record_journal_append_us(&self, micros: u64) {
+        self.journal_append_latency.record_us(micros);
     }
 
     pub(crate) fn record_spills(&self, n: u64) {
@@ -300,8 +322,12 @@ impl TenantStore {
         let path = self.snapshot_path(name);
         let tmp = self.dir.join(format!("{name}.{SNAPSHOT_EXT}.tmp"));
         let io = |what| move |error| PersistError::Io { what, error };
+        let write_started = std::time::Instant::now();
         fs::write(&tmp, &bytes).map_err(io("writing the snapshot temp file"))?;
         fs::rename(&tmp, &path).map_err(io("installing the snapshot"))?;
+        self.metrics
+            .snapshot_write_latency
+            .record(write_started.elapsed());
         self.metrics.record_snapshot_write();
         Ok(())
     }

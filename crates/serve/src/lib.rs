@@ -24,8 +24,16 @@
 //!   thread pool, with graceful shutdown from inside (the shutdown route)
 //!   or outside ([`ServerHandle::shutdown`]);
 //! * [`loadgen`] — a std-`TcpStream` client (GET/HEAD, bodies, chunked
-//!   uploads) and a multi-threaded load generator (used by the criterion
-//!   serving bench and CI smoke test).
+//!   uploads), a multi-threaded closed-loop load generator and an
+//!   open-loop Poisson-arrival harness ([`run_open_loop`]) whose p99s
+//!   are immune to coordinated omission (used by the criterion serving
+//!   bench and CI smoke test);
+//! * [`metrics`] — per-route and per-stage latency histograms
+//!   ([`osdiv_core::LatencyHistogram`]) exposed at `GET /metrics` in
+//!   Prometheus exposition format, request-id minting, build info and
+//!   uptime. Every response carries `X-Request-Id`; an optional
+//!   JSON-lines access log ([`RouterOptions::access_log`]) records one
+//!   structured line per request with per-stage timings.
 //!
 //! `GET /v1/analyses/{id}` responses are byte-identical to
 //! `osdiv {id} --format <f>` for the same seed, because both call
@@ -73,7 +81,9 @@ pub use http::{
     Body, BodyError, BodyFraming, BufferedBody, ChunkedDecoder, EmptyBody, Request, RequestParser,
     Response, StreamBody,
 };
-pub use loadgen::{run_loadgen, ClientResponse, LoadReport};
-pub use metrics::ServeMetrics;
-pub use router::{Router, RouterOptions};
+pub use loadgen::{
+    run_loadgen, run_open_loop, ClientResponse, LoadReport, OpenLoopConfig, OpenLoopReport,
+};
+pub use metrics::{RouteClass, ServeMetrics, Stage};
+pub use router::{RequestTrace, Router, RouterOptions, DEFAULT_SLOW_REQUEST_US};
 pub use server::{default_threads, Server, ServerHandle, ServerOptions};

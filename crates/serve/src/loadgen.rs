@@ -1,11 +1,24 @@
-//! A minimal HTTP client and a multi-threaded load generator, both over
-//! std `TcpStream` only — used by the criterion serving bench, the CI
-//! smoke binary and the end-to-end tests.
+//! A minimal HTTP client and two load generators — a closed-loop
+//! hammer ([`run_loadgen`]) and an open-loop Poisson-arrival harness
+//! ([`run_open_loop`]) — all over std `TcpStream` only. Used by the
+//! criterion serving bench, the CI smoke binary and the end-to-end
+//! tests.
+//!
+//! The open-loop harness measures what the closed loop structurally
+//! cannot: each request has a *scheduled* arrival time drawn from a
+//! Poisson process at the target rate, and its latency is measured from
+//! that schedule — so queueing delay under overload counts against the
+//! server instead of silently throttling the offered load (the
+//! coordinated-omission trap).
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+use osdiv_core::{HistogramSnapshot, LatencyHistogram};
 
 /// A parsed client-side response.
 #[derive(Debug, Clone)]
@@ -301,6 +314,181 @@ pub fn run_loadgen(
     }
 }
 
+/// Configuration of an open-loop (Poisson-arrival) load run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Target offered load in requests per second.
+    pub rate_per_sec: f64,
+    /// Run duration; the arrival schedule is pregenerated across this
+    /// window, so the run sends a Poisson-distributed number of requests
+    /// (mean `rate_per_sec * duration`).
+    pub duration: Duration,
+    /// Concurrent keep-alive connections draining the schedule.
+    pub connections: usize,
+    /// The path every request GETs.
+    pub path: String,
+    /// Seed of the deterministic arrival-schedule RNG.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate_per_sec: 1_000.0,
+            duration: Duration::from_secs(2),
+            connections: 4,
+            path: "/v1/report?format=json".to_string(),
+            seed: 2011,
+        }
+    }
+}
+
+/// The outcome of an open-loop run. Latency is completion minus the
+/// request's *scheduled* arrival — a server that falls behind pays for
+/// the queueing delay it caused.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Requests in the arrival schedule.
+    pub total: usize,
+    /// Responses with status 200.
+    pub ok: usize,
+    /// Requests that errored or answered non-200.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// The schedule-to-completion latency distribution.
+    pub latency: HistogramSnapshot,
+}
+
+impl OpenLoopReport {
+    /// Successful requests per wall-clock second.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// A latency quantile in microseconds (see
+    /// [`HistogramSnapshot::quantile_us`]).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.latency.quantile_us(q)
+    }
+
+    /// A one-line human summary: rate, p50/p90/p99/p999 and errors.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests ({} ok, {} errors) in {:.2}s — {:.0} req/s, p50 {}µs p90 {}µs p99 {}µs p999 {}µs",
+            self.total,
+            self.ok,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.achieved_rate(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+        )
+    }
+}
+
+/// One xorshift64 step (never pass 0 state).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// An `Exp(rate)` inter-arrival gap in seconds: `-ln(u)/rate` with `u`
+/// uniform in (0, 1].
+fn exponential_gap_secs(state: &mut u64, rate_per_sec: f64) -> f64 {
+    let uniform = ((xorshift64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    -uniform.ln() / rate_per_sec
+}
+
+/// The pregenerated Poisson arrival schedule for a run: each entry is an
+/// arrival instant as an offset from the run start. Deterministic in the
+/// seed.
+pub fn poisson_schedule(config: &OpenLoopConfig) -> Vec<Duration> {
+    let mut state = config.seed | 1;
+    let mut at = 0.0f64;
+    let mut arrivals = Vec::new();
+    let horizon = config.duration.as_secs_f64();
+    let rate = config.rate_per_sec.max(f64::MIN_POSITIVE);
+    loop {
+        at += exponential_gap_secs(&mut state, rate);
+        if at >= horizon {
+            break;
+        }
+        arrivals.push(Duration::from_secs_f64(at));
+    }
+    arrivals
+}
+
+/// Runs an open-loop load test: arrivals fire on the pregenerated
+/// Poisson schedule regardless of how fast responses come back, and
+/// every latency sample is measured from the scheduled arrival.
+/// Connections reconnect after an error, so one broken socket does not
+/// fail the rest of its schedule share.
+pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> OpenLoopReport {
+    let arrivals = poisson_schedule(config);
+    let latency = Arc::new(LatencyHistogram::new());
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..config.connections.max(1) {
+            let latency = Arc::clone(&latency);
+            let (next, ok, errors, arrivals) = (&next, &ok, &errors, &arrivals);
+            scope.spawn(move || {
+                let mut connection: Option<BufReader<TcpStream>> = None;
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&arrival) = arrivals.get(slot) else {
+                        break;
+                    };
+                    let scheduled = started + arrival;
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        thread::sleep(wait);
+                    }
+                    if connection.is_none() {
+                        connection = TcpStream::connect(addr).ok().map(|stream| {
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                            let _ = stream.set_nodelay(true);
+                            BufReader::new(stream)
+                        });
+                    }
+                    let outcome = connection.as_mut().and_then(|reader| {
+                        write_request(reader.get_mut(), "GET", &config.path, &[]).ok()?;
+                        read_response(reader).ok()
+                    });
+                    match outcome {
+                        Some(response) if response.status == 200 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            latency.record(scheduled.elapsed());
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            connection = None;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    OpenLoopReport {
+        total: arrivals.len(),
+        ok: ok.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latency: latency.snapshot(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +509,33 @@ mod tests {
             elapsed: Duration::ZERO,
         };
         assert_eq!(empty.requests_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_tracks_the_rate() {
+        let config = OpenLoopConfig {
+            rate_per_sec: 2_000.0,
+            duration: Duration::from_secs(1),
+            ..OpenLoopConfig::default()
+        };
+        let first = poisson_schedule(&config);
+        let second = poisson_schedule(&config);
+        assert_eq!(first, second, "same seed, same schedule");
+        // A Poisson(2000) count: mean 2000, σ≈45 — 5σ bounds.
+        assert!(
+            (1_750..2_250).contains(&first.len()),
+            "count {}",
+            first.len()
+        );
+        // Arrivals are sorted and inside the window.
+        assert!(first.windows(2).all(|pair| pair[0] <= pair[1]));
+        assert!(first.last().unwrap() < &config.duration);
+        // A different seed draws a different schedule.
+        let reseeded = poisson_schedule(&OpenLoopConfig {
+            seed: 99,
+            ..config.clone()
+        });
+        assert_ne!(first, reseeded);
     }
 
     #[test]

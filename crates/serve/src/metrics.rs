@@ -1,17 +1,190 @@
-//! Connection- and request-level serving counters, exposed at
+//! Connection- and request-level serving telemetry, exposed at
 //! `GET /metrics` in the Prometheus text exposition format (no external
-//! dependencies — plain `name value` lines).
+//! dependencies — plain `name value` lines plus histogram series).
 //!
 //! One [`ServeMetrics`] is shared by the [`Router`](crate::Router) (which
-//! counts requests and render-cache traffic) and the
+//! counts requests, render-cache traffic and per-stage latencies) and the
 //! [`Server`](crate::Server) accept loop and workers (which count accepted
-//! connections and bytes written). All counters are relaxed atomics: the
-//! numbers are operator telemetry, not synchronization.
+//! connections, bytes written, and whole-request latency per route
+//! class). All counters are relaxed atomics and every histogram is an
+//! [`osdiv_core::obs::LatencyHistogram`] — wait-free, allocation-free
+//! recording; the numbers are operator telemetry, not synchronization.
+//!
+//! [`ServeMetrics`] also mints the `X-Request-Id` values: a per-process
+//! random prefix plus a monotonic sequence number, unique across every
+//! connection of one server for the life of the process.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-/// Monotonic serving counters (see the module docs).
+use osdiv_core::obs::LatencyHistogram;
+
+/// The route classes whole-request latency is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteClass {
+    /// `GET /v1/healthz`.
+    Healthz,
+    /// `GET /v1/analyses` and `GET /v1/analyses/{id}`.
+    Analyses,
+    /// `GET /v1/report`.
+    Report,
+    /// Dataset reads: `GET /v1/datasets`, `GET`/`DELETE /v1/datasets/{name}`.
+    DatasetsRead,
+    /// Dataset ingestion: `PUT /v1/datasets/{name}`.
+    Ingest,
+    /// `GET /metrics`.
+    Metrics,
+    /// Everything else (shutdown, unknown paths, parse errors).
+    Other,
+}
+
+impl RouteClass {
+    /// Every class, in exposition order.
+    pub const ALL: [RouteClass; 7] = [
+        RouteClass::Healthz,
+        RouteClass::Analyses,
+        RouteClass::Report,
+        RouteClass::DatasetsRead,
+        RouteClass::Ingest,
+        RouteClass::Metrics,
+        RouteClass::Other,
+    ];
+
+    /// The `route` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouteClass::Healthz => "healthz",
+            RouteClass::Analyses => "analyses",
+            RouteClass::Report => "report",
+            RouteClass::DatasetsRead => "datasets_read",
+            RouteClass::Ingest => "ingest",
+            RouteClass::Metrics => "metrics",
+            RouteClass::Other => "other",
+        }
+    }
+
+    /// Classifies a request by method and path (query already split off).
+    pub fn classify(method: &str, path: &str) -> RouteClass {
+        match path {
+            "/v1/healthz" => RouteClass::Healthz,
+            "/v1/report" => RouteClass::Report,
+            "/metrics" => RouteClass::Metrics,
+            "/v1/datasets" => RouteClass::DatasetsRead,
+            _ if path == "/v1/analyses" || path.starts_with("/v1/analyses/") => {
+                RouteClass::Analyses
+            }
+            _ if path.starts_with("/v1/datasets/") => {
+                if method == "PUT" || method == "POST" {
+                    RouteClass::Ingest
+                } else {
+                    RouteClass::DatasetsRead
+                }
+            }
+            _ => RouteClass::Other,
+        }
+    }
+}
+
+/// The request-pipeline and ingestion stages latency is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Reading and parsing the request head (first byte to routed).
+    Parse,
+    /// Render-cache lookup on analysis routes.
+    CacheLookup,
+    /// Running the analysis and rendering the document (cache miss).
+    Render,
+    /// Writing the response head and body to the socket.
+    Write,
+    /// Ingestion: carving `<entry>` elements out of the feed stream.
+    IngestCarve,
+    /// Ingestion: parsing carved entries (pipelined wait included).
+    IngestParse,
+    /// Ingestion: inserting parsed entries into the store, in feed order.
+    IngestInsert,
+}
+
+impl Stage {
+    /// Every stage, in exposition order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Parse,
+        Stage::CacheLookup,
+        Stage::Render,
+        Stage::Write,
+        Stage::IngestCarve,
+        Stage::IngestParse,
+        Stage::IngestInsert,
+    ];
+
+    /// The `stage` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Render => "render",
+            Stage::Write => "write",
+            Stage::IngestCarve => "ingest_carve",
+            Stage::IngestParse => "ingest_parse",
+            Stage::IngestInsert => "ingest_insert",
+        }
+    }
+}
+
+/// One latency histogram per route class.
 #[derive(Debug, Default)]
+struct RouteHistograms {
+    healthz: LatencyHistogram,
+    analyses: LatencyHistogram,
+    report: LatencyHistogram,
+    datasets_read: LatencyHistogram,
+    ingest: LatencyHistogram,
+    metrics: LatencyHistogram,
+    other: LatencyHistogram,
+}
+
+impl RouteHistograms {
+    fn of(&self, class: RouteClass) -> &LatencyHistogram {
+        match class {
+            RouteClass::Healthz => &self.healthz,
+            RouteClass::Analyses => &self.analyses,
+            RouteClass::Report => &self.report,
+            RouteClass::DatasetsRead => &self.datasets_read,
+            RouteClass::Ingest => &self.ingest,
+            RouteClass::Metrics => &self.metrics,
+            RouteClass::Other => &self.other,
+        }
+    }
+}
+
+/// One latency histogram per pipeline stage.
+#[derive(Debug, Default)]
+struct StageHistograms {
+    parse: LatencyHistogram,
+    cache_lookup: LatencyHistogram,
+    render: LatencyHistogram,
+    write: LatencyHistogram,
+    ingest_carve: LatencyHistogram,
+    ingest_parse: LatencyHistogram,
+    ingest_insert: LatencyHistogram,
+}
+
+impl StageHistograms {
+    fn of(&self, stage: Stage) -> &LatencyHistogram {
+        match stage {
+            Stage::Parse => &self.parse,
+            Stage::CacheLookup => &self.cache_lookup,
+            Stage::Render => &self.render,
+            Stage::Write => &self.write,
+            Stage::IngestCarve => &self.ingest_carve,
+            Stage::IngestParse => &self.ingest_parse,
+            Stage::IngestInsert => &self.ingest_insert,
+        }
+    }
+}
+
+/// Monotonic serving counters, latency histograms and the request-id
+/// mint (see the module docs).
+#[derive(Debug)]
 pub struct ServeMetrics {
     /// TCP connections the accept loop handed to a worker.
     connections_accepted: AtomicU64,
@@ -24,12 +197,56 @@ pub struct ServeMetrics {
     cache_misses: AtomicU64,
     /// Response bytes written to sockets (head + body).
     bytes_out: AtomicU64,
+    /// Whole-request latency per route class.
+    routes: RouteHistograms,
+    /// Per-stage latency across the request and ingestion pipelines.
+    stages: StageHistograms,
+    /// Per-process random prefix of every minted request id.
+    id_seed: u64,
+    /// Monotonic request-id sequence.
+    next_request_id: AtomicU64,
+    /// Process start, for `osdiv_uptime_seconds`.
+    started: Instant,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServeMetrics {
-    /// Fresh, all-zero counters.
+    /// Fresh, all-zero counters; the request-id prefix is seeded from the
+    /// wall clock so two boots never share an id space.
     pub fn new() -> Self {
-        Self::default()
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // SplitMix64 finalizer: spreads the clock bits over the prefix.
+        let mut seed = nanos.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        seed = (seed ^ (seed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        seed = (seed ^ (seed >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ServeMetrics {
+            connections_accepted: AtomicU64::new(0),
+            requests_served: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            routes: RouteHistograms::default(),
+            stages: StageHistograms::default(),
+            id_seed: seed ^ (seed >> 33),
+            next_request_id: AtomicU64::new(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// Mints the next request id: `{process-prefix}-{sequence}`, echoed
+    /// as `X-Request-Id` and keyed into the access log. Unique for the
+    /// life of the process; the prefix disambiguates across restarts.
+    pub fn mint_request_id(&self) -> String {
+        let seq = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        format!("{:08x}-{seq:08x}", self.id_seed as u32)
     }
 
     /// Counts one accepted connection.
@@ -57,6 +274,16 @@ impl ServeMetrics {
         self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records one whole-request latency under its route class.
+    pub fn record_route_us(&self, class: RouteClass, micros: u64) {
+        self.routes.of(class).record_us(micros);
+    }
+
+    /// Records one pipeline-stage latency.
+    pub fn record_stage_us(&self, stage: Stage, micros: u64) {
+        self.stages.of(stage).record_us(micros);
+    }
+
     /// Connections accepted so far.
     pub fn connections_accepted(&self) -> u64 {
         self.connections_accepted.load(Ordering::Relaxed)
@@ -82,10 +309,21 @@ impl ServeMetrics {
         self.bytes_out.load(Ordering::Relaxed)
     }
 
-    /// The `GET /metrics` body: one `# TYPE` line and one sample per
-    /// counter, Prometheus text exposition format.
+    /// Observations recorded under a route class (test hook).
+    pub fn route_observations(&self, class: RouteClass) -> u64 {
+        self.routes.of(class).total()
+    }
+
+    /// Observations recorded under a stage (test hook).
+    pub fn stage_observations(&self, stage: Stage) -> u64 {
+        self.stages.of(stage).total()
+    }
+
+    /// The `GET /metrics` body: the counters, build/uptime gauges, and
+    /// the per-route / per-stage latency histograms, Prometheus text
+    /// exposition format.
     pub fn render(&self) -> String {
-        let mut body = String::with_capacity(512);
+        let mut body = String::with_capacity(16 * 1024);
         let counters = [
             (
                 "osdiv_connections_accepted",
@@ -118,6 +356,51 @@ impl ServeMetrics {
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
             ));
         }
+
+        body.push_str(&format!(
+            "# HELP osdiv_build_info build metadata (constant 1)\n\
+             # TYPE osdiv_build_info gauge\n\
+             osdiv_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        ));
+        body.push_str(&format!(
+            "# HELP osdiv_uptime_seconds seconds since the process started\n\
+             # TYPE osdiv_uptime_seconds gauge\n\
+             osdiv_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+
+        body.push_str(
+            "# HELP osdiv_request_duration_seconds whole-request latency by route class\n\
+             # TYPE osdiv_request_duration_seconds histogram\n",
+        );
+        for class in RouteClass::ALL {
+            let snap = self.routes.of(class).snapshot();
+            if snap.is_empty() {
+                continue;
+            }
+            snap.render_prometheus(
+                "osdiv_request_duration_seconds",
+                &format!("route=\"{}\"", class.as_str()),
+                &mut body,
+            );
+        }
+
+        body.push_str(
+            "# HELP osdiv_stage_duration_seconds pipeline-stage latency (request and ingestion stages)\n\
+             # TYPE osdiv_stage_duration_seconds histogram\n",
+        );
+        for stage in Stage::ALL {
+            let snap = self.stages.of(stage).snapshot();
+            if snap.is_empty() {
+                continue;
+            }
+            snap.render_prometheus(
+                "osdiv_stage_duration_seconds",
+                &format!("stage=\"{}\"", stage.as_str()),
+                &mut body,
+            );
+        }
         body
     }
 }
@@ -145,5 +428,68 @@ mod tests {
         assert!(body.contains("osdiv_requests_served 2\n"));
         assert!(body.contains("osdiv_bytes_out 2000\n"));
         assert!(body.contains("# TYPE osdiv_connections_accepted counter\n"));
+    }
+
+    #[test]
+    fn build_info_and_uptime_are_always_present() {
+        let body = ServeMetrics::new().render();
+        assert!(body.contains(&format!(
+            "osdiv_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(body.contains("# TYPE osdiv_uptime_seconds gauge\n"));
+        assert!(body.contains("osdiv_uptime_seconds 0\n"));
+    }
+
+    #[test]
+    fn histograms_render_per_route_and_stage_once_recorded() {
+        let metrics = ServeMetrics::new();
+        // Untouched histograms stay out of the exposition…
+        let body = metrics.render();
+        assert!(!body.contains("route=\"report\""));
+        assert!(body.contains("# TYPE osdiv_request_duration_seconds histogram\n"));
+        // …and recorded ones appear with cumulative buckets.
+        metrics.record_route_us(RouteClass::Report, 17);
+        metrics.record_route_us(RouteClass::Report, 1_700);
+        metrics.record_stage_us(Stage::Render, 2_600);
+        let body = metrics.render();
+        assert!(body
+            .contains("osdiv_request_duration_seconds_bucket{route=\"report\",le=\"0.000025\"} 1"));
+        assert!(body.contains("osdiv_request_duration_seconds_count{route=\"report\"} 2"));
+        assert!(body.contains("osdiv_stage_duration_seconds_count{stage=\"render\"} 1"));
+        assert!(
+            body.contains("osdiv_stage_duration_seconds_bucket{stage=\"render\",le=\"+Inf\"} 1")
+        );
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_prefixed() {
+        let metrics = ServeMetrics::new();
+        let a = metrics.mint_request_id();
+        let b = metrics.mint_request_id();
+        assert_ne!(a, b);
+        let prefix = |id: &str| id.split('-').next().map(str::to_string);
+        assert_eq!(prefix(&a), prefix(&b));
+        assert!(a.split('-').count() == 2);
+    }
+
+    #[test]
+    fn route_classification_matches_the_route_table() {
+        use RouteClass as R;
+        for (method, path, class) in [
+            ("GET", "/v1/healthz", R::Healthz),
+            ("GET", "/v1/report", R::Report),
+            ("GET", "/v1/analyses", R::Analyses),
+            ("GET", "/v1/analyses/pairwise", R::Analyses),
+            ("GET", "/v1/datasets", R::DatasetsRead),
+            ("GET", "/v1/datasets/smoke", R::DatasetsRead),
+            ("DELETE", "/v1/datasets/smoke", R::DatasetsRead),
+            ("PUT", "/v1/datasets/smoke", R::Ingest),
+            ("GET", "/metrics", R::Metrics),
+            ("POST", "/v1/shutdown", R::Other),
+            ("GET", "/nope", R::Other),
+        ] {
+            assert_eq!(RouteClass::classify(method, path), class, "{method} {path}");
+        }
     }
 }

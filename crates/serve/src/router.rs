@@ -34,10 +34,11 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use osdiv_core::{
-    analysis_sections, registry_section, renderer, AnalysisError, AnalysisId, Format, Params,
-    Section, Study,
+    analysis_sections, registry_section, renderer, AnalysisError, AnalysisId, EventLog, Format,
+    JsonLine, Params, Section, Study,
 };
 use osdiv_registry::{
     DatasetSource, FeedIngester, IngestBudget, IngestError, RegistryError, RegistryOptions,
@@ -47,7 +48,7 @@ use parking_lot::Mutex;
 use tabular::TextTable;
 
 use crate::http::{Body, BodyError, EmptyBody, Request, Response};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{RouteClass, ServeMetrics, Stage};
 
 /// Router configuration.
 #[derive(Debug, Clone)]
@@ -70,7 +71,17 @@ pub struct RouterOptions {
     /// consumed: an unauthorized upload is refused outright and its body
     /// discarded by the server's drain path.
     pub ingest_token: Option<String>,
+    /// Structured JSON-lines sink for per-request access lines and
+    /// dataset-lifecycle events (`--access-log`). `None` (the default):
+    /// no event logging.
+    pub access_log: Option<Arc<EventLog>>,
+    /// Requests whose total handling time reaches this many microseconds
+    /// are logged as `slow_request` instead of `request` events.
+    pub slow_request_us: u64,
 }
+
+/// Default slow-request promotion threshold: 500ms.
+pub const DEFAULT_SLOW_REQUEST_US: u64 = 500_000;
 
 impl Default for RouterOptions {
     fn default() -> Self {
@@ -81,8 +92,38 @@ impl Default for RouterOptions {
             enable_dataset_delete: false,
             ingest_budget: IngestBudget::default(),
             ingest_token: None,
+            access_log: None,
+            slow_request_us: DEFAULT_SLOW_REQUEST_US,
         }
     }
+}
+
+/// Per-request trace context: the id echoed as `X-Request-Id`, the
+/// resolved route class and the per-stage timings the access log reports.
+/// Minted by [`Router::begin_trace`]; the router fills the route and its
+/// own stage spans, the server fills `parse_us`/`write_us` (spans only it
+/// can see).
+#[derive(Debug)]
+pub struct RequestTrace {
+    /// The request id, echoed to the client as `X-Request-Id`.
+    pub id: String,
+    /// The route class the request resolved to.
+    pub route: RouteClass,
+    /// Microseconds parsing the request head (set by the server).
+    pub parse_us: u64,
+    /// Microseconds in the rendered-body cache lookup.
+    pub cache_us: u64,
+    /// Microseconds running analyses and rendering the document.
+    pub render_us: u64,
+    /// Microseconds writing the response bytes (set by the server).
+    pub write_us: u64,
+    /// Whether the response body came from the rendered-body cache.
+    pub cache_hit: bool,
+}
+
+/// Microseconds elapsed since `started`, saturating.
+pub(crate) fn micros_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A rendered body plus its precomputed strong ETag. Hashing happens once,
@@ -210,6 +251,17 @@ impl Router {
         &self.metrics
     }
 
+    /// The configured structured event log, if any (shared with the
+    /// server's per-request access logging).
+    pub fn access_log(&self) -> Option<&Arc<EventLog>> {
+        self.options.access_log.as_ref()
+    }
+
+    /// The slow-request promotion threshold in microseconds.
+    pub fn slow_request_us(&self) -> u64 {
+        self.options.slow_request_us
+    }
+
     /// Total requests handled.
     pub fn request_count(&self) -> u64 {
         self.metrics.requests_served()
@@ -256,7 +308,55 @@ impl Router {
     /// Routes one parsed request to a response, streaming the request body
     /// where the route consumes one (feed ingestion). Never panics on
     /// client input; analysis configuration errors surface as 400s.
+    ///
+    /// Mints a request trace, records the route-class latency histogram
+    /// and echoes `X-Request-Id` — the standalone-router path. The server
+    /// calls [`Router::handle_traced`] instead and records the route
+    /// total itself, so parse and response-write time count too.
     pub fn handle_with_body(&self, request: &Request, body: &mut dyn Body) -> Response {
+        let mut trace = self.begin_trace();
+        let started = Instant::now();
+        let response = self.handle_traced(request, body, &mut trace);
+        self.metrics
+            .record_route_us(trace.route, micros_since(started));
+        response
+    }
+
+    /// A fresh trace with a minted request id (all timings zero).
+    pub fn begin_trace(&self) -> RequestTrace {
+        RequestTrace {
+            id: self.metrics.mint_request_id(),
+            route: RouteClass::Other,
+            parse_us: 0,
+            cache_us: 0,
+            render_us: 0,
+            write_us: 0,
+            cache_hit: false,
+        }
+    }
+
+    /// Routes one request under an externally owned trace: resolves the
+    /// route class, records the router-side stage histograms into the
+    /// trace, and stamps `X-Request-Id` on the response. Does **not**
+    /// record the route-class latency histogram — the caller owns the
+    /// request's full timing span.
+    pub fn handle_traced(
+        &self,
+        request: &Request,
+        body: &mut dyn Body,
+        trace: &mut RequestTrace,
+    ) -> Response {
+        trace.route = RouteClass::classify(&request.method, &request.path);
+        let response = self.route_request(request, body, trace);
+        response.with_header("X-Request-Id", trace.id.clone())
+    }
+
+    fn route_request(
+        &self,
+        request: &Request,
+        body: &mut dyn Body,
+        trace: &mut RequestTrace,
+    ) -> Response {
         self.metrics.record_request();
         let path = request.path.as_str();
         match path {
@@ -296,7 +396,7 @@ impl Router {
             },
             "/v1/report" | "/v1/analyses" => match self.check_get(request) {
                 Err(response) => response,
-                Ok(()) => self.render_route(request),
+                Ok(()) => self.render_route(request, trace),
             },
             _ => {
                 if let Some(name) = single_segment(path, "/v1/datasets/") {
@@ -306,13 +406,24 @@ impl Router {
                     Some(name) => match self.check_get(request) {
                         Err(response) => response,
                         Ok(()) => match AnalysisId::from_name(name) {
-                            Ok(_) => self.render_route(request),
+                            Ok(_) => self.render_route(request, trace),
                             Err(error) => Response::text(404, error.to_string()),
                         },
                     },
                     None => Response::text(404, format!("no route for {path}")),
                 }
             }
+        }
+    }
+
+    /// Emits one structured event line when an access log is configured
+    /// (`build` fills in the fields after the `event` tag).
+    fn emit_event(&self, event: &str, build: impl FnOnce(&mut JsonLine)) {
+        if let Some(log) = &self.options.access_log {
+            let mut line = JsonLine::new();
+            line.str_field("event", event);
+            build(&mut line);
+            log.emit(&line.finish());
         }
     }
 
@@ -435,6 +546,10 @@ impl Router {
             if let Err(error) = self.registry.register_synthetic(name, seed) {
                 return registry_error_response(&error);
             }
+            self.emit_event("dataset_registered", |line| {
+                line.str_field("dataset", name);
+                line.u64_field("seed", seed);
+            });
             return Response::new(201).with_body(
                 tabular::mime::APPLICATION_JSON,
                 format!("{{\"dataset\":{name:?},\"source\":\"synthetic\",\"seed\":{seed}}}\n")
@@ -482,7 +597,14 @@ impl Router {
                 match body.next_chunk(&mut chunk) {
                     Ok(true) => {
                         if let Some(journal) = journal.as_mut() {
-                            if let Err(error) = journal.append(&chunk) {
+                            let append_started = Instant::now();
+                            let appended = journal.append(&chunk);
+                            if let Some(store) = self.registry.persistence() {
+                                store
+                                    .metrics()
+                                    .record_journal_append_us(micros_since(append_started));
+                            }
+                            if let Err(error) = appended {
                                 return Err(registry_error_response(&RegistryError::Persistence {
                                     name: name.to_string(),
                                     detail: format!("journal write failed: {error}"),
@@ -519,6 +641,13 @@ impl Router {
             }
         };
         let (entries, skipped, feed_bytes) = (outcome.entries, outcome.skipped, outcome.feed_bytes);
+        let stages = outcome.stages;
+        self.metrics
+            .record_stage_us(Stage::IngestCarve, stages.carve_us);
+        self.metrics
+            .record_stage_us(Stage::IngestParse, stages.parse_us);
+        self.metrics
+            .record_stage_us(Stage::IngestInsert, stages.insert_us);
         let study = Arc::new(outcome.into_study());
         let estimated_bytes = study.estimated_bytes();
         let source = DatasetSource::Ingested {
@@ -532,6 +661,15 @@ impl Router {
         }
         // insert() wrote the durable snapshot; the journal is redundant.
         retire_journal(&mut journal);
+        self.emit_event("dataset_ingested", |line| {
+            line.str_field("dataset", name);
+            line.u64_field("entries", entries as u64);
+            line.u64_field("skipped", skipped as u64);
+            line.u64_field("feed_bytes", feed_bytes as u64);
+            line.u64_field("carve_us", stages.carve_us);
+            line.u64_field("parse_us", stages.parse_us);
+            line.u64_field("insert_us", stages.insert_us);
+        });
         Response::new(201).with_body(
             tabular::mime::APPLICATION_JSON,
             format!(
@@ -552,10 +690,15 @@ impl Router {
             return Response::text(403, "the default dataset cannot be deleted");
         }
         match self.registry.remove(name) {
-            Ok(()) => Response::new(200).with_body(
-                tabular::mime::APPLICATION_JSON,
-                format!("{{\"dataset\":{name:?},\"status\":\"deleted\"}}\n").into_bytes(),
-            ),
+            Ok(()) => {
+                self.emit_event("dataset_deleted", |line| {
+                    line.str_field("dataset", name);
+                });
+                Response::new(200).with_body(
+                    tabular::mime::APPLICATION_JSON,
+                    format!("{{\"dataset\":{name:?},\"status\":\"deleted\"}}\n").into_bytes(),
+                )
+            }
             Err(error) => registry_error_response(&error),
         }
     }
@@ -597,7 +740,7 @@ impl Router {
     /// everything that renders sections in a negotiated format with ETag
     /// revalidation and the LRU body cache. `?dataset=` selects the
     /// queried dataset (default: the pinned boot dataset).
-    fn render_route(&self, request: &Request) -> Response {
+    fn render_route(&self, request: &Request, trace: &mut RequestTrace) -> Response {
         let (format, dataset, params) = match negotiate(request) {
             Ok(split) => split,
             Err(response) => return response,
@@ -619,6 +762,7 @@ impl Router {
             params.canonical(),
             format.name()
         );
+        let lookup_started = Instant::now();
         let cached = match self.cache.lock().get(&key) {
             Some(hit) => {
                 self.metrics.record_cache_hit();
@@ -629,22 +773,32 @@ impl Router {
                 None
             }
         };
+        trace.cache_us = micros_since(lookup_started);
+        trace.cache_hit = cached.is_some();
+        self.metrics
+            .record_stage_us(Stage::CacheLookup, trace.cache_us);
         let cached = match cached {
             Some(cached) => cached,
-            None => match self.build_body(&study, &request.path, format, &params) {
-                Ok(body) => {
-                    let etag = format!(
-                        "\"{:x}-{}-{:016x}\"",
-                        self.options.seed,
-                        dataset,
-                        fnv1a(&body)
-                    );
-                    let cached = Arc::new(CachedBody { body, etag });
-                    self.cache.lock().insert(key, Arc::clone(&cached));
-                    cached
+            None => {
+                let render_started = Instant::now();
+                let rendered = self.build_body(&study, &request.path, format, &params);
+                trace.render_us = micros_since(render_started);
+                self.metrics.record_stage_us(Stage::Render, trace.render_us);
+                match rendered {
+                    Ok(body) => {
+                        let etag = format!(
+                            "\"{:x}-{}-{:016x}\"",
+                            self.options.seed,
+                            dataset,
+                            fnv1a(&body)
+                        );
+                        let cached = Arc::new(CachedBody { body, etag });
+                        self.cache.lock().insert(key, Arc::clone(&cached));
+                        cached
+                    }
+                    Err(error) => return error_response(&error),
                 }
-                Err(error) => return error_response(&error),
-            },
+            }
         };
         if request
             .header("if-none-match")
@@ -752,6 +906,25 @@ fn persistence_metrics(metrics: &osdiv_registry::PersistMetrics) -> String {
         body.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
         ));
+    }
+    let latencies = [
+        (
+            "osdiv_snapshot_write_duration_seconds",
+            "latency of durable snapshot writes (temp file + rename)",
+            metrics.snapshot_write_latency().snapshot(),
+        ),
+        (
+            "osdiv_journal_append_duration_seconds",
+            "latency of ingestion-journal record appends",
+            metrics.journal_append_latency().snapshot(),
+        ),
+    ];
+    for (name, help, snapshot) in latencies {
+        if snapshot.is_empty() {
+            continue;
+        }
+        body.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        snapshot.render_prometheus(name, "", &mut body);
     }
     body
 }
@@ -1225,6 +1398,91 @@ mod tests {
                 .handle(&request("POST /metrics HTTP/1.1\r\n\r\n"))
                 .status(),
             405
+        );
+    }
+
+    #[test]
+    fn responses_carry_unique_request_ids_and_routes_record_histograms() {
+        let router = test_router();
+        let first = router.handle(&request("GET /v1/healthz HTTP/1.1\r\n\r\n"));
+        let second = router.handle(&request("GET /v1/report?format=json HTTP/1.1\r\n\r\n"));
+        let first_id = first.header("x-request-id").expect("id on healthz");
+        let second_id = second.header("x-request-id").expect("id on report");
+        assert_ne!(first_id, second_id, "request ids must be unique");
+        // Both ids share the per-process prefix and are well-formed.
+        let (prefix_a, _) = first_id.split_once('-').unwrap();
+        let (prefix_b, _) = second_id.split_once('-').unwrap();
+        assert_eq!(prefix_a, prefix_b);
+
+        // The standalone-router path records route-class histograms.
+        use crate::metrics::RouteClass;
+        assert_eq!(router.metrics().route_observations(RouteClass::Healthz), 1);
+        assert_eq!(router.metrics().route_observations(RouteClass::Report), 1);
+        let exposition = router.handle(&request("GET /metrics HTTP/1.1\r\n\r\n"));
+        let body = String::from_utf8_lossy(exposition.body()).to_string();
+        assert!(
+            body.contains("osdiv_request_duration_seconds_count{route=\"report\"} 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("osdiv_stage_duration_seconds_count{stage=\"render\"} 1\n"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn access_log_reports_dataset_lifecycle_events() {
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = SharedBuf::default();
+        let log = Arc::new(EventLog::to_writer(Box::new(sink.clone())));
+        let dataset = datagen::CalibratedGenerator::new(1).generate();
+        let study = Arc::new(Study::from_entries(dataset.entries()));
+        let router = Router::with_study(
+            study,
+            RouterOptions {
+                seed: 1,
+                enable_dataset_delete: true,
+                access_log: Some(Arc::clone(&log)),
+                ..RouterOptions::default()
+            },
+        );
+        router.handle(&request("PUT /v1/datasets/alt?seed=5 HTTP/1.1\r\n\r\n"));
+        router.handle_with_body(
+            &request("PUT /v1/datasets/feed HTTP/1.1\r\n\r\n"),
+            &mut BufferedBody::new(small_feed()),
+        );
+        router.handle(&request("DELETE /v1/datasets/feed HTTP/1.1\r\n\r\n"));
+        log.flush();
+        let logged = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = logged.lines().collect();
+        assert_eq!(lines.len(), 3, "{logged}");
+        assert!(
+            lines[0].contains("\"event\":\"dataset_registered\""),
+            "{logged}"
+        );
+        assert!(lines[0].contains("\"dataset\":\"alt\""), "{logged}");
+        assert!(
+            lines[1].contains("\"event\":\"dataset_ingested\""),
+            "{logged}"
+        );
+        assert!(lines[1].contains("\"entries\":6"), "{logged}");
+        assert!(lines[1].contains("\"parse_us\":"), "{logged}");
+        assert!(
+            lines[2].contains("\"event\":\"dataset_deleted\""),
+            "{logged}"
         );
     }
 

@@ -13,12 +13,14 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use osdiv_core::JsonLine;
 use parking_lot::Mutex;
 
 use crate::http::{Body, BodyError, RequestParser, Response, StreamBody, MAX_BODY_BYTES};
-use crate::router::Router;
+use crate::metrics::{RouteClass, Stage};
+use crate::router::{micros_since, Router};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -223,10 +225,17 @@ fn handle_connection(
 
     'connection: loop {
         // Parse the next request: buffered bytes first (pipelining), then
-        // reads off the socket.
+        // reads off the socket. `request_started` anchors at the first
+        // activity belonging to this request — not at keep-alive idle
+        // time — so the parse stage measures head transfer + parsing.
+        let mut request_started: Option<Instant> = None;
         let request = loop {
+            let attempt_started = Instant::now();
             match parser.try_parse() {
-                Ok(Some(request)) => break request,
+                Ok(Some(request)) => {
+                    request_started.get_or_insert(attempt_started);
+                    break request;
+                }
                 Ok(None) => {}
                 Err(violation) => {
                     record_write(Response::from(&violation).write_to(&mut stream, false, false));
@@ -235,18 +244,21 @@ fn handle_connection(
             }
             match stream.read(&mut chunk) {
                 Ok(0) => break 'connection, // peer closed
-                Ok(n) => match parser.feed(&chunk[..n]) {
-                    Ok(Some(request)) => break request,
-                    Ok(None) => {}
-                    Err(violation) => {
-                        record_write(Response::from(&violation).write_to(
-                            &mut stream,
-                            false,
-                            false,
-                        ));
-                        break 'connection;
+                Ok(n) => {
+                    request_started.get_or_insert_with(Instant::now);
+                    match parser.feed(&chunk[..n]) {
+                        Ok(Some(request)) => break request,
+                        Ok(None) => {}
+                        Err(violation) => {
+                            record_write(Response::from(&violation).write_to(
+                                &mut stream,
+                                false,
+                                false,
+                            ));
+                            break 'connection;
+                        }
                     }
-                },
+                }
                 Err(error)
                     if error.kind() == ErrorKind::WouldBlock
                         || error.kind() == ErrorKind::TimedOut =>
@@ -256,6 +268,11 @@ fn handle_connection(
                 Err(_) => break 'connection,
             }
         };
+        let request_started = request_started.unwrap_or_else(Instant::now);
+        let mut trace = router.begin_trace();
+        trace.route = RouteClass::classify(&request.method, &request.path);
+        trace.parse_us = micros_since(request_started);
+        metrics.record_stage_us(Stage::Parse, trace.parse_us);
 
         // The body streams through the router: ingestion routes consume it
         // chunk by chunk (never buffering the whole payload), every other
@@ -288,8 +305,10 @@ fn handle_connection(
         };
         let rejected_before_routing = rejected.is_some();
         let response = match rejected {
-            Some(response) => response,
-            None => router.handle_with_body(&request, &mut body),
+            // Rejected requests never reach the router, but still carry
+            // their minted id — the client can quote it either way.
+            Some(response) => response.with_header("X-Request-Id", trace.id.clone()),
+            None => router.handle_traced(&request, &mut body, &mut trace),
         };
         let mut keep_alive = request.keep_alive()
             && served < options.max_keep_alive_requests
@@ -309,7 +328,35 @@ fn handle_connection(
             keep_alive = false;
             body_pending = true;
         }
-        if !record_write(response.write_to(&mut stream, keep_alive, request.method == "HEAD")) {
+        let status = response.status();
+        let write_started = Instant::now();
+        let written = response.write_to(&mut stream, keep_alive, request.method == "HEAD");
+        trace.write_us = micros_since(write_started);
+        metrics.record_stage_us(Stage::Write, trace.write_us);
+        // The server owns the full span — head transfer through response
+        // write — so the route-class histogram includes parse and write
+        // time the standalone-router path cannot see.
+        let total_us = micros_since(request_started);
+        metrics.record_route_us(trace.route, total_us);
+        if let Some(log) = router.access_log() {
+            let slow = total_us >= router.slow_request_us();
+            let mut line = JsonLine::new();
+            line.str_field("event", if slow { "slow_request" } else { "request" });
+            line.str_field("id", &trace.id);
+            line.str_field("method", &request.method);
+            line.str_field("path", &request.path);
+            line.str_field("route", trace.route.as_str());
+            line.u64_field("status", u64::from(status));
+            line.u64_field("bytes", written.as_ref().map(|b| *b as u64).unwrap_or(0));
+            line.u64_field("parse_us", trace.parse_us);
+            line.u64_field("cache_us", trace.cache_us);
+            line.u64_field("render_us", trace.render_us);
+            line.u64_field("write_us", trace.write_us);
+            line.u64_field("total_us", total_us);
+            line.bool_field("cache_hit", trace.cache_hit);
+            log.emit(&line.finish());
+        }
+        if !record_write(written) {
             break;
         }
         if body_pending {

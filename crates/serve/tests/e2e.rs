@@ -12,7 +12,7 @@ use nvd_feed::FeedWriter;
 use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
 use osdiv_core::{analysis_sections, renderer, AnalysisId, Format, Params, Study};
 use osdiv_serve::loadgen::{self, read_response, write_request};
-use osdiv_serve::{Router, RouterOptions, Server, ServerHandle, ServerOptions};
+use osdiv_serve::{OpenLoopConfig, Router, RouterOptions, Server, ServerHandle, ServerOptions};
 
 const SEED: u64 = 1;
 
@@ -563,6 +563,145 @@ fn loadgen_drives_concurrent_clients_to_completion() {
     assert_eq!(report.total, 100);
     assert_eq!(report.ok, 100, "errors: {}", report.errors);
     assert!(report.requests_per_sec() > 0.0);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn responses_carry_request_ids_and_histograms_over_real_sockets() {
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+
+    // Every response — success and error alike — carries an X-Request-Id.
+    let ok = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_eq!(ok.status, 200);
+    assert!(ok.header("x-request-id").is_some());
+    let missing = loadgen::get(addr, "/v1/analyses/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(missing.header("x-request-id").is_some());
+
+    // A pipelined burst: every response gets its own unique id.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    for _ in 0..4 {
+        write_request(reader.get_mut(), "GET", "/v1/healthz", &[]).unwrap();
+    }
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let response = read_response(&mut reader).unwrap();
+        assert_eq!(response.status, 200);
+        ids.push(response.header("x-request-id").unwrap().to_string());
+    }
+    drop(reader);
+    let unique: std::collections::HashSet<&String> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "pipelined ids must be unique");
+
+    // The traffic above populated the per-route and per-stage histograms.
+    // A route sample lands *after* the worker finishes writing the
+    // response, so a just-served client can outrun the recording by a
+    // scheduling quantum — poll briefly instead of scraping once.
+    let expected = [
+        "osdiv_request_duration_seconds_count{route=\"report\"}",
+        "osdiv_request_duration_seconds_count{route=\"healthz\"}",
+        "osdiv_stage_duration_seconds_count{stage=\"parse\"}",
+        "osdiv_stage_duration_seconds_count{stage=\"write\"}",
+        "osdiv_build_info{version=\"",
+        "# TYPE osdiv_uptime_seconds gauge",
+    ];
+    let mut body = String::new();
+    for _ in 0..100 {
+        let metrics = loadgen::get(addr, "/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        body = metrics.body_string();
+        if expected.iter().all(|series| body.contains(series)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for series in expected {
+        assert!(body.contains(series), "missing {series} in:\n{body}");
+    }
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn server_access_log_records_every_request() {
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf::default();
+    let log = Arc::new(osdiv_core::EventLog::to_writer(Box::new(buf.clone())));
+    let router = Arc::new(Router::with_study(
+        study(),
+        RouterOptions {
+            seed: SEED,
+            cache_capacity: 8,
+            access_log: Some(Arc::clone(&log)),
+            // A zero threshold promotes every request to `slow_request`.
+            slow_request_us: 0,
+            ..RouterOptions::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router,
+        ServerOptions {
+            threads: 2,
+            read_timeout: Duration::from_secs(1),
+            max_keep_alive_requests: 100,
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let ok = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_eq!(ok.status, 200);
+    let id = ok.header("x-request-id").unwrap().to_string();
+    handle.shutdown().unwrap();
+    log.flush();
+
+    let raw = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(raw).unwrap();
+    let line = text
+        .lines()
+        .find(|line| line.contains("\"path\":\"/v1/report\""))
+        .unwrap_or_else(|| panic!("no report line in access log:\n{text}"));
+    assert!(line.contains("\"event\":\"slow_request\""), "{line}");
+    assert!(line.contains("\"route\":\"report\""), "{line}");
+    assert!(line.contains("\"status\":200"), "{line}");
+    assert!(line.contains("\"total_us\":"), "{line}");
+    assert!(line.contains(&format!("\"id\":\"{id}\"")), "{line}");
+}
+
+#[test]
+fn open_loop_loadgen_completes_against_a_live_server() {
+    let (_, handle) = start_server(false);
+    let report = loadgen::run_open_loop(
+        handle.addr(),
+        &OpenLoopConfig {
+            rate_per_sec: 500.0,
+            duration: Duration::from_millis(400),
+            connections: 2,
+            ..OpenLoopConfig::default()
+        },
+    );
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ok, report.total);
+    assert_eq!(report.latency.total(), report.ok as u64);
+    assert!(report.quantile_us(0.99) >= report.quantile_us(0.50));
     handle.shutdown().unwrap();
 }
 
