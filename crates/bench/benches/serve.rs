@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::CalibratedGenerator;
-use osdiv_core::{LatencyHistogram, Study};
+use osdiv_core::{obs, FlightRecorder, LatencyHistogram, SpanKind, Study};
 use osdiv_serve::loadgen::{read_response, run_loadgen, run_open_loop, write_request};
 use osdiv_serve::{OpenLoopConfig, Router, RouterOptions, Server, ServerHandle, ServerOptions};
 
@@ -57,6 +57,26 @@ fn bench_histogram_record(c: &mut Criterion) {
                 % 60_000;
             histogram.record_us(sample);
             histogram.total()
+        })
+    });
+}
+
+fn bench_flight_record(c: &mut Criterion) {
+    // The A/B against obs/histogram_record (~26 ns/sample): one span
+    // written into the flight-recorder ring is one fetch_add claim plus
+    // a try_lock'd 80-byte slot store — it must stay in the same order
+    // of magnitude, or per-request span recording would show up in the
+    // roundtrip numbers.
+    let recorder = FlightRecorder::global();
+    let mut sample = 17u64;
+    c.bench_function("obs/flight_record", |b| {
+        b.iter(|| {
+            sample = sample
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493)
+                % 60_000;
+            obs::record_span(SpanKind::Render, "bench", sample, sample);
+            recorder.recorded_total()
         })
     });
 }
@@ -146,6 +166,6 @@ fn bench_serving(c: &mut Criterion) {
 criterion_group!(
     name = serve;
     config = Criterion::default().sample_size(10);
-    targets = bench_histogram_record, bench_serving
+    targets = bench_histogram_record, bench_flight_record, bench_serving
 );
 criterion_main!(serve);

@@ -78,6 +78,10 @@ const COMMANDS: &[(&str, &str)] = &[
         "snapshot",
         "save, load or inspect .osdv tenant snapshots (see --out)",
     ),
+    (
+        "debug",
+        "offline introspection: trace a boot or list tenants (see --data-dir)",
+    ),
     ("list", "print the analysis registry"),
     ("help", "show this help"),
 ];
@@ -96,6 +100,7 @@ struct Options {
     threads: usize,
     enable_shutdown: bool,
     enable_dataset_delete: bool,
+    enable_debug: bool,
     ingest_token: Option<String>,
     max_datasets: usize,
     max_dataset_bytes: usize,
@@ -123,6 +128,7 @@ impl Default for Options {
             threads: osdiv_serve::default_threads(),
             enable_shutdown: false,
             enable_dataset_delete: false,
+            enable_debug: false,
             ingest_token: None,
             max_datasets: osdiv_registry::registry::DEFAULT_MAX_DATASETS,
             max_dataset_bytes: osdiv_registry::registry::DEFAULT_MAX_TOTAL_BYTES,
@@ -225,6 +231,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
     }
     if command == "snapshot" {
         return snapshot_command(&args[1..]);
+    }
+    if command == "debug" {
+        return debug_command(&args[1..]);
     }
     let opts = parse_options(&args[1..])?;
     if command == "list" {
@@ -473,6 +482,66 @@ fn snapshot_inspect(opts: &Options) -> Result<String, CliError> {
     }))
 }
 
+/// `osdiv debug <spans|registry>`: the `/v1/debug` introspection views
+/// without a server. `spans` instruments a full boot — snapshot recovery
+/// when `--data-dir` is given, then every analysis — and dumps the
+/// flight-recorder ring as Chrome trace-event JSON (load it in Perfetto
+/// or `chrome://tracing`). `registry` prints the recovered tenant
+/// registry as JSON. Both answer in one pass over a bounded structure
+/// (the ring / the tenant list), like their HTTP counterparts.
+fn debug_command(args: &[String]) -> Result<String, CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage(format!(
+            "debug expects a subcommand: spans or registry\n\n{}",
+            usage()
+        )));
+    };
+    let opts = parse_options(&args[1..])?;
+    match sub.as_str() {
+        "spans" => debug_boot(&opts, true).map(|_| osdiv_serve::debug::spans_json()),
+        "registry" => {
+            let registry = debug_boot(&opts, false)?;
+            Ok(osdiv_serve::debug::registry_json(&registry))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown debug subcommand {other:?} (expected spans or registry)\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The shared boot of `osdiv debug`: the seed dataset as the pinned
+/// default tenant, plus — when `--data-dir` is given — a read-only
+/// recovery of its snapshots (nothing is written). With `warm` the whole
+/// analysis registry runs too, so the flight recorder holds the complete
+/// boot-and-compute span tree.
+fn debug_boot(opts: &Options, warm: bool) -> Result<StudyRegistry, CliError> {
+    let study = Arc::new(study_session_with_seed(opts.seed));
+    let mut registry = StudyRegistry::with_default(
+        Arc::clone(&study),
+        opts.seed,
+        RegistryOptions {
+            max_datasets: opts.max_datasets.max(1),
+            max_total_bytes: opts.max_dataset_bytes.max(1),
+        },
+    );
+    if let Some(dir) = &opts.data_dir {
+        let store = TenantStore::open_read_only(dir);
+        registry = registry.with_persistence(Arc::new(store));
+        let recovery = registry.recover(&IngestBudget {
+            max_bytes: opts.max_dataset_bytes.max(1),
+            ..IngestBudget::default()
+        });
+        for (name, error) in &recovery.errors {
+            eprintln!("osdiv debug: recovery of {name:?}: {error}");
+        }
+    }
+    if warm {
+        study.run_all()?;
+    }
+    Ok(registry)
+}
+
 /// `osdiv serve`: pre-warm the session, bind, and run until shutdown.
 /// With `--data-dir`, ingested tenants persist as `.osdv` snapshots and
 /// crash-recover from ingestion journals at boot; `--no-persist` opens
@@ -521,6 +590,7 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
         if let Some(log) = &access_log {
             let emit = |event: &str, dataset: &str, detail: Option<&str>| {
                 let mut line = osdiv_core::JsonLine::new();
+                line.u64_field("ts", osdiv_core::obs::unix_micros());
                 line.str_field("event", event);
                 line.str_field("dataset", dataset);
                 if let Some(detail) = detail {
@@ -556,6 +626,7 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
             cache_capacity: 128,
             enable_shutdown: opts.enable_shutdown,
             enable_dataset_delete: opts.enable_dataset_delete,
+            enable_debug: opts.enable_debug,
             ingest_budget,
             // Flag wins over the environment; both unset leaves the
             // mutating dataset routes open (pre-0.7 behaviour).
@@ -650,6 +721,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--enable-shutdown" => opts.enable_shutdown = true,
             "--enable-dataset-delete" => opts.enable_dataset_delete = true,
+            "--enable-debug" => opts.enable_debug = true,
             "--ingest-token" => opts.ingest_token = Some(value("--ingest-token")?),
             "--max-datasets" => {
                 let raw = value("--max-datasets")?;
@@ -710,6 +782,8 @@ fn usage() -> String {
          --threads <N>                    serve: worker threads\n  \
          --enable-shutdown                serve: honour POST /v1/shutdown\n  \
          --enable-dataset-delete          serve: honour DELETE /v1/datasets/{name}\n  \
+         --enable-debug                   serve: honour GET /v1/debug/* (spans, registry, pool;\n                                   \
+         requires the ingest token when one is set)\n  \
          --ingest-token <TOKEN>           serve: require `Authorization: Bearer <TOKEN>` on\n                                   \
          mutating dataset routes (env: OSDIV_INGEST_TOKEN)\n  \
          --max-datasets <N>               serve: dataset registry name cap (default: 16)\n  \
@@ -726,6 +800,10 @@ fn usage() -> String {
          snapshot save --out <f> [feeds]  snapshot the seed dataset or the given NVD feeds\n  \
          snapshot load <f>                fully decode a snapshot (CRC-checked) and summarize it\n  \
          snapshot inspect <f>             dump the header and section table without decoding payloads\n\n\
+         Debug subcommands (the offline twins of GET /v1/debug/*; see docs/OBSERVABILITY.md):\n  \
+         debug spans [--data-dir <d>]     trace a boot (recovery + every analysis) and dump the\n                                   \
+         flight-recorder ring as Chrome trace-event JSON\n  \
+         debug registry --data-dir <d>    recover the tenant registry read-only and print it as JSON\n\n\
          Analyses (also subcommands, mirrored at GET /v1/analyses/{id} by `osdiv serve`):\n",
     );
     for entry in osdiv_core::registry() {

@@ -445,6 +445,75 @@ fn run(addr: SocketAddr) -> Result<(), String> {
         "/metrics exposes osdiv_uptime_seconds",
     )?;
 
+    // 6b. Saturation & resource gauges: every family is present and the
+    //     values are self-consistent with each other.
+    for gauge in [
+        "osdiv_workers_total",
+        "osdiv_workers_busy",
+        "osdiv_dispatch_queue_depth",
+        "osdiv_connections_active",
+        "osdiv_ingest_queue_depth",
+        "osdiv_body_cache_entries",
+        "osdiv_body_cache_bytes",
+        "osdiv_body_cache_byte_budget",
+        "osdiv_datasets_total",
+        "osdiv_datasets_resident",
+        "osdiv_datasets_spilled",
+        "osdiv_datasets_lazy",
+        "osdiv_datasets_evicted",
+        "osdiv_datasets_resident_bytes",
+        "osdiv_datasets_byte_budget",
+    ] {
+        check(
+            exposition.contains(&format!("# TYPE {gauge} gauge")),
+            &format!("/metrics exposes the {gauge} gauge"),
+        )?;
+    }
+    let gauge = |name: &str| -> Result<f64, String> {
+        scrape_value(&exposition, name).ok_or_else(|| format!("FAILED: {name} does not scrape"))
+    };
+    let workers_total = gauge("osdiv_workers_total")?;
+    let workers_busy = gauge("osdiv_workers_busy")?;
+    check(
+        workers_total >= 1.0,
+        "the worker pool reports at least one worker",
+    )?;
+    check(
+        (1.0..=workers_total).contains(&workers_busy),
+        &format!(
+            "the worker serving /metrics counts itself busy \
+             (busy {workers_busy} of {workers_total})"
+        ),
+    )?;
+    check(
+        gauge("osdiv_connections_active")? >= 1.0,
+        "the /metrics connection counts itself active",
+    )?;
+    check(
+        gauge("osdiv_body_cache_bytes")? <= gauge("osdiv_body_cache_byte_budget")?,
+        "the body cache stays inside its byte budget",
+    )?;
+    let datasets_total = gauge("osdiv_datasets_total")?;
+    let state_sum = gauge("osdiv_datasets_resident")?
+        + gauge("osdiv_datasets_spilled")?
+        + gauge("osdiv_datasets_lazy")?
+        + gauge("osdiv_datasets_evicted")?;
+    check(
+        state_sum == datasets_total,
+        &format!(
+            "dataset states sum to the registry total \
+             ({state_sum} vs {datasets_total})"
+        ),
+    )?;
+    check(
+        gauge("osdiv_datasets_resident_bytes")? <= gauge("osdiv_datasets_byte_budget")?,
+        "resident dataset bytes stay inside the registry byte budget",
+    )?;
+    check(
+        scrape_value(&exposition, "osdiv_trace_spans_recorded_total").unwrap_or(0.0) > 0.0,
+        "the flight recorder captured spans during the smoke run",
+    )?;
+
     // 7. Graceful shutdown.
     let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
     check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;

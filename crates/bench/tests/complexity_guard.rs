@@ -11,6 +11,7 @@
 
 use nvd_feed::FeedWriter;
 use nvd_model::{CveId, OsDistribution, VulnerabilityEntry};
+use osdiv_core::{FlightRecorder, SpanKind, SpanRecord};
 use osdiv_registry::persist::TenantStore;
 use osdiv_registry::{FeedIngester, IngestBudget};
 use osdiv_serve::http::ChunkedDecoder;
@@ -194,5 +195,43 @@ fn journal_replay_work_is_linear_in_file_size() {
     assert!(
         large_work * small_bytes <= 2 * small_work * large_bytes,
         "replay work grows superlinearly: {small_work}@{small_bytes} -> {large_work}@{large_bytes}"
+    );
+}
+
+#[test]
+fn span_dump_work_is_bounded_by_the_ring_not_the_span_history() {
+    // `/v1/debug/spans` and `osdiv debug spans` must answer in O(ring
+    // capacity): dumping after 100x more recorded spans costs exactly the
+    // same slot walk, because the ring forgets everything it overwrote.
+    fn dump_work(capacity: usize, spans: u64) -> u64 {
+        let recorder = FlightRecorder::with_capacity(capacity);
+        for _ in 0..spans {
+            let id = recorder.next_span_id();
+            recorder.record(SpanRecord {
+                id,
+                parent: 0,
+                trace: 0,
+                kind: SpanKind::Render,
+                tid: 0,
+                start_us: id,
+                dur_us: 1,
+                label: [0; osdiv_core::obs::LABEL_BYTES],
+            });
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.total, spans);
+        snapshot.work
+    }
+
+    let capacity = 64;
+    let few = dump_work(capacity, capacity as u64 * 2);
+    let many = dump_work(capacity, capacity as u64 * 200);
+    assert_eq!(
+        few, many,
+        "snapshot work must not grow with the number of spans ever recorded"
+    );
+    assert_eq!(
+        few, capacity as u64,
+        "a snapshot examines each ring slot exactly once"
     );
 }

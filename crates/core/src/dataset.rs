@@ -171,6 +171,7 @@ impl StudyDataset {
         if let Some(index) = slot.as_ref() {
             return Arc::clone(index);
         }
+        let _span = crate::obs::span(crate::obs::SpanKind::IndexBuild, "count_index");
         let built = Arc::new(CountIndex::build(self));
         *slot = Some(Arc::clone(&built));
         built

@@ -84,7 +84,10 @@ pub use classes::{ClassDistribution, ValidityDistribution};
 pub use dataset::{Period, ServerProfile, StudyDataset};
 pub use index::CountIndex;
 pub use kway::{KWayAnalysis, KWayConfig, KWayRow};
-pub use obs::{EventLog, HistogramSnapshot, JsonLine, LatencyHistogram};
+pub use obs::{
+    EventLog, FlightRecorder, HistogramSnapshot, JsonLine, LatencyHistogram, RingSnapshot,
+    SpanGuard, SpanKind, SpanRecord,
+};
 pub use pairwise::{PairRow, PairwiseAnalysis, PairwiseConfig, PairwiseSummary, PartBreakdownRow};
 pub use params::{FromParams, Params};
 pub use releases::{ReleaseAnalysis, ReleaseConfig, ReleasePairRow};

@@ -131,10 +131,24 @@ impl Study {
     /// and later `get` calls are lock-read cheap.
     pub fn run_all(&self) -> Result<(), AnalysisError> {
         let mut first_error = None;
+        // Scoped workers have fresh thread-local span stacks, so the
+        // per-analysis spans take their parent (the caller's current span,
+        // if any) explicitly.
+        let (parent, trace) = crate::obs::current_context();
         std::thread::scope(|scope| {
             let handles: Vec<_> = registry()
                 .iter()
-                .map(|entry| scope.spawn(move || (entry.prime)(self)))
+                .map(|entry| {
+                    scope.spawn(move || {
+                        let _span = crate::obs::span_with_parent(
+                            crate::obs::SpanKind::Analysis,
+                            entry.id.name(),
+                            parent,
+                            trace,
+                        );
+                        (entry.prime)(self)
+                    })
+                })
                 .collect();
             for handle in handles {
                 if let Err(error) = handle.join().expect("analysis threads do not panic") {

@@ -32,6 +32,7 @@ pub const ATTACKER_SURFACES: &[&str] = &[
     "crates/nvd-feed/src/reader.rs",
     "crates/core/src/snapshot.rs",
     "crates/core/src/obs.rs",
+    "crates/serve/src/debug.rs",
     "crates/vulnstore/src/snapshot.rs",
     "crates/registry/src/persist.rs",
     "crates/registry/src/ingest.rs",

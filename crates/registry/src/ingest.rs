@@ -44,6 +44,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -52,6 +53,7 @@ use std::time::Instant;
 use classify::Classifier;
 use nvd_feed::{FeedError, FeedReader};
 use nvd_model::VulnerabilityEntry;
+use osdiv_core::obs::{self, SpanKind};
 use osdiv_core::{Study, StudyDataset};
 use vulnstore::VulnStore;
 
@@ -304,6 +306,45 @@ impl ParsePipeline {
     }
 }
 
+/// An optional shared depth gauge over the pipelined parse queue: `add`
+/// on submit, `sub` on harvest. A struct (not methods on the ingester) so
+/// its `Drop` can return this ingester's outstanding contribution when an
+/// ingestion is abandoned mid-flight — `FeedIngester` itself cannot
+/// implement `Drop` because `finish` moves fields out of it.
+#[derive(Debug, Default)]
+struct QueueGauge {
+    shared: Option<Arc<AtomicU64>>,
+    held: u64,
+}
+
+impl QueueGauge {
+    fn add(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.fetch_add(1, Ordering::Relaxed);
+            self.held += 1;
+        }
+    }
+
+    fn sub(&mut self) {
+        if self.held > 0 {
+            if let Some(shared) = &self.shared {
+                shared.fetch_sub(1, Ordering::Relaxed);
+            }
+            self.held = self.held.saturating_sub(1);
+        }
+    }
+}
+
+impl Drop for QueueGauge {
+    fn drop(&mut self) {
+        if self.held > 0 {
+            if let Some(shared) = &self.shared {
+                shared.fetch_sub(self.held, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// The push-based streaming feed ingester (see the module docs).
 ///
 /// # Example
@@ -361,6 +402,12 @@ pub struct FeedIngester {
     parse_us: u64,
     /// Wall-clock µs spent settling parsed entries into the store.
     insert_us: u64,
+    /// Fragments submitted to the worker pool and not yet harvested,
+    /// mirrored into a shared serving gauge when one is attached.
+    queue_gauge: QueueGauge,
+    /// Flight-recorder clock at construction — the base the aggregate
+    /// carve/parse/insert spans are laid out from at `finish`.
+    started_us: u64,
 }
 
 /// Microseconds elapsed since `started`, saturating.
@@ -402,7 +449,25 @@ impl FeedIngester {
             push_us: 0,
             parse_us: 0,
             insert_us: 0,
+            queue_gauge: QueueGauge::default(),
+            started_us: obs::monotonic_us(),
         }
+    }
+
+    /// Attaches a shared parse-queue depth gauge (the serving layer's
+    /// `osdiv_ingest_queue_depth`): incremented when a fragment is
+    /// submitted to the worker pool, decremented when its result is
+    /// harvested, and zeroed back out if the ingestion is dropped
+    /// mid-flight. Inline (zero-worker) ingestions never touch it.
+    pub fn with_queue_gauge(mut self, shared: Arc<AtomicU64>) -> Self {
+        self.queue_gauge.shared = Some(shared);
+        self
+    }
+
+    /// Fragments currently in flight on the worker pool (submitted, not
+    /// yet harvested).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_gauge.held
     }
 
     /// Bytes examined by the entry-boundary scanner so far. Linear in
@@ -487,6 +552,7 @@ impl FeedIngester {
     fn collect_ready(&mut self) {
         if let Some(pipeline) = &self.pipeline {
             while let Ok((seq, result)) = pipeline.results.try_recv() {
+                self.queue_gauge.sub();
                 self.pending.insert(seq, result);
             }
         }
@@ -542,6 +608,7 @@ impl FeedIngester {
             self.parse_us += micros_since(waited);
             match received {
                 Some((seq, result)) => {
+                    self.queue_gauge.sub();
                     self.pending.insert(seq, result);
                 }
                 None => return,
@@ -638,7 +705,10 @@ impl FeedIngester {
             std::str::from_utf8(self.buffer.get(..end).unwrap_or_default()).unwrap_or_default();
         let parse_started = Instant::now();
         match &self.pipeline {
-            Some(pipeline) => pipeline.submit(seq, fragment.to_string()),
+            Some(pipeline) => {
+                pipeline.submit(seq, fragment.to_string());
+                self.queue_gauge.add();
+            }
             None => {
                 let parsed = self.reader.read_entry_str(fragment);
                 self.pending.insert(seq, parsed);
@@ -672,6 +742,7 @@ impl FeedIngester {
         if let Some(pipeline) = self.pipeline.take() {
             let drain_started = Instant::now();
             for (seq, result) in pipeline.drain() {
+                self.queue_gauge.sub();
                 self.pending.insert(seq, result);
             }
             self.parse_us += micros_since(drain_started);
@@ -687,6 +758,17 @@ impl FeedIngester {
             return Err(IngestError::Empty);
         }
         let stages = self.stage_micros();
+        // Three aggregate flight-recorder spans, laid out sequentially
+        // from the ingestion's start so a trace shows where the time went
+        // without flooding the ring with per-entry records. `finish` runs
+        // on the request's thread, so these nest under the request span
+        // when a trace scope is active. The parse span includes time the
+        // coordinator spent blocked on the worker queue (backpressure).
+        let carve_end = self.started_us + stages.carve_us;
+        let parse_end = carve_end + stages.parse_us;
+        obs::record_span(SpanKind::IngestCarve, "", self.started_us, stages.carve_us);
+        obs::record_span(SpanKind::IngestParse, "", carve_end, stages.parse_us);
+        obs::record_span(SpanKind::IngestInsert, "", parse_end, stages.insert_us);
         let entries = self.store.vulnerability_count();
         let mut dataset = StudyDataset::from_store(self.store);
         dataset.classify_unlabelled(&Classifier::with_default_rules());

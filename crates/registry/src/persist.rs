@@ -34,6 +34,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use osdiv_core::obs::{self, SpanKind};
 use osdiv_core::snapshot::crc32;
 use osdiv_core::{LatencyHistogram, Snapshot, SnapshotError, Study};
 
@@ -317,6 +318,7 @@ impl TenantStore {
         if self.read_only {
             return Err(PersistError::ReadOnly);
         }
+        let _span = obs::span(SpanKind::SnapshotWrite, name);
         let dataset: &osdiv_core::StudyDataset = study;
         let bytes = Snapshot::to_bytes(dataset, &source_meta(source));
         let path = self.snapshot_path(name);
@@ -340,6 +342,7 @@ impl TenantStore {
     /// ([`PersistError::Snapshot`]) or unusable annotations
     /// ([`PersistError::BadMeta`]).
     pub fn load(&self, name: &str) -> Result<LoadedTenant, PersistError> {
+        let _span = obs::span(SpanKind::SnapshotLoad, name);
         let bytes = fs::read(self.snapshot_path(name)).map_err(|error| PersistError::Io {
             what: "reading the snapshot",
             error,
@@ -474,6 +477,7 @@ impl TenantStore {
     ///
     /// I/O failure reading the file.
     pub fn replay_journal(&self, name: &str) -> Result<JournalReplay, PersistError> {
+        let _span = obs::span(SpanKind::JournalReplay, name);
         let bytes = fs::read(self.journal_path(name)).map_err(|error| PersistError::Io {
             what: "reading the journal",
             error,

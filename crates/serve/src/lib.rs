@@ -33,7 +33,13 @@
 //!   Prometheus exposition format, request-id minting, build info and
 //!   uptime. Every response carries `X-Request-Id`; an optional
 //!   JSON-lines access log ([`RouterOptions::access_log`]) records one
-//!   structured line per request with per-stage timings.
+//!   structured line per request with per-stage timings;
+//! * [`debug`] — the gated `GET /v1/debug/*` introspection surface
+//!   (`--enable-debug` + the ingest bearer token): the flight-recorder
+//!   ring as Chrome trace-event JSON (`/v1/debug/spans`, Perfetto-
+//!   loadable, joined to responses by `X-Request-Id`), per-tenant
+//!   lifecycle state (`/v1/debug/registry`) and worker-pool occupancy
+//!   (`/v1/debug/pool`).
 //!
 //! `GET /v1/analyses/{id}` responses are byte-identical to
 //! `osdiv {id} --format <f>` for the same seed, because both call
@@ -71,6 +77,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod debug;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;

@@ -15,9 +15,11 @@
 //! connection of one server for the life of the process.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use osdiv_core::obs::LatencyHistogram;
+use osdiv_core::FlightRecorder;
 
 /// The route classes whole-request latency is attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,19 +36,22 @@ pub enum RouteClass {
     Ingest,
     /// `GET /metrics`.
     Metrics,
+    /// The gated introspection surface: `GET /v1/debug/*`.
+    Debug,
     /// Everything else (shutdown, unknown paths, parse errors).
     Other,
 }
 
 impl RouteClass {
     /// Every class, in exposition order.
-    pub const ALL: [RouteClass; 7] = [
+    pub const ALL: [RouteClass; 8] = [
         RouteClass::Healthz,
         RouteClass::Analyses,
         RouteClass::Report,
         RouteClass::DatasetsRead,
         RouteClass::Ingest,
         RouteClass::Metrics,
+        RouteClass::Debug,
         RouteClass::Other,
     ];
 
@@ -59,6 +64,7 @@ impl RouteClass {
             RouteClass::DatasetsRead => "datasets_read",
             RouteClass::Ingest => "ingest",
             RouteClass::Metrics => "metrics",
+            RouteClass::Debug => "debug",
             RouteClass::Other => "other",
         }
     }
@@ -70,6 +76,7 @@ impl RouteClass {
             "/v1/report" => RouteClass::Report,
             "/metrics" => RouteClass::Metrics,
             "/v1/datasets" => RouteClass::DatasetsRead,
+            _ if path == "/v1/debug" || path.starts_with("/v1/debug/") => RouteClass::Debug,
             _ if path == "/v1/analyses" || path.starts_with("/v1/analyses/") => {
                 RouteClass::Analyses
             }
@@ -139,6 +146,7 @@ struct RouteHistograms {
     datasets_read: LatencyHistogram,
     ingest: LatencyHistogram,
     metrics: LatencyHistogram,
+    debug: LatencyHistogram,
     other: LatencyHistogram,
 }
 
@@ -151,6 +159,7 @@ impl RouteHistograms {
             RouteClass::DatasetsRead => &self.datasets_read,
             RouteClass::Ingest => &self.ingest,
             RouteClass::Metrics => &self.metrics,
+            RouteClass::Debug => &self.debug,
             RouteClass::Other => &self.other,
         }
     }
@@ -197,6 +206,20 @@ pub struct ServeMetrics {
     cache_misses: AtomicU64,
     /// Response bytes written to sockets (head + body).
     bytes_out: AtomicU64,
+    /// Worker threads in the pool (set once at server start; zero when the
+    /// router runs standalone).
+    workers_total: AtomicU64,
+    /// Workers currently serving a connection.
+    workers_busy: AtomicU64,
+    /// Accepted connections handed to the dispatch queue and not yet
+    /// picked up by a worker.
+    dispatch_queue_depth: AtomicU64,
+    /// Connections currently held open by a worker (keep-alive included).
+    connections_active: AtomicU64,
+    /// Feed-ingestion pipeline entries submitted to parser workers and not
+    /// yet harvested (shared with every in-flight [`FeedIngester`] via
+    /// [`ServeMetrics::ingest_queue_depth`]).
+    ingest_queue_depth: Arc<AtomicU64>,
     /// Whole-request latency per route class.
     routes: RouteHistograms,
     /// Per-stage latency across the request and ingestion pipelines.
@@ -233,6 +256,11 @@ impl ServeMetrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            workers_total: AtomicU64::new(0),
+            workers_busy: AtomicU64::new(0),
+            dispatch_queue_depth: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            ingest_queue_depth: Arc::new(AtomicU64::new(0)),
             routes: RouteHistograms::default(),
             stages: StageHistograms::default(),
             id_seed: seed ^ (seed >> 33),
@@ -245,8 +273,94 @@ impl ServeMetrics {
     /// as `X-Request-Id` and keyed into the access log. Unique for the
     /// life of the process; the prefix disambiguates across restarts.
     pub fn mint_request_id(&self) -> String {
+        self.mint_traced_request_id().0
+    }
+
+    /// Mints the next request id plus its numeric trace key: the same
+    /// `prefix-sequence` pair packed into a `u64` (`prefix << 32 | seq`).
+    /// The numeric form keys the flight recorder's span records, so a
+    /// trace dumped from `/v1/debug/spans` joins back to the
+    /// `X-Request-Id` the client saw
+    /// (see [`osdiv_core::obs::format_trace_id`]).
+    pub fn mint_traced_request_id(&self) -> (String, u64) {
         let seq = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        format!("{:08x}-{seq:08x}", self.id_seed as u32)
+        let prefix = self.id_seed as u32;
+        let trace = (u64::from(prefix) << 32) | u64::from(seq as u32);
+        (format!("{prefix:08x}-{:08x}", seq as u32), trace)
+    }
+
+    /// Sets the worker-pool size gauge (once, at server start).
+    pub fn set_workers_total(&self, workers: usize) {
+        self.workers_total.store(workers as u64, Ordering::Relaxed);
+    }
+
+    /// Marks one worker busy (serving a connection).
+    pub fn worker_busy(&self) {
+        self.workers_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one worker idle again.
+    pub fn worker_idle(&self) {
+        let _ = self
+            .workers_busy
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |held| {
+                held.checked_sub(1)
+            });
+    }
+
+    /// Counts a connection entering the dispatch queue.
+    pub fn dispatch_enqueued(&self) {
+        self.dispatch_queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection leaving the dispatch queue (picked up).
+    pub fn dispatch_dequeued(&self) {
+        let _ =
+            self.dispatch_queue_depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |held| {
+                    held.checked_sub(1)
+                });
+    }
+
+    /// Counts a connection becoming active on a worker.
+    pub fn connection_opened(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an active connection closing.
+    pub fn connection_closed(&self) {
+        let _ =
+            self.connections_active
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |held| {
+                    held.checked_sub(1)
+                });
+    }
+
+    /// The shared ingest-pipeline depth gauge, handed to every
+    /// [`osdiv_registry::FeedIngester`] the router builds (via
+    /// `FeedIngester::with_queue_gauge`).
+    pub fn ingest_queue_depth(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.ingest_queue_depth)
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers_total(&self) -> u64 {
+        self.workers_total.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently serving a connection.
+    pub fn workers_busy(&self) -> u64 {
+        self.workers_busy.load(Ordering::Relaxed)
+    }
+
+    /// Accepted connections awaiting a worker.
+    pub fn dispatch_queue_depth(&self) -> u64 {
+        self.dispatch_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently held open by workers.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
     }
 
     /// Counts one accepted connection.
@@ -352,6 +466,58 @@ impl ServeMetrics {
             ),
         ];
         for (name, help, value) in counters {
+            body.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+
+        let gauges = [
+            (
+                "osdiv_workers_total",
+                "worker threads in the serving pool",
+                self.workers_total(),
+            ),
+            (
+                "osdiv_workers_busy",
+                "workers currently serving a connection",
+                self.workers_busy(),
+            ),
+            (
+                "osdiv_dispatch_queue_depth",
+                "accepted connections waiting for a worker",
+                self.dispatch_queue_depth(),
+            ),
+            (
+                "osdiv_connections_active",
+                "connections currently held open by workers",
+                self.connections_active(),
+            ),
+            (
+                "osdiv_ingest_queue_depth",
+                "feed entries submitted to parser workers and not yet harvested",
+                self.ingest_queue_depth.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            body.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+
+        let recorder = FlightRecorder::global();
+        let trace_counters = [
+            (
+                "osdiv_trace_spans_recorded_total",
+                "spans written to the flight-recorder ring",
+                recorder.recorded_total(),
+            ),
+            (
+                "osdiv_trace_spans_dropped_total",
+                "spans overwritten after the ring wrapped",
+                recorder.dropped(),
+            ),
+        ];
+        for (name, help, value) in trace_counters {
             body.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
             ));
@@ -463,6 +629,46 @@ mod tests {
     }
 
     #[test]
+    fn saturation_gauges_track_and_render() {
+        let metrics = ServeMetrics::new();
+        metrics.set_workers_total(4);
+        metrics.worker_busy();
+        metrics.worker_busy();
+        metrics.worker_idle();
+        metrics.dispatch_enqueued();
+        metrics.dispatch_enqueued();
+        metrics.dispatch_dequeued();
+        metrics.connection_opened();
+        metrics.ingest_queue_depth().store(7, Ordering::Relaxed);
+        assert_eq!(metrics.workers_total(), 4);
+        assert_eq!(metrics.workers_busy(), 1);
+        assert_eq!(metrics.dispatch_queue_depth(), 1);
+        assert_eq!(metrics.connections_active(), 1);
+        let body = metrics.render();
+        assert!(body.contains("# TYPE osdiv_workers_total gauge\nosdiv_workers_total 4\n"));
+        assert!(body.contains("osdiv_workers_busy 1\n"));
+        assert!(body.contains("osdiv_dispatch_queue_depth 1\n"));
+        assert!(body.contains("osdiv_connections_active 1\n"));
+        assert!(body.contains("osdiv_ingest_queue_depth 7\n"));
+        assert!(body.contains("# TYPE osdiv_trace_spans_recorded_total counter\n"));
+        assert!(body.contains("# TYPE osdiv_trace_spans_dropped_total counter\n"));
+        // Decrements saturate at zero instead of wrapping to u64::MAX.
+        metrics.connection_closed();
+        metrics.connection_closed();
+        assert_eq!(metrics.connections_active(), 0);
+        metrics.worker_idle();
+        metrics.worker_idle();
+        assert_eq!(metrics.workers_busy(), 0);
+    }
+
+    #[test]
+    fn traced_request_ids_join_string_and_numeric_forms() {
+        let metrics = ServeMetrics::new();
+        let (id, trace) = metrics.mint_traced_request_id();
+        assert_eq!(osdiv_core::obs::format_trace_id(trace), id);
+    }
+
+    #[test]
     fn request_ids_are_unique_and_prefixed() {
         let metrics = ServeMetrics::new();
         let a = metrics.mint_request_id();
@@ -486,6 +692,9 @@ mod tests {
             ("DELETE", "/v1/datasets/smoke", R::DatasetsRead),
             ("PUT", "/v1/datasets/smoke", R::Ingest),
             ("GET", "/metrics", R::Metrics),
+            ("GET", "/v1/debug/spans", R::Debug),
+            ("GET", "/v1/debug/registry", R::Debug),
+            ("GET", "/v1/debug", R::Debug),
             ("POST", "/v1/shutdown", R::Other),
             ("GET", "/nope", R::Other),
         ] {

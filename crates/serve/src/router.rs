@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use osdiv_core::obs::{self, SpanKind};
 use osdiv_core::{
     analysis_sections, registry_section, renderer, AnalysisError, AnalysisId, EventLog, Format,
     JsonLine, Params, Section, Study,
@@ -78,6 +79,11 @@ pub struct RouterOptions {
     /// Requests whose total handling time reaches this many microseconds
     /// are logged as `slow_request` instead of `request` events.
     pub slow_request_us: u64,
+    /// Whether the `GET /v1/debug/*` introspection routes are honoured
+    /// (403 otherwise — span labels and tenant provenance are operator
+    /// data, gated like shutdown). When [`RouterOptions::ingest_token`] is
+    /// set, the debug routes require the same bearer token.
+    pub enable_debug: bool,
 }
 
 /// Default slow-request promotion threshold: 500ms.
@@ -94,6 +100,7 @@ impl Default for RouterOptions {
             ingest_token: None,
             access_log: None,
             slow_request_us: DEFAULT_SLOW_REQUEST_US,
+            enable_debug: false,
         }
     }
 }
@@ -107,6 +114,11 @@ impl Default for RouterOptions {
 pub struct RequestTrace {
     /// The request id, echoed to the client as `X-Request-Id`.
     pub id: String,
+    /// The numeric form of the request id — the flight recorder's join
+    /// key: every span recorded while this request is handled carries it,
+    /// so a `/v1/debug/spans` dump joins back to `X-Request-Id` via
+    /// [`osdiv_core::obs::format_trace_id`].
+    pub trace_key: u64,
     /// The route class the request resolved to.
     pub route: RouteClass,
     /// Microseconds parsing the request head (set by the server).
@@ -324,8 +336,10 @@ impl Router {
 
     /// A fresh trace with a minted request id (all timings zero).
     pub fn begin_trace(&self) -> RequestTrace {
+        let (id, trace_key) = self.metrics.mint_traced_request_id();
         RequestTrace {
-            id: self.metrics.mint_request_id(),
+            id,
+            trace_key,
             route: RouteClass::Other,
             parse_us: 0,
             cache_us: 0,
@@ -364,12 +378,19 @@ impl Router {
                 Err(response) => response,
                 Ok(()) => {
                     let mut body = self.metrics.render();
+                    body.push_str(&self.saturation_metrics());
                     if let Some(store) = self.registry.persistence() {
                         body.push_str(&persistence_metrics(store.metrics()));
                     }
                     Response::new(200).with_body("text/plain; version=0.0.4", body.into_bytes())
                 }
             },
+            "/v1/debug/spans" | "/v1/debug/registry" | "/v1/debug/pool" => {
+                match self.check_get(request) {
+                    Err(response) => response,
+                    Ok(()) => self.debug_route(path, request),
+                }
+            }
             "/v1/shutdown" => {
                 if request.method != "POST" {
                     return method_not_allowed("POST");
@@ -416,11 +437,132 @@ impl Router {
         }
     }
 
+    /// The `GET /v1/debug/*` surface: gated behind `--enable-debug` and,
+    /// when an ingest token is configured, the same bearer token — span
+    /// labels and tenant provenance are operator data. Every view answers
+    /// in one pass over a bounded structure (see [`crate::debug`]).
+    fn debug_route(&self, path: &str, request: &Request) -> Response {
+        if !self.options.enable_debug {
+            return Response::text(
+                403,
+                "debug introspection over HTTP is disabled (start with --enable-debug)",
+            );
+        }
+        if !self.ingest_authorized(request) {
+            return Response::text(401, "missing or invalid ingestion token")
+                .with_header("WWW-Authenticate", "Bearer realm=\"osdiv-ingest\"");
+        }
+        let body = match path {
+            "/v1/debug/spans" => crate::debug::spans_json(),
+            "/v1/debug/registry" => crate::debug::registry_json(&self.registry),
+            _ => crate::debug::pool_json(&self.metrics),
+        };
+        Response::new(200)
+            .with_body(tabular::mime::APPLICATION_JSON, body.into_bytes())
+            .with_header("Cache-Control", "no-cache")
+    }
+
+    /// The saturation gauges only the router can compute — body-cache
+    /// occupancy versus its budgets and tenant lifecycle states —
+    /// appended to `GET /metrics` after the [`ServeMetrics`] families.
+    fn saturation_metrics(&self) -> String {
+        let (cache_entries, cache_bytes, cache_byte_budget, cache_capacity) = {
+            let cache = self.cache.lock();
+            (
+                cache.len() as u64,
+                cache.bytes as u64,
+                cache.byte_budget as u64,
+                cache.capacity as u64,
+            )
+        };
+        let infos = self.registry.list();
+        let mut resident = 0u64;
+        let mut spilled = 0u64;
+        let mut lazy = 0u64;
+        let mut evicted = 0u64;
+        for info in &infos {
+            if info.resident {
+                resident += 1;
+            } else if info.spilled {
+                spilled += 1;
+            } else if info.evicted {
+                evicted += 1;
+            } else {
+                lazy += 1;
+            }
+        }
+        let gauges = [
+            (
+                "osdiv_body_cache_entries",
+                "rendered bodies held by the response LRU",
+                cache_entries,
+            ),
+            (
+                "osdiv_body_cache_bytes",
+                "bytes held by the response LRU",
+                cache_bytes,
+            ),
+            (
+                "osdiv_body_cache_byte_budget",
+                "byte budget of the response LRU",
+                cache_byte_budget,
+            ),
+            (
+                "osdiv_body_cache_capacity",
+                "entry capacity of the response LRU",
+                cache_capacity,
+            ),
+            (
+                "osdiv_datasets_total",
+                "datasets registered (every lifecycle state)",
+                infos.len() as u64,
+            ),
+            (
+                "osdiv_datasets_resident",
+                "datasets with a built session in memory",
+                resident,
+            ),
+            (
+                "osdiv_datasets_spilled",
+                "datasets evicted to their durable snapshot",
+                spilled,
+            ),
+            (
+                "osdiv_datasets_lazy",
+                "datasets that rebuild on demand (unbuilt specs)",
+                lazy,
+            ),
+            (
+                "osdiv_datasets_evicted",
+                "datasets evicted beyond recovery (reads answer 410)",
+                evicted,
+            ),
+            (
+                "osdiv_datasets_resident_bytes",
+                "estimated bytes of every resident session",
+                self.registry.resident_bytes() as u64,
+            ),
+            (
+                "osdiv_datasets_byte_budget",
+                "resident-byte budget that triggers eviction",
+                self.registry.options().max_total_bytes as u64,
+            ),
+        ];
+        let mut body = String::with_capacity(2048);
+        for (name, help, value) in gauges {
+            body.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+        body
+    }
+
     /// Emits one structured event line when an access log is configured
-    /// (`build` fills in the fields after the `event` tag).
+    /// (`build` fills in the fields after the `ts`/`event` tags).
     fn emit_event(&self, event: &str, build: impl FnOnce(&mut JsonLine)) {
         if let Some(log) = &self.options.access_log {
             let mut line = JsonLine::new();
+            line.u64_field("ts", obs::unix_micros());
             line.str_field("event", event);
             build(&mut line);
             log.emit(&line.finish());
@@ -589,20 +731,28 @@ impl Router {
             }
         };
 
-        // Stream the feed body through the ingester, chunk by chunk.
+        // Stream the feed body through the ingester, chunk by chunk. The
+        // journal appends aggregate into one flight-recorder span (per-
+        // chunk spans would flood the ring on large uploads).
+        let mut journal_first_us: Option<u64> = None;
+        let mut journal_spent_us: u64 = 0;
         let streamed = (|| -> Result<_, Response> {
-            let mut ingester = FeedIngester::new(self.options.ingest_budget.clone());
+            let mut ingester = FeedIngester::new(self.options.ingest_budget.clone())
+                .with_queue_gauge(self.metrics.ingest_queue_depth());
             let mut chunk = Vec::new();
             loop {
                 match body.next_chunk(&mut chunk) {
                     Ok(true) => {
                         if let Some(journal) = journal.as_mut() {
+                            if journal_first_us.is_none() {
+                                journal_first_us = Some(obs::monotonic_us());
+                            }
                             let append_started = Instant::now();
                             let appended = journal.append(&chunk);
+                            let spent_us = micros_since(append_started);
+                            journal_spent_us = journal_spent_us.saturating_add(spent_us);
                             if let Some(store) = self.registry.persistence() {
-                                store
-                                    .metrics()
-                                    .record_journal_append_us(micros_since(append_started));
+                                store.metrics().record_journal_append_us(spent_us);
                             }
                             if let Err(error) = appended {
                                 return Err(registry_error_response(&RegistryError::Persistence {
@@ -640,6 +790,9 @@ impl Router {
                 return response;
             }
         };
+        if let Some(started_us) = journal_first_us {
+            obs::record_span(SpanKind::JournalAppend, name, started_us, journal_spent_us);
+        }
         let (entries, skipped, feed_bytes) = (outcome.entries, outcome.skipped, outcome.feed_bytes);
         let stages = outcome.stages;
         self.metrics
@@ -763,6 +916,7 @@ impl Router {
             format.name()
         );
         let lookup_started = Instant::now();
+        let lookup_started_us = obs::monotonic_us();
         let cached = match self.cache.lock().get(&key) {
             Some(hit) => {
                 self.metrics.record_cache_hit();
@@ -777,13 +931,26 @@ impl Router {
         trace.cache_hit = cached.is_some();
         self.metrics
             .record_stage_us(Stage::CacheLookup, trace.cache_us);
+        obs::record_span(
+            SpanKind::CacheLookup,
+            &dataset,
+            lookup_started_us,
+            trace.cache_us,
+        );
         let cached = match cached {
             Some(cached) => cached,
             None => {
                 let render_started = Instant::now();
+                let render_started_us = obs::monotonic_us();
                 let rendered = self.build_body(&study, &request.path, format, &params);
                 trace.render_us = micros_since(render_started);
                 self.metrics.record_stage_us(Stage::Render, trace.render_us);
+                obs::record_span(
+                    SpanKind::Render,
+                    &dataset,
+                    render_started_us,
+                    trace.render_us,
+                );
                 match rendered {
                     Ok(body) => {
                         let etag = format!(

@@ -15,7 +15,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use osdiv_core::JsonLine;
+use osdiv_core::{obs, FlightRecorder, JsonLine};
 use parking_lot::Mutex;
 
 use crate::http::{Body, BodyError, RequestParser, Response, StreamBody, MAX_BODY_BYTES};
@@ -89,6 +89,9 @@ impl Server {
         let (sender, receiver) = mpsc::channel::<TcpStream>();
         let receiver = Arc::new(Mutex::new(receiver));
 
+        self.router
+            .metrics()
+            .set_workers_total(self.options.threads.max(1));
         let workers: Vec<thread::JoinHandle<()>> = (0..self.options.threads.max(1))
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
@@ -99,7 +102,13 @@ impl Server {
                     let stream = { receiver.lock().recv() };
                     match stream {
                         Err(_) => return, // queue closed: shutdown
-                        Ok(stream) => handle_connection(&router, stream, &options, &shutdown, addr),
+                        Ok(stream) => {
+                            let metrics = router.metrics();
+                            metrics.dispatch_dequeued();
+                            metrics.worker_busy();
+                            handle_connection(&router, stream, &options, &shutdown, addr);
+                            router.metrics().worker_idle();
+                        }
                     }
                 })
             })
@@ -112,6 +121,7 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     self.router.metrics().record_connection();
+                    self.router.metrics().dispatch_enqueued();
                     // A send only fails after every worker exited, which
                     // cannot happen before the queue is closed below.
                     let _ = sender.send(stream);
@@ -210,6 +220,7 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(options.read_timeout));
     let _ = stream.set_nodelay(true);
     let metrics = Arc::clone(router.metrics());
+    metrics.connection_opened();
     let record_write = |written: io::Result<usize>| -> bool {
         match written {
             Ok(bytes) => {
@@ -273,6 +284,16 @@ fn handle_connection(
         trace.route = RouteClass::classify(&request.method, &request.path);
         trace.parse_us = micros_since(request_started);
         metrics.record_stage_us(Stage::Parse, trace.parse_us);
+        // Pre-mint the request's root span: routing runs under its trace
+        // scope so router/ingester spans nest under it, and the record
+        // itself is written after the response — once the duration is
+        // known. The span's start is back-dated to the first request byte
+        // on the recorder clock.
+        let recorder = FlightRecorder::global();
+        let request_span = recorder.next_span_id();
+        let request_start_us = recorder
+            .now_us()
+            .saturating_sub(micros_since(request_started));
 
         // The body streams through the router: ingestion routes consume it
         // chunk by chunk (never buffering the whole payload), every other
@@ -308,7 +329,10 @@ fn handle_connection(
             // Rejected requests never reach the router, but still carry
             // their minted id — the client can quote it either way.
             Some(response) => response.with_header("X-Request-Id", trace.id.clone()),
-            None => router.handle_traced(&request, &mut body, &mut trace),
+            None => {
+                let _scope = obs::trace_scope(request_span, trace.trace_key);
+                router.handle_traced(&request, &mut body, &mut trace)
+            }
         };
         let mut keep_alive = request.keep_alive()
             && served < options.max_keep_alive_requests
@@ -338,9 +362,17 @@ fn handle_connection(
         // time the standalone-router path cannot see.
         let total_us = micros_since(request_started);
         metrics.record_route_us(trace.route, total_us);
+        obs::record_request_span(
+            request_span,
+            trace.trace_key,
+            trace.route.as_str(),
+            request_start_us,
+            total_us,
+        );
         if let Some(log) = router.access_log() {
             let slow = total_us >= router.slow_request_us();
             let mut line = JsonLine::new();
+            line.u64_field("ts", obs::unix_micros());
             line.str_field("event", if slow { "slow_request" } else { "request" });
             line.str_field("id", &trace.id);
             line.str_field("method", &request.method);
@@ -378,6 +410,7 @@ fn handle_connection(
             break;
         }
     }
+    metrics.connection_closed();
 }
 
 #[cfg(test)]

@@ -679,11 +679,150 @@ fn server_access_log_records_every_request() {
         .lines()
         .find(|line| line.contains("\"path\":\"/v1/report\""))
         .unwrap_or_else(|| panic!("no report line in access log:\n{text}"));
+    assert!(
+        line.contains("\"ts\":"),
+        "log lines carry a timestamp: {line}"
+    );
     assert!(line.contains("\"event\":\"slow_request\""), "{line}");
     assert!(line.contains("\"route\":\"report\""), "{line}");
     assert!(line.contains("\"status\":200"), "{line}");
     assert!(line.contains("\"total_us\":"), "{line}");
     assert!(line.contains(&format!("\"id\":\"{id}\"")), "{line}");
+}
+
+fn start_debug_server(ingest_token: Option<&str>) -> ServerHandle {
+    let router = Arc::new(Router::with_study(
+        study(),
+        RouterOptions {
+            seed: SEED,
+            cache_capacity: 8,
+            enable_debug: true,
+            ingest_token: ingest_token.map(str::to_string),
+            ..RouterOptions::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router,
+        ServerOptions {
+            threads: 2,
+            read_timeout: Duration::from_secs(1),
+            max_keep_alive_requests: 100,
+        },
+    )
+    .expect("an ephemeral loop-back port is bindable");
+    server.spawn()
+}
+
+#[test]
+fn debug_routes_are_gated_by_flag_and_bearer_token() {
+    // Off by default: the routes exist but refuse with a 403 hint.
+    let (_, handle) = start_server(false);
+    let addr = handle.addr();
+    let refused = loadgen::get(addr, "/v1/debug/spans").unwrap();
+    assert_eq!(refused.status, 403);
+    assert!(refused.body_string().contains("--enable-debug"));
+    handle.shutdown().unwrap();
+
+    // Enabled with a token: anonymous and wrong-token callers get the
+    // same 401 the ingest routes give; the right bearer token dumps JSON.
+    let handle = start_debug_server(Some("s3cret"));
+    let addr = handle.addr();
+    for path in ["/v1/debug/spans", "/v1/debug/registry", "/v1/debug/pool"] {
+        let anon = loadgen::get(addr, path).unwrap();
+        assert_eq!(anon.status, 401, "{path}");
+        assert_eq!(
+            anon.header("www-authenticate"),
+            Some("Bearer realm=\"osdiv-ingest\""),
+            "{path}"
+        );
+        let wrong =
+            loadgen::get_with_headers(addr, path, &[("Authorization", "Bearer nope")]).unwrap();
+        assert_eq!(wrong.status, 401, "{path}");
+        let ok =
+            loadgen::get_with_headers(addr, path, &[("Authorization", "Bearer s3cret")]).unwrap();
+        assert_eq!(ok.status, 200, "{path}");
+        assert_eq!(
+            ok.header("content-type"),
+            Some("application/json"),
+            "{path}"
+        );
+    }
+    let auth = [("Authorization", "Bearer s3cret")];
+    let spans = loadgen::get_with_headers(addr, "/v1/debug/spans", &auth).unwrap();
+    assert!(spans.body_string().contains("\"traceEvents\":["));
+    let registry = loadgen::get_with_headers(addr, "/v1/debug/registry", &auth).unwrap();
+    assert!(registry.body_string().contains("\"tenants\":["));
+    let pool = loadgen::get_with_headers(addr, "/v1/debug/pool", &auth).unwrap();
+    assert!(pool.body_string().contains("\"workers_total\":"));
+    // GET-only, like every other read route.
+    assert_eq!(
+        loadgen::request(addr, "POST", "/v1/debug/spans", &auth)
+            .unwrap()
+            .status,
+        405
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn debug_span_dump_joins_ingest_stages_to_the_request_id() {
+    let handle = start_debug_server(None);
+    let addr = handle.addr();
+
+    // A chunked feed upload leaves carve/parse/insert spans in the ring…
+    let xml = feed_xml();
+    let chunks: Vec<&[u8]> = xml.chunks(97).collect();
+    let created =
+        loadgen::request_chunked(addr, "PUT", "/v1/datasets/debugfeed", &[], &chunks).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_string());
+    let put_id = created
+        .header("x-request-id")
+        .expect("the PUT carries an X-Request-Id")
+        .to_string();
+
+    // …all joined to the PUT's request id in the Chrome-trace dump. The
+    // root request span is recorded after the response hits the wire, so
+    // poll briefly rather than racing the worker for it.
+    let needle = format!("\"request\":\"{put_id}\"");
+    let stages = ["ingest_carve", "ingest_parse", "ingest_insert"];
+    let mut body = String::new();
+    let mut joined: Vec<String> = Vec::new();
+    for _ in 0..100 {
+        let dump = loadgen::get(addr, "/v1/debug/spans").unwrap();
+        assert_eq!(dump.status, 200);
+        body = dump.body_string();
+        // Each trace event opens with its name field; keep the segments
+        // that carry the PUT's join key.
+        joined = body
+            .split("{\"name\":")
+            .skip(1)
+            .filter(|event| event.contains(&needle))
+            .map(str::to_string)
+            .collect();
+        let root_landed = joined.iter().any(|event| event.starts_with("\"request:"));
+        if root_landed
+            && stages
+                .iter()
+                .all(|stage| joined.iter().any(|event| event.contains(stage)))
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(!joined.is_empty(), "no spans joined to {put_id}:\n{body}");
+    for stage in stages {
+        assert!(
+            joined.iter().any(|event| event.contains(stage)),
+            "no {stage} span joined to the PUT:\n{body}"
+        );
+    }
+    assert!(
+        joined.iter().any(|event| event.starts_with("\"request:")),
+        "the root request span is missing from the dump:\n{body}"
+    );
+
+    handle.shutdown().unwrap();
 }
 
 #[test]
