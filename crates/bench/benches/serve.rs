@@ -37,6 +37,7 @@ fn start_server() -> ServerHandle {
             // The latency benches pump far more than the production
             // default of 1000 requests through one connection.
             max_keep_alive_requests: usize::MAX,
+            ..ServerOptions::default()
         },
     )
     .expect("an ephemeral loop-back port is bindable");

@@ -108,6 +108,9 @@ struct Options {
     out: Option<String>,
     data_dir: Option<String>,
     no_persist: bool,
+    durability: osdiv_registry::Durability,
+    io_timeout_ms: Option<u64>,
+    shed_queue_depth: Option<usize>,
     access_log: Option<String>,
     slow_request_ms: Option<u64>,
     files: Vec<String>,
@@ -136,6 +139,9 @@ impl Default for Options {
             out: None,
             data_dir: None,
             no_persist: false,
+            durability: osdiv_registry::Durability::default(),
+            io_timeout_ms: None,
+            shed_queue_depth: None,
             access_log: None,
             slow_request_ms: None,
             files: Vec::new(),
@@ -548,6 +554,14 @@ fn debug_boot(opts: &Options, warm: bool) -> Result<StudyRegistry, CliError> {
 /// the same directory read-only (recovered snapshots serve, nothing is
 /// written).
 fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
+    // Arm chaos failpoints from `OSDIV_FAILPOINTS`, refusing to start on
+    // a typo'd spec — a chaos drill that silently runs without its
+    // faults is worse than one that fails loudly.
+    match osdiv_core::fault::init_from_env() {
+        Ok(0) => {}
+        Ok(armed) => println!("osdiv-serve: {armed} failpoint(s) armed from OSDIV_FAILPOINTS"),
+        Err(error) => return Err(CliError::Usage(format!("OSDIV_FAILPOINTS: {error}"))),
+    }
     let study = Arc::new(study);
     let warmup = std::time::Instant::now();
     study.run_all()?;
@@ -579,7 +593,7 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
         let store = if opts.no_persist {
             TenantStore::open_read_only(dir)
         } else {
-            TenantStore::open(dir)
+            TenantStore::open_durable(dir, opts.durability)
                 .map_err(|error| std::io::Error::other(format!("--data-dir {dir}: {error}")))?
         };
         registry = registry.with_persistence(Arc::new(store));
@@ -641,14 +655,19 @@ fn serve(study: Study, opts: &Options) -> Result<String, CliError> {
                 .unwrap_or(osdiv_serve::DEFAULT_SLOW_REQUEST_US),
         },
     ));
-    let server = Server::bind(
-        opts.addr.as_str(),
-        router,
-        ServerOptions {
+    let server = Server::bind(opts.addr.as_str(), router, {
+        let mut server_options = ServerOptions {
             threads: opts.threads,
             ..ServerOptions::default()
-        },
-    )?;
+        };
+        if let Some(ms) = opts.io_timeout_ms {
+            server_options.io_timeout = std::time::Duration::from_millis(ms.max(1));
+        }
+        if let Some(depth) = opts.shed_queue_depth {
+            server_options.shed_queue_depth = depth.max(1);
+        }
+        server_options
+    })?;
     // Flushed eagerly so wrapper scripts watching a redirected stdout see
     // the bound (possibly ephemeral) port immediately.
     println!(
@@ -740,6 +759,26 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--out" => opts.out = Some(value("--out")?),
             "--data-dir" => opts.data_dir = Some(value("--data-dir")?),
             "--no-persist" => opts.no_persist = true,
+            "--durability" => {
+                let raw = value("--durability")?;
+                opts.durability = raw
+                    .parse()
+                    .map_err(|error| CliError::Usage(format!("--durability: {error}")))?;
+            }
+            "--io-timeout-ms" => {
+                let raw = value("--io-timeout-ms")?;
+                opts.io_timeout_ms =
+                    Some(raw.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        CliError::Usage(format!("invalid --io-timeout-ms {raw:?}"))
+                    })?);
+            }
+            "--shed-queue-depth" => {
+                let raw = value("--shed-queue-depth")?;
+                opts.shed_queue_depth =
+                    Some(raw.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        CliError::Usage(format!("invalid --shed-queue-depth {raw:?}"))
+                    })?);
+            }
             "--access-log" => opts.access_log = Some(value("--access-log")?),
             "--slow-request-ms" => {
                 let raw = value("--slow-request-ms")?;
@@ -792,6 +831,12 @@ fn usage() -> String {
          --data-dir <dir>                 serve: persist ingested tenants as .osdv snapshots;\n  \
                                           journals crash-recover and snapshots warm-restart at boot\n  \
          --no-persist                     serve: open --data-dir read-only (serve snapshots, write nothing)\n  \
+         --durability <rename|full>       serve: snapshot durability policy (default: rename;\n                                   \
+         full fsyncs snapshots, the data dir and journal appends — see docs/SNAPSHOT_FORMAT.md)\n  \
+         --io-timeout-ms <N>              serve: per-request head-transfer budget; slow-loris\n                                   \
+         connections answer 408 and close (default: 10000)\n  \
+         --shed-queue-depth <N>           serve: admission-control high-water mark — deeper dispatch\n                                   \
+         backlogs shed 503 + Retry-After pre-parse (ingest sheds at N/2)\n  \
          --access-log <PATH|->            serve: structured JSON-lines access/event log\n                                   \
          (one line per request; `-` = stdout; see docs/OBSERVABILITY.md)\n  \
          --slow-request-ms <N>            serve: log requests taking ≥ N ms as slow_request events (default: 500)\n  \

@@ -1,7 +1,7 @@
 //! CI smoke client for a running `osdiv serve` instance.
 //!
 //! ```sh
-//! osdiv-serve-smoke 127.0.0.1:PORT [full|persist-ingest|persist-verify|loadgen] [args...]
+//! osdiv-serve-smoke 127.0.0.1:PORT [full|persist-ingest|persist-verify|loadgen|chaos] [args...]
 //! ```
 //!
 //! The default `full` mode hits `/v1/healthz`, `/v1/report?format=json`
@@ -23,6 +23,16 @@
 //! (`osdiv-serve-smoke ADDR loadgen [out-file] [rate] [seconds]`) with
 //! the offered/achieved rate, p50/p90/p99/p999, and the cache-hit ratio
 //! scraped from `/metrics` — then shuts the server down.
+//!
+//! The `chaos` mode drives the resilience drill
+//! (`osdiv-serve-smoke ADDR chaos [out-file] [io-timeout-ms]`) against a
+//! deliberately tiny, failpoint-armed server — see [`run_chaos`] for the
+//! required server flags. It asserts the armed failpoint fails exactly
+//! one `PUT` (and the retry lands), a slow-loris connection is cut off
+//! with a 408 within twice the I/O budget, an overload burst sheds with
+//! `503 Retry-After: 1` while cached reads keep answering, and an
+//! open-loop run at twice the offered rate stays bounded — then writes a
+//! `BENCH_chaos.json` artifact with the shed/timeout/fault counters.
 //!
 //! The persistence pair drives the kill-and-restart leg against a server
 //! started with `--data-dir`: `persist-ingest` streams a deterministic
@@ -687,11 +697,233 @@ fn run_loadgen_bench(
     Ok(())
 }
 
+/// `chaos`: the fault-injection and overload drill. The server must run
+/// small and armed:
+///
+/// ```sh
+/// OSDIV_FAILPOINTS=ingest.parse=nth:1 osdiv serve --threads 2 \
+///     --io-timeout-ms <io-timeout-ms> --shed-queue-depth 4 \
+///     --enable-shutdown ...
+/// ```
+///
+/// Legs, in order: the armed failpoint fails exactly one `PUT` and the
+/// fault-free retry succeeds; a one-byte-at-a-time slow loris is answered
+/// 408 and cut off within twice the I/O budget; an overload burst against
+/// two pinned workers sheds `503 Retry-After: 1` while cached reads keep
+/// answering; an open-loop run at twice the sustainable rate completes
+/// with bounded p99 over the successes. The final `/metrics` scrape must
+/// count sheds, I/O timeouts and injected faults, and the counters land
+/// in the `BENCH_chaos.json` artifact.
+fn run_chaos(addr: SocketAddr, out_file: &str, io_timeout_ms: u64) -> Result<(), String> {
+    use std::io::{Read, Write};
+    let io = |error: std::io::Error| format!("FAILED: io error: {error}");
+
+    // 1. The armed ingest.parse failpoint: first PUT fails, retry lands.
+    let feed = ParametricGenerator::new(ParametricConfig {
+        vulnerability_count: 80,
+        seed: 13,
+        ..ParametricConfig::default()
+    })
+    .generate()
+    .to_feed_xml()
+    .map_err(|error| format!("FAILED: feed generation: {error}"))?;
+    let chunks: Vec<&[u8]> = feed.as_bytes().chunks(1024).collect();
+    let faulted =
+        loadgen::request_chunked(addr, "PUT", "/v1/datasets/chaos", &[], &chunks).map_err(io)?;
+    check(
+        faulted.status >= 400,
+        &format!(
+            "the armed ingest.parse failpoint fails the first PUT (got {})",
+            faulted.status
+        ),
+    )?;
+    let retried =
+        loadgen::request_chunked(addr, "PUT", "/v1/datasets/chaos", &[], &chunks).map_err(io)?;
+    check(
+        retried.status == 201,
+        &format!(
+            "the retry after the one-shot fault succeeds (got {}: {})",
+            retried.status,
+            retried.body_string().trim()
+        ),
+    )?;
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(
+        scrape_value(&metrics.body_string(), "osdiv_faults_injected_total").unwrap_or(0.0) >= 1.0,
+        "/metrics counts the injected fault",
+    )?;
+
+    // 2. Slow loris: trickle a request head one byte at a time and time
+    //    how long the server lets it pin a worker.
+    let budget = Duration::from_millis(io_timeout_ms);
+    let stream = TcpStream::connect(addr).map_err(io)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(io)?;
+    let partial = b"GET /v1/healthz HTTP/1.1\r\n";
+    let started = std::time::Instant::now();
+    let mut closed_after = None;
+    let mut response = Vec::new();
+    let mut trickled = 0;
+    let mut buf = [0u8; 1024];
+    while started.elapsed() < budget * 4 {
+        if trickled < partial.len() {
+            let _ = (&stream).write_all(&partial[trickled..trickled + 1]);
+            trickled += 1;
+        }
+        match (&stream).read(&mut buf) {
+            Ok(0) => {
+                closed_after = Some(started.elapsed());
+                break;
+            }
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(error)
+                if error.kind() == std::io::ErrorKind::WouldBlock
+                    || error.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                closed_after = Some(started.elapsed());
+                break;
+            }
+        }
+    }
+    let closed_after = closed_after.ok_or("FAILED: the slow loris was never cut off")?;
+    check(
+        closed_after <= budget * 2,
+        &format!(
+            "slow loris cut off within twice the I/O budget ({}ms of {}ms)",
+            closed_after.as_millis(),
+            2 * io_timeout_ms
+        ),
+    )?;
+    check(
+        String::from_utf8_lossy(&response).starts_with("HTTP/1.1 408"),
+        "the cut-off answers 408 before closing",
+    )?;
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(
+        scrape_value(&metrics.body_string(), "osdiv_io_timeouts_total").unwrap_or(0.0) >= 1.0,
+        "/metrics counts the I/O timeout",
+    )?;
+
+    // 3. Overload: pin both workers with loris connections, then burst
+    //    cached GETs and ingest PUTs into the dispatch queue. Sheds must
+    //    answer 503 with Retry-After while cached reads keep landing.
+    let mut pins = Vec::new();
+    for _ in 0..2 {
+        let stream = TcpStream::connect(addr).map_err(io)?;
+        (&stream).write_all(b"GET /v1/healthz HT").map_err(io)?;
+        pins.push(stream);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut handles = Vec::new();
+    for i in 0..16 {
+        let body = feed.clone();
+        handles.push(std::thread::spawn(move || {
+            if i % 4 == 0 {
+                loadgen::request_with_body(
+                    addr,
+                    "PUT",
+                    &format!("/v1/datasets/burst-{i}"),
+                    &[],
+                    body.as_bytes(),
+                )
+            } else {
+                loadgen::get(addr, "/v1/report?format=json")
+            }
+        }));
+    }
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for handle in handles {
+        let response = handle
+            .join()
+            .map_err(|_| "FAILED: a burst worker panicked".to_string())?
+            .map_err(io)?;
+        match response.status {
+            200 | 201 => served += 1,
+            503 => {
+                check(
+                    response.header("retry-after") == Some("1"),
+                    "every shed 503 carries Retry-After: 1",
+                )?;
+                shed += 1;
+            }
+            other => return Err(format!("FAILED: burst got unexpected status {other}")),
+        }
+    }
+    drop(pins);
+    println!("overload burst: {served} served, {shed} shed");
+    check(served >= 1, "cached reads survive the overload burst")?;
+    check(shed >= 1, "the overload burst sheds at least one request")?;
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    check(
+        scrape_value(&metrics.body_string(), "osdiv_shed_total").unwrap_or(0.0) >= 1.0,
+        "/metrics counts the sheds",
+    )?;
+
+    // 4. Open loop at twice a rate this tiny server can absorb: the
+    //    schedule must complete (sheds count as errors, not aborts) and
+    //    the successes must stay bounded.
+    let config = OpenLoopConfig {
+        rate_per_sec: 2_000.0,
+        duration: Duration::from_secs_f64(2.0),
+        ..OpenLoopConfig::default()
+    };
+    let report = loadgen::run_open_loop(addr, &config);
+    println!("open-loop: {}", report.summary());
+    check(report.ok > 0, "the open-loop run completed requests")?;
+    check(
+        report.quantile_us(0.99) < 2_000_000,
+        &format!(
+            "open-loop p99 stays bounded under overload ({}us)",
+            report.quantile_us(0.99)
+        ),
+    )?;
+
+    // 5. The artifact: the drill's counters, machine-readable.
+    let metrics = loadgen::get(addr, "/metrics").map_err(io)?;
+    let exposition = metrics.body_string();
+    let histogram_series = lint_exposition(&exposition)?;
+    println!("ok: /metrics exposition lints clean ({histogram_series} histogram series)");
+    let mut line = JsonLine::new();
+    line.str_field("schema", "osdiv-bench-chaos/1");
+    line.u64_field("io_timeout_ms", io_timeout_ms);
+    line.u64_field("burst_served", served as u64);
+    line.u64_field("burst_shed", shed as u64);
+    line.u64_field("loris_cutoff_ms", closed_after.as_millis() as u64);
+    line.f64_field("target_rate_per_sec", config.rate_per_sec);
+    line.u64_field("requests_ok", report.ok as u64);
+    line.u64_field("errors", report.errors as u64);
+    line.u64_field("p50_us", report.quantile_us(0.50));
+    line.u64_field("p99_us", report.quantile_us(0.99));
+    line.f64_field(
+        "shed_total",
+        scrape_value(&exposition, "osdiv_shed_total").unwrap_or(0.0),
+    );
+    line.f64_field(
+        "io_timeouts_total",
+        scrape_value(&exposition, "osdiv_io_timeouts_total").unwrap_or(0.0),
+    );
+    line.f64_field(
+        "faults_injected_total",
+        scrape_value(&exposition, "osdiv_faults_injected_total").unwrap_or(0.0),
+    );
+    let mut payload = line.finish();
+    payload.push('\n');
+    std::fs::write(out_file, payload).map_err(io)?;
+    println!("ok: wrote {out_file}");
+
+    let shutdown = loadgen::request(addr, "POST", "/v1/shutdown", &[]).map_err(io)?;
+    check(shutdown.status == 200, "POST /v1/shutdown answers 200")?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first() else {
         eprintln!(
-            "usage: osdiv-serve-smoke <addr:port> [full|persist-ingest|persist-verify|loadgen] [args...]"
+            "usage: osdiv-serve-smoke <addr:port> [full|persist-ingest|persist-verify|loadgen|chaos] [args...]"
         );
         return ExitCode::from(2);
     };
@@ -736,9 +968,24 @@ fn main() -> ExitCode {
             };
             run_loadgen_bench(addr, out_file, rate_per_sec, seconds)
         }
+        "chaos" => {
+            let out_file = args
+                .get(2)
+                .map(String::as_str)
+                .unwrap_or("BENCH_chaos.json");
+            let io_timeout_ms = match args.get(3).map(|raw| raw.parse::<u64>()) {
+                None => 500,
+                Some(Ok(ms)) if ms > 0 => ms,
+                Some(_) => {
+                    eprintln!("chaos io-timeout-ms must be a positive integer");
+                    return ExitCode::from(2);
+                }
+            };
+            run_chaos(addr, out_file, io_timeout_ms)
+        }
         other => {
             eprintln!(
-                "unknown mode {other:?} (expected full, persist-ingest, persist-verify or loadgen)"
+                "unknown mode {other:?} (expected full, persist-ingest, persist-verify, loadgen or chaos)"
             );
             return ExitCode::from(2);
         }

@@ -48,6 +48,7 @@ fn server() -> &'static ServerHandle {
                 threads: 2,
                 read_timeout: Duration::from_secs(5),
                 max_keep_alive_requests: 1000,
+                ..ServerOptions::default()
             },
         )
         .expect("an ephemeral loop-back port is bindable");

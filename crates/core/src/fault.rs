@@ -1,0 +1,408 @@
+//! Deterministic fault injection: named failpoint sites compiled to a
+//! no-op branch when disabled.
+//!
+//! A *failpoint* is a named site in a fault-handling code path (a snapshot
+//! write, a journal append, an ingest parse boundary) that can be armed to
+//! fail deterministically. Production code asks [`failpoint`] whether the
+//! site should fire and maps a `true` into its own typed error — the
+//! registry never panics, never sleeps and never fails on its own.
+//!
+//! # Cost when disabled
+//!
+//! The fast path is a single relaxed load of one process-global
+//! [`AtomicBool`]: until something arms a trigger the registry holds no
+//! state, takes no lock and touches no site name. Arming any site flips
+//! the flag; [`clear_all`] flips it back.
+//!
+//! # Triggers
+//!
+//! | Spec | Meaning |
+//! |---|---|
+//! | `nth:N` | fire on exactly the Nth evaluation of the site (1-based) |
+//! | `every:K` | fire on every Kth evaluation (K, 2K, 3K, …) |
+//! | `prob:P:SEED` | fire with probability P permille, seeded — deterministic per site |
+//! | `always` | shorthand for `every:1` |
+//!
+//! Sites are armed from tests via [`set`], or from the environment via
+//! [`init_from_env`], which reads `OSDIV_FAILPOINTS` as a comma-separated
+//! `site=trigger` list, e.g.:
+//!
+//! ```text
+//! OSDIV_FAILPOINTS=persist.snapshot_write=nth:3,ingest.parse=prob:100:42
+//! ```
+//!
+//! Every injected fault bumps a global counter (exposed as
+//! `osdiv_faults_injected_total` by the serving layer, see
+//! [`injected_total`]) and records a [`SpanKind::Fault`] span on the
+//! flight recorder, so chaos runs are visible on the same observability
+//! rails as real traffic.
+//!
+//! The registry is process-global: tests that arm sites must either run
+//! in their own test binary or serialize around [`set`]/[`clear_all`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::obs::{self, SpanKind};
+
+/// When a site armed with a trigger fires (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on exactly the Nth evaluation (1-based).
+    Nth(u64),
+    /// Fire on every Kth evaluation (K, 2K, 3K, …).
+    EveryK(u64),
+    /// Fire with `permille`/1000 probability, deterministically seeded.
+    Probability {
+        /// Probability in permille (0–1000).
+        permille: u32,
+        /// Seed of the per-site xorshift stream.
+        seed: u64,
+    },
+}
+
+/// A failed `site=trigger` parse (see [`configure`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerParseError {
+    /// The offending fragment of the spec string.
+    pub fragment: String,
+    /// What was wrong with it.
+    pub detail: &'static str,
+}
+
+impl std::fmt::Display for TriggerParseError {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(out, "failpoint spec {:?}: {}", self.fragment, self.detail)
+    }
+}
+
+impl std::error::Error for TriggerParseError {}
+
+/// One armed site: its trigger plus how often it has been evaluated.
+#[derive(Debug)]
+struct SiteState {
+    name: String,
+    trigger: Trigger,
+    hits: u64,
+}
+
+/// Whether any site is armed — the only state the disabled fast path
+/// reads (one relaxed load).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Faults injected since process start, across every site.
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// The armed sites. A `Vec` (not a map) so the static needs no const
+/// constructor; the list is tiny and only walked on the armed slow path.
+static SITES: Mutex<Vec<SiteState>> = Mutex::new(Vec::new());
+
+/// Evaluates a failpoint site: `true` means the caller should fail now.
+///
+/// Disabled (nothing armed anywhere) this is one relaxed atomic load.
+/// Armed, it takes the registry lock, advances the site's hit counter and
+/// evaluates its trigger; an unarmed site under an armed registry only
+/// pays the lock and a short scan. An injection bumps
+/// [`injected_total`] and records a zero-length [`SpanKind::Fault`] span
+/// labelled with the site name.
+pub fn failpoint(site: &str) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let fire = {
+        let mut sites = SITES.lock();
+        match sites.iter_mut().find(|state| state.name == site) {
+            None => false,
+            Some(state) => {
+                state.hits = state.hits.saturating_add(1);
+                evaluate(state.trigger, state.hits)
+            }
+        }
+    };
+    if fire {
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+        obs::record_span(SpanKind::Fault, site, obs::monotonic_us(), 0);
+    }
+    fire
+}
+
+/// Whether `trigger` fires on evaluation number `hit` (1-based).
+fn evaluate(trigger: Trigger, hit: u64) -> bool {
+    match trigger {
+        Trigger::Nth(n) => hit == n,
+        Trigger::EveryK(k) => k > 0 && hit.checked_rem(k) == Some(0),
+        Trigger::Probability { permille, seed } => {
+            // One xorshift64 step over (seed ⊕ hit): deterministic per
+            // site and per evaluation, independent across sites.
+            let mut x = seed ^ hit.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if x == 0 {
+                x = 0x4d59_5df4_d0f3_3173;
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.checked_rem(1000) < Some(u64::from(permille.min(1000)))
+        }
+    }
+}
+
+/// Arms (or re-arms) a site with a trigger, resetting its hit counter.
+/// This is the builder API tests use; production arms via
+/// [`init_from_env`].
+pub fn set(site: &str, trigger: Trigger) {
+    let mut sites = SITES.lock();
+    match sites.iter_mut().find(|state| state.name == site) {
+        Some(state) => {
+            state.trigger = trigger;
+            state.hits = 0;
+        }
+        None => sites.push(SiteState {
+            name: site.to_string(),
+            trigger,
+            hits: 0,
+        }),
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms one site (a no-op when it was never armed). The registry
+/// stays enabled while any other site is armed.
+pub fn clear(site: &str) {
+    let mut sites = SITES.lock();
+    sites.retain(|state| state.name != site);
+    if sites.is_empty() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Disarms every site and restores the zero-cost disabled fast path.
+pub fn clear_all() {
+    let mut sites = SITES.lock();
+    sites.clear();
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Faults injected since process start, across every site (the
+/// `osdiv_faults_injected_total` counter).
+pub fn injected_total() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Arms sites from a comma-separated `site=trigger` spec (the
+/// `OSDIV_FAILPOINTS` syntax; see the module docs). Returns how many
+/// sites were armed; on a parse error nothing before the bad fragment is
+/// rolled back, matching "fail fast, fail loud" for operator typos.
+pub fn configure(spec: &str) -> Result<usize, TriggerParseError> {
+    let mut armed = 0usize;
+    for fragment in spec.split(',') {
+        let fragment = fragment.trim();
+        if fragment.is_empty() {
+            continue;
+        }
+        let Some((site, trigger)) = fragment.split_once('=') else {
+            return Err(TriggerParseError {
+                fragment: fragment.to_string(),
+                detail: "expected site=trigger",
+            });
+        };
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(TriggerParseError {
+                fragment: fragment.to_string(),
+                detail: "empty site name",
+            });
+        }
+        set(site, parse_trigger(trigger.trim(), fragment)?);
+        armed = armed.saturating_add(1);
+    }
+    Ok(armed)
+}
+
+/// Parses one trigger spec (`nth:N`, `every:K`, `prob:P:SEED`, `always`).
+fn parse_trigger(spec: &str, fragment: &str) -> Result<Trigger, TriggerParseError> {
+    let error = |detail: &'static str| TriggerParseError {
+        fragment: fragment.to_string(),
+        detail,
+    };
+    if spec == "always" {
+        return Ok(Trigger::EveryK(1));
+    }
+    let Some((kind, rest)) = spec.split_once(':') else {
+        return Err(error("expected nth:N, every:K, prob:P:SEED or always"));
+    };
+    match kind {
+        "nth" => rest
+            .parse::<u64>()
+            .ok()
+            .filter(|n| *n > 0)
+            .map(Trigger::Nth)
+            .ok_or_else(|| error("nth expects a positive integer")),
+        "every" => rest
+            .parse::<u64>()
+            .ok()
+            .filter(|k| *k > 0)
+            .map(Trigger::EveryK)
+            .ok_or_else(|| error("every expects a positive integer")),
+        "prob" => {
+            let Some((permille, seed)) = rest.split_once(':') else {
+                return Err(error("prob expects prob:PERMILLE:SEED"));
+            };
+            let permille = permille
+                .parse::<u32>()
+                .ok()
+                .filter(|p| *p <= 1000)
+                .ok_or_else(|| error("permille must be 0..=1000"))?;
+            let seed = seed
+                .parse::<u64>()
+                .map_err(|_| error("seed must be a u64"))?;
+            Ok(Trigger::Probability { permille, seed })
+        }
+        _ => Err(error("unknown trigger (nth, every, prob, always)")),
+    }
+}
+
+/// Arms sites from the `OSDIV_FAILPOINTS` environment variable, if set.
+/// Returns the number of sites armed (0 when unset or empty); parse
+/// errors are returned so the caller can refuse to start with a typo'd
+/// chaos configuration rather than silently running without it.
+pub fn init_from_env() -> Result<usize, TriggerParseError> {
+    match std::env::var("OSDIV_FAILPOINTS") {
+        Ok(spec) => configure(&spec),
+        Err(_) => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global registry is shared by every test in this binary: each
+    /// test runs under this lock and clears the registry on both ends.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn isolated<R>(body: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock();
+        clear_all();
+        let result = body();
+        clear_all();
+        result
+    }
+
+    #[test]
+    fn disabled_sites_never_fire() {
+        isolated(|| {
+            for _ in 0..100 {
+                assert!(!failpoint("persist.snapshot_write"));
+            }
+        });
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        isolated(|| {
+            set("a.site", Trigger::Nth(3));
+            let fired: Vec<bool> = (0..6).map(|_| failpoint("a.site")).collect();
+            assert_eq!(fired, [false, false, true, false, false, false]);
+        });
+    }
+
+    #[test]
+    fn every_k_fires_periodically() {
+        isolated(|| {
+            set("b.site", Trigger::EveryK(2));
+            let fired: Vec<bool> = (0..6).map(|_| failpoint("b.site")).collect();
+            assert_eq!(fired, [false, true, false, true, false, true]);
+        });
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_roughly_calibrated() {
+        isolated(|| {
+            set(
+                "c.site",
+                Trigger::Probability {
+                    permille: 250,
+                    seed: 42,
+                },
+            );
+            let first: Vec<bool> = (0..400).map(|_| failpoint("c.site")).collect();
+            set(
+                "c.site",
+                Trigger::Probability {
+                    permille: 250,
+                    seed: 42,
+                },
+            );
+            let second: Vec<bool> = (0..400).map(|_| failpoint("c.site")).collect();
+            assert_eq!(first, second, "same seed, same stream");
+            let fired = first.iter().filter(|f| **f).count();
+            assert!((50..=150).contains(&fired), "~25% of 400, got {fired}");
+        });
+    }
+
+    #[test]
+    fn armed_sites_do_not_leak_into_other_sites() {
+        isolated(|| {
+            set("only.this", Trigger::EveryK(1));
+            assert!(failpoint("only.this"));
+            assert!(!failpoint("not.that"));
+        });
+    }
+
+    #[test]
+    fn clear_restores_the_disabled_fast_path() {
+        isolated(|| {
+            set("x", Trigger::EveryK(1));
+            set("y", Trigger::EveryK(1));
+            clear("x");
+            assert!(!failpoint("x"));
+            assert!(failpoint("y"), "y stays armed after clearing x");
+            clear("y");
+            assert!(!failpoint("y"));
+        });
+    }
+
+    #[test]
+    fn injections_are_counted() {
+        isolated(|| {
+            let before = injected_total();
+            set("counted", Trigger::EveryK(1));
+            assert!(failpoint("counted"));
+            assert!(failpoint("counted"));
+            assert!(injected_total() >= before + 2);
+        });
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        isolated(|| {
+            let armed = configure(
+                "persist.snapshot_write=nth:3, ingest.parse=prob:100:42,journal.append=every:5,x=always",
+            )
+            .unwrap();
+            assert_eq!(armed, 4);
+            clear_all();
+            assert_eq!(configure(""), Ok(0));
+            assert!(configure("no-equals").is_err());
+            assert!(configure("s=nth:0").is_err());
+            assert!(configure("s=prob:2000:1").is_err());
+            assert!(configure("s=sometimes").is_err());
+            clear_all();
+        });
+    }
+
+    #[test]
+    fn parsed_triggers_match_their_specs() {
+        assert_eq!(parse_trigger("nth:7", "t").unwrap(), Trigger::Nth(7));
+        assert_eq!(parse_trigger("every:2", "t").unwrap(), Trigger::EveryK(2));
+        assert_eq!(parse_trigger("always", "t").unwrap(), Trigger::EveryK(1));
+        assert_eq!(
+            parse_trigger("prob:500:9", "t").unwrap(),
+            Trigger::Probability {
+                permille: 500,
+                seed: 9
+            }
+        );
+    }
+}

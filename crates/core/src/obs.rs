@@ -562,6 +562,8 @@ pub enum SpanKind {
     CacheLookup,
     /// Rendering an analysis document (cache miss).
     Render,
+    /// An injected fault fired at a failpoint site (`osdiv_core::fault`).
+    Fault,
 }
 
 impl SpanKind {
@@ -581,6 +583,7 @@ impl SpanKind {
             SpanKind::Recovery => "recovery",
             SpanKind::CacheLookup => "cache_lookup",
             SpanKind::Render => "render",
+            SpanKind::Fault => "fault",
         }
     }
 
@@ -595,6 +598,7 @@ impl SpanKind {
             | SpanKind::JournalAppend
             | SpanKind::JournalReplay
             | SpanKind::Recovery => "persist",
+            SpanKind::Fault => "fault",
         }
     }
 }

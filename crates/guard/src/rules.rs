@@ -128,8 +128,16 @@ const LENGTH_SEGMENTS: &[&str] = &[
 
 /// Call-name fragments that the lock rule treats as attacker-paced work
 /// (parsing, ingestion, replay) or blocking IO.
-const LOCK_HAZARDS: &[&str] = &["ingest", "parse", "decode", "replay"];
-const LOCK_HAZARDS_EXACT: &[&str] = &["flush", "write_all", "read_to_end", "recv", "sync_all"];
+const LOCK_HAZARDS: &[&str] = &["ingest", "parse", "decode", "replay", "failpoint"];
+const LOCK_HAZARDS_EXACT: &[&str] = &[
+    "flush",
+    "write_all",
+    "read_to_end",
+    "recv",
+    "sync_all",
+    "sync_file",
+    "sync_dir",
+];
 
 /// Statement-level escapes for the arith rule: a flagged operator whose
 /// source line shows one of these is considered guarded.

@@ -53,6 +53,7 @@ use std::time::Instant;
 use classify::Classifier;
 use nvd_feed::{FeedError, FeedReader};
 use nvd_model::VulnerabilityEntry;
+use osdiv_core::fault;
 use osdiv_core::obs::{self, SpanKind};
 use osdiv_core::{Study, StudyDataset};
 use vulnstore::VulnStore;
@@ -516,6 +517,12 @@ impl FeedIngester {
     /// entry point can attribute its wall-clock time to the carve stage.
     fn push_chunk(&mut self, chunk: &[u8]) -> Result<(), IngestError> {
         self.take_failure()?;
+        if fault::failpoint("ingest.carve") {
+            return Err(IngestError::Feed(FeedError::schema(
+                None,
+                "injected fault at ingest.carve",
+            )));
+        }
         self.feed_bytes += chunk.len();
         if self.feed_bytes > self.budget.max_bytes {
             return Err(self.budget_error(IngestError::BodyTooLarge {
@@ -571,6 +578,11 @@ impl FeedIngester {
             self.next_insert += 1;
             match result {
                 Ok(Some(entry)) => {
+                    if fault::failpoint("ingest.insert") {
+                        self.failed =
+                            Some(FeedError::schema(None, "injected fault at ingest.insert"));
+                        continue;
+                    }
                     self.store.insert_entry(&entry);
                     self.inserted += 1;
                 }
@@ -697,6 +709,11 @@ impl FeedIngester {
             // would report it. (Checked before a seq is allocated, so
             // `await_in_flight` never waits on a never-submitted parse.)
             let error = IngestError::Feed(FeedError::schema(None, "entry is not valid UTF-8"));
+            return Err(self.budget_error(error));
+        }
+        if fault::failpoint("ingest.parse") {
+            let error =
+                IngestError::Feed(FeedError::schema(None, "injected fault at ingest.parse"));
             return Err(self.budget_error(error));
         }
         let seq = self.seen as u64;

@@ -41,8 +41,8 @@ pub mod registry;
 
 pub use ingest::{FeedIngester, IngestBudget, IngestError, IngestOutcome, IngestStageMicros};
 pub use persist::{
-    JournalReplay, JournalWriter, LoadedTenant, PersistError, PersistMetrics, ScanReport,
-    TenantStore,
+    ChaosVfs, Durability, JournalReplay, JournalWriter, LoadedTenant, PersistError, PersistMetrics,
+    RealVfs, ScanReport, TenantStore, Vfs, VfsFile, VfsOp,
 };
 pub use registry::{
     build_synthetic, validate_name, DatasetInfo, DatasetSource, RecoveryReport, RegistryError,

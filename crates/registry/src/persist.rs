@@ -32,8 +32,12 @@ use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use parking_lot::Mutex;
+
+use osdiv_core::fault;
 use osdiv_core::obs::{self, SpanKind};
 use osdiv_core::snapshot::crc32;
 use osdiv_core::{LatencyHistogram, Snapshot, SnapshotError, Study};
@@ -117,6 +121,442 @@ impl std::error::Error for PersistError {
 impl From<SnapshotError> for PersistError {
     fn from(error: SnapshotError) -> Self {
         PersistError::Snapshot(error)
+    }
+}
+
+/// How far [`TenantStore::save`] pushes data toward stable storage.
+///
+/// `Rename` (the default) relies on the temp-file + atomic-rename
+/// protocol: a *process* crash can never tear or lose an installed
+/// snapshot, but an *OS* crash may lose the most recent one — the rename
+/// and the data can still sit in the page cache. `Full` additionally
+/// fsyncs the snapshot bytes and the data directory before the save is
+/// acknowledged, and fsyncs every journal append, so the machine itself
+/// can lose power without losing an acknowledged write. The guarantee
+/// delta is specified in `docs/SNAPSHOT_FORMAT.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Temp file + atomic rename; no fsync (fast, the default).
+    #[default]
+    Rename,
+    /// Rename plus fsync of the file, its directory, and journal appends.
+    Full,
+}
+
+impl std::str::FromStr for Durability {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Durability, String> {
+        match spec {
+            "rename" => Ok(Durability::Rename),
+            "full" => Ok(Durability::Full),
+            other => Err(format!("unknown durability {other:?} (rename|full)")),
+        }
+    }
+}
+
+/// Failpoint sites the persistence layer evaluates (`osdiv_core::fault`):
+/// one per mutating [`Vfs`] operation in [`RealVfs`], plus the
+/// journal-append site checked by [`JournalWriter::append`]. Documented
+/// in `docs/RESILIENCE.md`.
+pub const FAILPOINT_SITES: [&str; 6] = [
+    "persist.snapshot_write",
+    "persist.rename",
+    "persist.remove",
+    "persist.journal_create",
+    "persist.journal_append",
+    "persist.fsync",
+];
+
+/// The error an armed failpoint injects.
+fn injected(site: &'static str) -> io::Error {
+    io::Error::other(format!("injected fault at {site}"))
+}
+
+/// The mutating filesystem operations the store performs, behind a trait
+/// so fault-injection tests can interpose ([`ChaosVfs`]) without touching
+/// the read paths (plain `fs::read` — torn reads are safe by format
+/// design, so only writes need chaos).
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// Writes `bytes` as the complete contents of `path`
+    /// (create-or-truncate).
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Renames `from` onto `to` (atomic within one directory on POSIX).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates (truncating) `path`, open for appending.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Flushes `path`'s bytes to stable storage (`fsync`).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Flushes a directory's entry metadata to stable storage.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// An open append-only file handle dispensed by [`Vfs::create`].
+pub trait VfsFile: fmt::Debug + Send {
+    /// Appends `bytes` completely or not at all — a short write surfaces
+    /// as an error, never as silent truncation.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes the file's bytes to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: thin wrappers over `std::fs`, each behind a
+/// named failpoint so chaos runs can fail any operation
+/// deterministically.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if fault::failpoint("persist.snapshot_write") {
+            return Err(injected("persist.snapshot_write"));
+        }
+        fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if fault::failpoint("persist.rename") {
+            return Err(injected("persist.rename"));
+        }
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if fault::failpoint("persist.remove") {
+            return Err(injected("persist.remove"));
+        }
+        fs::remove_file(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if fault::failpoint("persist.journal_create") {
+            return Err(injected("persist.journal_create"));
+        }
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if fault::failpoint("persist.fsync") {
+            return Err(injected("persist.fsync"));
+        }
+        File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        if fault::failpoint("persist.fsync") {
+            return Err(injected("persist.fsync"));
+        }
+        // fsync on a read-only directory handle flushes the entry
+        // metadata on POSIX — exactly what makes a rename durable.
+        File::open(path)?.sync_all()
+    }
+}
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_all(bytes)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+/// One mutating operation recorded by [`ChaosVfs`]. Paths are exactly
+/// what the store passed; `bytes` are the bytes that actually reached the
+/// filesystem (truncated when a short write was injected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsOp {
+    /// A whole-file write (the snapshot temp file).
+    Write {
+        /// Target path.
+        path: PathBuf,
+        /// Bytes written.
+        bytes: Vec<u8>,
+    },
+    /// An atomic rename.
+    Rename {
+        /// Source path.
+        from: PathBuf,
+        /// Destination path.
+        to: PathBuf,
+    },
+    /// A file removal.
+    Remove {
+        /// Removed path.
+        path: PathBuf,
+    },
+    /// A create-truncate open for appending.
+    Create {
+        /// Created path.
+        path: PathBuf,
+    },
+    /// An append to an open file.
+    Append {
+        /// The file appended to.
+        path: PathBuf,
+        /// Bytes appended.
+        bytes: Vec<u8>,
+    },
+    /// An fsync of a file's bytes.
+    SyncFile {
+        /// Synced path.
+        path: PathBuf,
+    },
+    /// An fsync of a directory's entries.
+    SyncDir {
+        /// Synced directory.
+        path: PathBuf,
+    },
+}
+
+/// What the chaos plan says about one operation index.
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    Pass,
+    Fail,
+    Short(usize),
+}
+
+#[derive(Debug, Default)]
+struct ChaosState {
+    trace: Mutex<Vec<VfsOp>>,
+    fail_op: Mutex<Option<usize>>,
+    short_write: Mutex<Option<(usize, usize)>>,
+    next_op: AtomicUsize,
+}
+
+impl ChaosState {
+    fn next(&self) -> usize {
+        self.next_op.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn plan(&self, op: usize) -> Plan {
+        if *self.fail_op.lock() == Some(op) {
+            return Plan::Fail;
+        }
+        if let Some((at, keep)) = *self.short_write.lock() {
+            if at == op {
+                return Plan::Short(keep);
+            }
+        }
+        Plan::Pass
+    }
+
+    fn record(&self, entry: VfsOp) {
+        self.trace.lock().push(entry);
+    }
+}
+
+/// The chaos error injected when a planned operation fails.
+fn chaos_error(op: usize) -> io::Error {
+    io::Error::other(format!("chaos: injected failure at vfs op {op}"))
+}
+
+/// A [`Vfs`] that performs every operation through [`RealVfs`] while
+/// recording the exact write trace, and can be planned to fail or
+/// short-write any single operation by index — the engine behind the
+/// crash-consistency torture harness and the registry fault proptests.
+///
+/// Clones share state: hand one clone to
+/// [`TenantStore::open_with`] and keep the other to inspect the trace.
+#[derive(Debug, Default, Clone)]
+pub struct ChaosVfs {
+    state: Arc<ChaosState>,
+}
+
+impl ChaosVfs {
+    /// A fresh chaos filesystem: empty trace, no planned failures.
+    pub fn new() -> ChaosVfs {
+        ChaosVfs::default()
+    }
+
+    /// The operations performed so far (bytes included), in order.
+    pub fn trace(&self) -> Vec<VfsOp> {
+        self.state.trace.lock().clone()
+    }
+
+    /// How many operations have been *attempted* (failed ones count —
+    /// plan indices are in this sequence).
+    pub fn ops_attempted(&self) -> usize {
+        self.state.next_op.load(Ordering::Relaxed)
+    }
+
+    /// Plans operation `op` (0-based attempt index) to fail without
+    /// touching the filesystem. `None` clears the plan.
+    pub fn set_fail_op(&self, op: Option<usize>) {
+        *self.state.fail_op.lock() = op;
+    }
+
+    /// Plans operation `op` to write only the first `keep` bytes and then
+    /// fail — a torn write. Only byte-carrying operations (whole-file
+    /// writes and appends) can tear; on any other operation the plan
+    /// degrades to a plain failure. `None` clears the plan.
+    pub fn set_short_write(&self, plan: Option<(usize, usize)>) {
+        *self.state.short_write.lock() = plan;
+    }
+
+    /// Clears the trace, the attempt counter and every planned failure.
+    pub fn reset(&self) {
+        self.state.trace.lock().clear();
+        *self.state.fail_op.lock() = None;
+        *self.state.short_write.lock() = None;
+        self.state.next_op.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Vfs for ChaosVfs {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Fail => Err(chaos_error(op)),
+            Plan::Short(keep) => {
+                let keep = keep.min(bytes.len());
+                let kept = bytes.get(..keep).unwrap_or(bytes);
+                RealVfs.write_file(path, kept)?;
+                self.state.record(VfsOp::Write {
+                    path: path.to_path_buf(),
+                    bytes: kept.to_vec(),
+                });
+                Err(chaos_error(op))
+            }
+            Plan::Pass => {
+                RealVfs.write_file(path, bytes)?;
+                self.state.record(VfsOp::Write {
+                    path: path.to_path_buf(),
+                    bytes: bytes.to_vec(),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Pass => {
+                RealVfs.rename(from, to)?;
+                self.state.record(VfsOp::Rename {
+                    from: from.to_path_buf(),
+                    to: to.to_path_buf(),
+                });
+                Ok(())
+            }
+            _ => Err(chaos_error(op)),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Pass => {
+                RealVfs.remove_file(path)?;
+                self.state.record(VfsOp::Remove {
+                    path: path.to_path_buf(),
+                });
+                Ok(())
+            }
+            _ => Err(chaos_error(op)),
+        }
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Pass => {
+                let inner = RealVfs.create(path)?;
+                self.state.record(VfsOp::Create {
+                    path: path.to_path_buf(),
+                });
+                Ok(Box::new(ChaosFile {
+                    inner,
+                    path: path.to_path_buf(),
+                    state: Arc::clone(&self.state),
+                }))
+            }
+            _ => Err(chaos_error(op)),
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Pass => {
+                RealVfs.sync_file(path)?;
+                self.state.record(VfsOp::SyncFile {
+                    path: path.to_path_buf(),
+                });
+                Ok(())
+            }
+            _ => Err(chaos_error(op)),
+        }
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Pass => {
+                RealVfs.sync_dir(path)?;
+                self.state.record(VfsOp::SyncDir {
+                    path: path.to_path_buf(),
+                });
+                Ok(())
+            }
+            _ => Err(chaos_error(op)),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ChaosFile {
+    inner: Box<dyn VfsFile>,
+    path: PathBuf,
+    state: Arc<ChaosState>,
+}
+
+impl VfsFile for ChaosFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Fail => Err(chaos_error(op)),
+            Plan::Short(keep) => {
+                let keep = keep.min(bytes.len());
+                let kept = bytes.get(..keep).unwrap_or(bytes);
+                self.inner.append(kept)?;
+                self.state.record(VfsOp::Append {
+                    path: self.path.clone(),
+                    bytes: kept.to_vec(),
+                });
+                Err(chaos_error(op))
+            }
+            Plan::Pass => {
+                self.inner.append(bytes)?;
+                self.state.record(VfsOp::Append {
+                    path: self.path.clone(),
+                    bytes: bytes.to_vec(),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let op = self.state.next();
+        match self.state.plan(op) {
+            Plan::Pass => {
+                self.inner.sync_all()?;
+                self.state.record(VfsOp::SyncFile {
+                    path: self.path.clone(),
+                });
+                Ok(())
+            }
+            _ => Err(chaos_error(op)),
+        }
     }
 }
 
@@ -244,16 +684,47 @@ pub struct JournalReplay {
 pub struct TenantStore {
     dir: PathBuf,
     read_only: bool,
+    durability: Durability,
+    vfs: Arc<dyn Vfs>,
     metrics: PersistMetrics,
 }
 
 impl TenantStore {
-    /// Opens (creating if needed) a writable store at `dir`.
+    /// Opens (creating if needed) a writable store at `dir` with the
+    /// default rename-atomicity durability and the real filesystem.
     ///
     /// # Errors
     ///
     /// I/O failure creating the directory.
     pub fn open(dir: impl Into<PathBuf>) -> Result<TenantStore, PersistError> {
+        TenantStore::open_with(dir, Durability::default(), Arc::new(RealVfs))
+    }
+
+    /// Opens a writable store with an explicit [`Durability`] policy
+    /// (the `--durability full|rename` flag).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory.
+    pub fn open_durable(
+        dir: impl Into<PathBuf>,
+        durability: Durability,
+    ) -> Result<TenantStore, PersistError> {
+        TenantStore::open_with(dir, durability, Arc::new(RealVfs))
+    }
+
+    /// Opens a writable store with an explicit durability policy *and*
+    /// an injected [`Vfs`] — the constructor fault-injection tests use
+    /// to interpose a [`ChaosVfs`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        durability: Durability,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<TenantStore, PersistError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|error| PersistError::Io {
             what: "creating the data directory",
@@ -262,6 +733,8 @@ impl TenantStore {
         Ok(TenantStore {
             dir,
             read_only: false,
+            durability,
+            vfs,
             metrics: PersistMetrics::default(),
         })
     }
@@ -273,8 +746,15 @@ impl TenantStore {
         TenantStore {
             dir: dir.into(),
             read_only: true,
+            durability: Durability::default(),
+            vfs: Arc::new(RealVfs),
             metrics: PersistMetrics::default(),
         }
+    }
+
+    /// The durability policy writes run under.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// The data directory.
@@ -325,8 +805,22 @@ impl TenantStore {
         let tmp = self.dir.join(format!("{name}.{SNAPSHOT_EXT}.tmp"));
         let io = |what| move |error| PersistError::Io { what, error };
         let write_started = std::time::Instant::now();
-        fs::write(&tmp, &bytes).map_err(io("writing the snapshot temp file"))?;
-        fs::rename(&tmp, &path).map_err(io("installing the snapshot"))?;
+        self.vfs
+            .write_file(&tmp, &bytes)
+            .map_err(io("writing the snapshot temp file"))?;
+        if self.durability == Durability::Full {
+            self.vfs
+                .sync_file(&tmp)
+                .map_err(io("syncing the snapshot temp file"))?;
+        }
+        self.vfs
+            .rename(&tmp, &path)
+            .map_err(io("installing the snapshot"))?;
+        if self.durability == Durability::Full {
+            self.vfs
+                .sync_dir(&self.dir)
+                .map_err(io("syncing the data directory"))?;
+        }
         self.metrics
             .snapshot_write_latency
             .record(write_started.elapsed());
@@ -433,7 +927,7 @@ impl TenantStore {
             return Err(PersistError::ReadOnly);
         }
         for path in [self.snapshot_path(name), self.journal_path(name)] {
-            match fs::remove_file(&path) {
+            match self.vfs.remove_file(&path) {
                 Ok(()) => {}
                 Err(error) if error.kind() == io::ErrorKind::NotFound => {}
                 Err(error) => {
@@ -459,13 +953,18 @@ impl TenantStore {
         }
         let path = self.journal_path(name);
         let io = |what| move |error| PersistError::Io { what, error };
-        let mut file = File::create(&path).map_err(io("creating the journal"))?;
+        let mut file = self.vfs.create(&path).map_err(io("creating the journal"))?;
         let mut header = Vec::with_capacity(JOURNAL_HEADER_BYTES);
         header.extend_from_slice(&JOURNAL_MAGIC);
         header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
-        file.write_all(&header)
+        file.append(&header)
             .map_err(io("writing the journal header"))?;
-        Ok(JournalWriter { file, path })
+        Ok(JournalWriter {
+            file,
+            path,
+            vfs: Arc::clone(&self.vfs),
+            fsync: self.durability == Durability::Full,
+        })
     }
 
     /// Replays `<name>.journal`, recovering every complete CRC-valid
@@ -497,7 +996,7 @@ impl TenantStore {
         if self.read_only {
             return Ok(());
         }
-        match fs::remove_file(self.journal_path(name)) {
+        match self.vfs.remove_file(&self.journal_path(name)) {
             Ok(()) => Ok(()),
             Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(error) => Err(PersistError::Io {
@@ -511,11 +1010,14 @@ impl TenantStore {
 /// An open ingestion journal. Each [`append`](JournalWriter::append) goes
 /// straight to the kernel (no userspace buffering), so a `SIGKILL`
 /// between appends loses at most the record in flight — exactly the torn
-/// tail the replay path truncates.
+/// tail the replay path truncates. Under [`Durability::Full`] every
+/// append is also fsynced before it is acknowledged.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    fsync: bool,
 }
 
 impl JournalWriter {
@@ -523,16 +1025,24 @@ impl JournalWriter {
     ///
     /// # Errors
     ///
-    /// I/O failure.
+    /// I/O failure (including an injected `persist.journal_append`
+    /// fault).
     pub fn append(&mut self, chunk: &[u8]) -> io::Result<()> {
         if chunk.is_empty() {
             return Ok(());
+        }
+        if fault::failpoint("persist.journal_append") {
+            return Err(injected("persist.journal_append"));
         }
         let mut frame = Vec::with_capacity(JOURNAL_RECORD_HEADER_BYTES + chunk.len());
         frame.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(chunk).to_le_bytes());
         frame.extend_from_slice(chunk);
-        self.file.write_all(&frame)
+        self.file.append(&frame)?;
+        if self.fsync {
+            self.file.sync_all()?;
+        }
+        Ok(())
     }
 
     /// The journal's path on disk.
@@ -548,9 +1058,11 @@ impl JournalWriter {
     ///
     /// I/O failure deleting the file.
     pub fn finish(self) -> io::Result<()> {
-        let JournalWriter { file, path } = self;
+        let JournalWriter {
+            file, path, vfs, ..
+        } = self;
         drop(file);
-        match fs::remove_file(&path) {
+        match vfs.remove_file(&path) {
             Ok(()) => Ok(()),
             Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(error) => Err(error),

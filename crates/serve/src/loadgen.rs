@@ -259,8 +259,35 @@ impl LoadReport {
     }
 }
 
+/// Transport-error retries per request before it counts as an error.
+const RETRY_ATTEMPTS: usize = 3;
+
+/// Jittered exponential backoff before retry `attempt` (1-based): a
+/// deterministic-per-thread random delay so a fleet of clients hitting a
+/// restarting or shedding server does not stampede back in lockstep.
+fn retry_backoff(state: &mut u64, attempt: usize) -> Duration {
+    let base = 10u64 << attempt.min(6);
+    let jitter = xorshift64(state) % base.max(1);
+    Duration::from_millis(base + jitter)
+}
+
+/// A fresh keep-alive client connection (10 s read timeout, no Nagle).
+fn connect_client(addr: SocketAddr) -> Option<BufReader<TcpStream>> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    Some(BufReader::new(stream))
+}
+
 /// Hammers `path` with `clients` concurrent keep-alive connections, each
 /// sending `requests_per_client` sequential GETs, and reports throughput.
+///
+/// A transport error (`ECONNREFUSED`, `ECONNRESET`, a torn response)
+/// retries with jittered backoff up to [`RETRY_ATTEMPTS`] times before
+/// counting one error and *continuing the schedule* — a chaos run
+/// produces an error count, not an aborted client. A non-200 response is
+/// a real answer (e.g. an overload 503) and counts as an error without
+/// retrying.
 pub fn run_loadgen(
     addr: SocketAddr,
     clients: usize,
@@ -270,29 +297,36 @@ pub fn run_loadgen(
     let started = Instant::now();
     let counts: Vec<(usize, usize)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|client| {
+                scope.spawn(move || {
                     let mut ok = 0usize;
                     let mut errors = 0usize;
-                    match TcpStream::connect(addr) {
-                        Err(_) => errors = requests_per_client,
-                        Ok(stream) => {
-                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                            let mut reader = BufReader::new(stream);
-                            for _ in 0..requests_per_client {
-                                let sent =
-                                    write_request(reader.get_mut(), "GET", path, &[]).is_ok();
-                                match sent.then(|| read_response(&mut reader)) {
-                                    Some(Ok(response)) if response.status == 200 => ok += 1,
-                                    _ => {
-                                        errors += 1;
-                                        // The connection is broken; fail the
-                                        // remaining quota and stop.
-                                        errors += requests_per_client - ok - errors;
-                                        break;
-                                    }
-                                }
+                    let mut rng = (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                    let mut connection: Option<BufReader<TcpStream>> = None;
+                    for _ in 0..requests_per_client {
+                        let mut outcome = None;
+                        for attempt in 0..RETRY_ATTEMPTS {
+                            if attempt > 0 {
+                                thread::sleep(retry_backoff(&mut rng, attempt));
                             }
+                            if connection.is_none() {
+                                connection = connect_client(addr);
+                            }
+                            let result = connection.as_mut().and_then(|reader| {
+                                write_request(reader.get_mut(), "GET", path, &[]).ok()?;
+                                read_response(reader).ok()
+                            });
+                            match result {
+                                Some(response) => {
+                                    outcome = Some(response);
+                                    break;
+                                }
+                                None => connection = None, // broken: retry
+                            }
+                        }
+                        match outcome {
+                            Some(response) if response.status == 200 => ok += 1,
+                            _ => errors += 1,
                         }
                     }
                     (ok, errors)
@@ -441,11 +475,13 @@ pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> OpenLoopRepor
     let errors = AtomicUsize::new(0);
     let started = Instant::now();
     thread::scope(|scope| {
-        for _ in 0..config.connections.max(1) {
+        for worker in 0..config.connections.max(1) {
             let latency = Arc::clone(&latency);
             let (next, ok, errors, arrivals) = (&next, &ok, &errors, &arrivals);
             scope.spawn(move || {
                 let mut connection: Option<BufReader<TcpStream>> = None;
+                let mut rng =
+                    (config.seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
                 loop {
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&arrival) = arrivals.get(slot) else {
@@ -455,17 +491,29 @@ pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> OpenLoopRepor
                     if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
                         thread::sleep(wait);
                     }
-                    if connection.is_none() {
-                        connection = TcpStream::connect(addr).ok().map(|stream| {
-                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                            let _ = stream.set_nodelay(true);
-                            BufReader::new(stream)
+                    // A transport error retries (bounded, jittered) so a
+                    // mid-run reset or refused reconnect costs one late
+                    // sample, not the rest of this worker's schedule.
+                    let mut outcome = None;
+                    for attempt in 0..RETRY_ATTEMPTS {
+                        if attempt > 0 {
+                            thread::sleep(retry_backoff(&mut rng, attempt));
+                        }
+                        if connection.is_none() {
+                            connection = connect_client(addr);
+                        }
+                        let result = connection.as_mut().and_then(|reader| {
+                            write_request(reader.get_mut(), "GET", &config.path, &[]).ok()?;
+                            read_response(reader).ok()
                         });
+                        match result {
+                            Some(response) => {
+                                outcome = Some(response);
+                                break;
+                            }
+                            None => connection = None, // broken: retry
+                        }
                     }
-                    let outcome = connection.as_mut().and_then(|reader| {
-                        write_request(reader.get_mut(), "GET", &config.path, &[]).ok()?;
-                        read_response(reader).ok()
-                    });
                     match outcome {
                         Some(response) if response.status == 200 => {
                             ok.fetch_add(1, Ordering::Relaxed);
@@ -473,7 +521,6 @@ pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> OpenLoopRepor
                         }
                         _ => {
                             errors.fetch_add(1, Ordering::Relaxed);
-                            connection = None;
                         }
                     }
                 }

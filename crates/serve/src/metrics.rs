@@ -216,6 +216,10 @@ pub struct ServeMetrics {
     dispatch_queue_depth: AtomicU64,
     /// Connections currently held open by a worker (keep-alive included).
     connections_active: AtomicU64,
+    /// Connections or requests shed by admission control (503).
+    shed_total: AtomicU64,
+    /// Connections closed for exhausting the per-request I/O budget (408).
+    io_timeouts_total: AtomicU64,
     /// Feed-ingestion pipeline entries submitted to parser workers and not
     /// yet harvested (shared with every in-flight [`FeedIngester`] via
     /// [`ServeMetrics::ingest_queue_depth`]).
@@ -260,6 +264,8 @@ impl ServeMetrics {
             workers_busy: AtomicU64::new(0),
             dispatch_queue_depth: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            io_timeouts_total: AtomicU64::new(0),
             ingest_queue_depth: Arc::new(AtomicU64::new(0)),
             routes: RouteHistograms::default(),
             stages: StageHistograms::default(),
@@ -368,6 +374,26 @@ impl ServeMetrics {
         self.connections_accepted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one shed connection or request (admission control said no).
+    pub fn record_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection closed for exhausting its I/O budget.
+    pub fn record_io_timeout(&self) {
+        self.io_timeouts_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sheds so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// I/O-budget closes so far.
+    pub fn io_timeouts_total(&self) -> u64 {
+        self.io_timeouts_total.load(Ordering::Relaxed)
+    }
+
     /// Counts one routed request.
     pub fn record_request(&self) {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
@@ -463,6 +489,21 @@ impl ServeMetrics {
                 "osdiv_bytes_out",
                 "response bytes written to sockets",
                 self.bytes_out(),
+            ),
+            (
+                "osdiv_shed_total",
+                "connections or requests shed by admission control",
+                self.shed_total(),
+            ),
+            (
+                "osdiv_io_timeouts_total",
+                "connections closed for exhausting the per-request I/O budget",
+                self.io_timeouts_total(),
+            ),
+            (
+                "osdiv_faults_injected_total",
+                "faults injected at armed failpoint sites",
+                osdiv_core::fault::injected_total(),
             ),
         ];
         for (name, help, value) in counters {

@@ -8,7 +8,7 @@
 //! finish the connection they are serving first, so in-flight responses
 //! are never cut.
 
-use std::io::{self, ErrorKind, Read};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -19,7 +19,7 @@ use osdiv_core::{obs, FlightRecorder, JsonLine};
 use parking_lot::Mutex;
 
 use crate::http::{Body, BodyError, RequestParser, Response, StreamBody, MAX_BODY_BYTES};
-use crate::metrics::{RouteClass, Stage};
+use crate::metrics::{RouteClass, ServeMetrics, Stage};
 use crate::router::{micros_since, Router};
 
 /// Server tuning knobs.
@@ -31,6 +31,17 @@ pub struct ServerOptions {
     pub read_timeout: Duration,
     /// Requests served on one connection before it is closed.
     pub max_keep_alive_requests: usize,
+    /// Wall-clock budget for receiving one request head: a client that
+    /// trickles bytes (slow loris) is answered 408 and closed once the
+    /// budget is spent, no matter how regularly it keeps the socket warm.
+    /// Also the socket write timeout, so a peer that stops reading its
+    /// response cannot pin a worker either.
+    pub io_timeout: Duration,
+    /// Admission-control high-water mark: a connection dequeued while
+    /// this many more still wait is shed with a pre-parse `503` +
+    /// `Retry-After`. Ingestion requests shed earlier, at half this
+    /// depth, so cached reads degrade last.
+    pub shed_queue_depth: usize,
 }
 
 impl Default for ServerOptions {
@@ -39,6 +50,8 @@ impl Default for ServerOptions {
             threads: default_threads(),
             read_timeout: Duration::from_secs(5),
             max_keep_alive_requests: 1000,
+            io_timeout: Duration::from_secs(10),
+            shed_queue_depth: default_threads() * 16,
         }
     }
 }
@@ -102,11 +115,21 @@ impl Server {
                     let stream = { receiver.lock().recv() };
                     match stream {
                         Err(_) => return, // queue closed: shutdown
-                        Ok(stream) => {
+                        Ok(mut stream) => {
                             let metrics = router.metrics();
                             metrics.dispatch_dequeued();
                             metrics.worker_busy();
-                            handle_connection(&router, stream, &options, &shutdown, addr);
+                            // Admission control, before a single byte is
+                            // parsed: when the backlog behind this
+                            // connection is still past the high-water
+                            // mark, answering cheaply and moving on
+                            // drains the queue far faster than serving
+                            // would.
+                            if metrics.dispatch_queue_depth() > options.shed_queue_depth as u64 {
+                                shed_connection(&mut stream, metrics);
+                            } else {
+                                handle_connection(&router, stream, &options, &shutdown, addr);
+                            }
                             router.metrics().worker_idle();
                         }
                     }
@@ -189,6 +212,26 @@ fn wake_accept_loop(addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
+/// The static overload response: written without parsing a byte of the
+/// request, so the reject path costs a write and a close.
+const SHED_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
+Retry-After: 1\r\n\
+Content-Type: text/plain; charset=utf-8\r\n\
+Content-Length: 9\r\n\
+Connection: close\r\n\r\n\
+overload\n";
+
+/// Cheap-rejects one connection under overload: static `503` +
+/// `Retry-After`, no parsing, then close.
+fn shed_connection(stream: &mut TcpStream, metrics: &ServeMetrics) {
+    metrics.record_shed();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    if stream.write_all(SHED_RESPONSE).is_ok() {
+        metrics.record_bytes_out(SHED_RESPONSE.len());
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// Best-effort RST avoidance when closing a connection whose request body
 /// was never fully read: signal FIN, then discard (bounded, with a short
 /// timeout) whatever the peer keeps sending, so the already-written error
@@ -218,6 +261,7 @@ fn handle_connection(
     addr: SocketAddr,
 ) {
     let _ = stream.set_read_timeout(Some(options.read_timeout));
+    let _ = stream.set_write_timeout(Some(options.io_timeout));
     let _ = stream.set_nodelay(true);
     let metrics = Arc::clone(router.metrics());
     metrics.connection_opened();
@@ -253,6 +297,27 @@ fn handle_connection(
                     break 'connection;
                 }
             }
+            // Once a request is in flight its head transfer runs on a
+            // wall-clock budget: a slow-loris client trickling one byte
+            // per read keeps every *individual* read under the idle
+            // timeout, so each read's deadline shrinks to whatever
+            // budget remains — total pin time is bounded by
+            // `io_timeout`, not by bytes × read_timeout.
+            if let Some(started) = request_started {
+                let remaining = options.io_timeout.saturating_sub(started.elapsed());
+                if remaining.is_zero() {
+                    metrics.record_io_timeout();
+                    record_write(
+                        Response::text(408, "request header read timed out").write_to(
+                            &mut stream,
+                            false,
+                            false,
+                        ),
+                    );
+                    break 'connection;
+                }
+                let _ = stream.set_read_timeout(Some(options.read_timeout.min(remaining)));
+            }
             match stream.read(&mut chunk) {
                 Ok(0) => break 'connection, // peer closed
                 Ok(n) => {
@@ -274,11 +339,27 @@ fn handle_connection(
                     if error.kind() == ErrorKind::WouldBlock
                         || error.kind() == ErrorKind::TimedOut =>
                 {
-                    break 'connection; // idle keep-alive connection
+                    if request_started.is_some() {
+                        // Mid-request stall, not keep-alive idleness:
+                        // tell the peer before closing.
+                        metrics.record_io_timeout();
+                        record_write(
+                            Response::text(408, "request header read timed out").write_to(
+                                &mut stream,
+                                false,
+                                false,
+                            ),
+                        );
+                    }
+                    break 'connection;
                 }
                 Err(_) => break 'connection,
             }
         };
+        // Restore the idle timeout the budget tracking above may have
+        // shrunk — body reads and the next keep-alive request start
+        // from the configured value.
+        let _ = stream.set_read_timeout(Some(options.read_timeout));
         let request_started = request_started.unwrap_or_else(Instant::now);
         let mut trace = router.begin_trace();
         trace.route = RouteClass::classify(&request.method, &request.path);
@@ -312,7 +393,20 @@ fn handle_connection(
         // rejected before the route runs its side effect. Draining after
         // routing used to register a `?seed=` dataset and then replace
         // its 201 with a 413 — the side effect without the success.
-        let rejected = if router.consumes_body(&request) || body.finished() {
+        // Graceful degradation: ingestion is the expensive, deferrable
+        // work, so it sheds at *half* the high-water mark — cached reads
+        // keep being served while the queue recovers. The 503 goes out
+        // before a single body byte is consumed.
+        let soft_watermark = (options.shed_queue_depth / 2).max(1);
+        let rejected = if trace.route == RouteClass::Ingest
+            && metrics.dispatch_queue_depth() > soft_watermark as u64
+        {
+            metrics.record_shed();
+            Some(
+                Response::text(503, "ingestion shedding under load")
+                    .with_header("Retry-After", "1"),
+            )
+        } else if router.consumes_body(&request) || body.finished() {
             None
         } else {
             match body.drain(MAX_BODY_BYTES) {

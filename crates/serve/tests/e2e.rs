@@ -47,6 +47,7 @@ fn start_server(enable_shutdown: bool) -> (Arc<Router>, ServerHandle) {
             threads: 2,
             read_timeout: Duration::from_secs(1),
             max_keep_alive_requests: 100,
+            ..ServerOptions::default()
         },
     )
     .expect("an ephemeral loop-back port is bindable");
@@ -292,6 +293,7 @@ fn ingest_token_gates_mutating_dataset_routes() {
             threads: 2,
             read_timeout: Duration::from_secs(1),
             max_keep_alive_requests: 100,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -661,6 +663,7 @@ fn server_access_log_records_every_request() {
             threads: 2,
             read_timeout: Duration::from_secs(1),
             max_keep_alive_requests: 100,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -708,6 +711,7 @@ fn start_debug_server(ingest_token: Option<&str>) -> ServerHandle {
             threads: 2,
             read_timeout: Duration::from_secs(1),
             max_keep_alive_requests: 100,
+            ..ServerOptions::default()
         },
     )
     .expect("an ephemeral loop-back port is bindable");
@@ -861,4 +865,135 @@ fn shutdown_endpoint_stops_the_server_cleanly() {
         TcpStream::connect(addr).is_err(),
         "the listener must be closed after shutdown"
     );
+}
+
+#[test]
+fn slow_loris_is_cut_off_within_twice_the_io_budget() {
+    use std::io::Write;
+
+    let io_timeout = Duration::from_millis(400);
+    let router = Arc::new(Router::with_study(
+        study(),
+        RouterOptions {
+            seed: SEED,
+            cache_capacity: 8,
+            ..RouterOptions::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        ServerOptions {
+            threads: 2,
+            read_timeout: Duration::from_secs(1),
+            io_timeout,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .unwrap();
+    let started = std::time::Instant::now();
+    let mut response = Vec::new();
+    let mut buf = [0u8; 512];
+    // Trickle header bytes far slower than the server's read timeout —
+    // each individual write keeps the socket "alive", but the request
+    // head never completes.
+    'loris: loop {
+        let _ = stream.write_all(b"G");
+        std::thread::sleep(Duration::from_millis(25));
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break 'loris, // server closed the connection
+                Ok(n) => response.extend_from_slice(&buf[..n]),
+                Err(_) => break, // read timeout: keep trickling
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the server never cut the slow-loris connection"
+        );
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= 2 * io_timeout,
+        "cut after {elapsed:?}, budget was {io_timeout:?}"
+    );
+    let head = String::from_utf8_lossy(&response);
+    assert!(head.starts_with("HTTP/1.1 408"), "got: {head}");
+    assert!(router.metrics().io_timeouts_total() > 0);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn overload_sheds_ingestion_first_while_cached_reads_survive() {
+    let router = Arc::new(Router::with_study(
+        study(),
+        RouterOptions {
+            seed: SEED,
+            cache_capacity: 8,
+            ..RouterOptions::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        ServerOptions {
+            threads: 2,
+            read_timeout: Duration::from_secs(1),
+            shed_queue_depth: 8, // soft watermark: 4
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Warm the render cache before the "overload".
+    let warm = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_eq!(warm.status, 200);
+
+    // Inflate the dispatch-queue gauge past the soft watermark (but not
+    // the hard one): admission control reads the gauge, so this stands
+    // in for a real backlog deterministically.
+    for _ in 0..6 {
+        router.metrics().dispatch_enqueued();
+    }
+
+    // Ingestion sheds with 503 + Retry-After before consuming the body.
+    let shed = loadgen::request_with_body(
+        addr,
+        "PUT",
+        "/v1/datasets/shedme",
+        &[("Content-Type", "application/xml")],
+        b"<nvd><entry name=\"CVE-2020-0001\"></entry></nvd>",
+    )
+    .unwrap();
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(router.metrics().shed_total() > 0);
+
+    // Cached reads still answer 200 under the same pressure.
+    let read = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_eq!(read.status, 200);
+
+    // Past the hard watermark even reads are cheap-rejected, pre-parse.
+    for _ in 0..8 {
+        router.metrics().dispatch_enqueued();
+    }
+    let rejected = loadgen::get(addr, "/v1/report?format=json").unwrap();
+    assert_eq!(rejected.status, 503);
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+
+    // Drain the synthetic backlog so shutdown's wake-up connection is
+    // actually served.
+    for _ in 0..14 {
+        router.metrics().dispatch_dequeued();
+    }
+    handle.shutdown().unwrap();
 }
